@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (figure or theorem) and
+writes its rendered output to ``benchmarks/artifacts/<name>.txt`` so the
+EXPERIMENTS.md paper-vs-measured record can cite concrete runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture()
+def artifact(request):
+    """A writer callable: ``artifact(text)`` appends to the test's
+    artifact file (truncated at the start of each test)."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_").replace("[", "-").replace("]", "")
+    path = ARTIFACT_DIR / f"{name}.txt"
+    path.write_text("")
+
+    def write(text: str) -> None:
+        with path.open("a") as fh:
+            fh.write(text.rstrip() + "\n")
+
+    write.path = path  # type: ignore[attr-defined]
+    return write

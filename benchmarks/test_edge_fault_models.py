@@ -1,0 +1,71 @@
+"""EDGE — link faults: the Hayes reduction vs the exact model.
+
+The paper (Section 2, citing Hayes [13]) handles link faults "by viewing
+an adjacent processor as being faulty".  For graceful degradation that
+reduction means *retiring* one healthy endpoint per faulty link; this
+harness (a) exhaustively proves the retired-endpoint guarantee for the
+constructions, and (b) quantifies how often the strictly-harder exact
+model (remove the edge, still span every node-healthy processor) also
+holds — a gap the paper never spells out, surfaced by this reproduction.
+"""
+
+from repro.analysis import format_table
+from repro.core.constructions import build
+from repro.core.edge_faults import (
+    compare_models_exhaustive,
+    verify_reduced_edge_model_exhaustive,
+)
+
+CASES = [(1, 2), (2, 2), (3, 2), (6, 2)]
+
+
+def test_edge_fault_models(benchmark, artifact):
+    def run():
+        proofs = {}
+        comparisons = {}
+        for n, k in CASES:
+            net = build(n, k)
+            proofs[(n, k)] = verify_reduced_edge_model_exhaustive(
+                net, node_budget=k, edge_budget=k
+            )
+            comparisons[(n, k)] = compare_models_exhaustive(net, 1, 1)
+        return proofs, comparisons
+
+    proofs, comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (n, k) in CASES:
+        cert = proofs[(n, k)]
+        assert cert.is_proof, (n, k, cert.summary())
+        cmp_ = comparisons[(n, k)]
+        assert cmp_.tolerated_reduced >= cmp_.tolerated_exact
+        rows.append(
+            [
+                f"G({n},{k})",
+                cert.checked,
+                "proof",
+                cmp_.checked,
+                cmp_.tolerated_reduced,
+                cmp_.tolerated_exact,
+            ]
+        )
+    artifact("Link faults: retired-endpoint (guaranteed) vs exact model:")
+    artifact(
+        format_table(
+            [
+                "instance",
+                "mixed sets (|Fn|+|Fe|<=k)",
+                "reduced-model verdict",
+                "1+1 mixed sets",
+                "reduced tolerates",
+                "exact tolerates",
+            ],
+            rows,
+        )
+    )
+    artifact(
+        "shape: the reduced model is proved everywhere; the exact model "
+        "tolerates strictly fewer mixed sets (graceful degradation does "
+        "not survive naive edge deletion) — the G(1,2) counterexample is "
+        "p2 dead + link (p0,p1) cut."
+    )

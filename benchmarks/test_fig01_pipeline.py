@@ -1,0 +1,24 @@
+"""F1 — Figure 1: "A pipeline with 7 processors".
+
+Regenerates the paper's introductory figure: a pipeline with exactly 7
+processor stages between an input and an output terminal, rendered in
+the paper's notation.  The benchmarked operation is the fault-free
+reconfiguration that produces it.
+"""
+
+from repro import build, is_pipeline, reconfigure
+from repro.analysis import pipeline_ascii
+
+
+def test_fig01_pipeline_with_seven_processors(benchmark, artifact):
+    net = build(7, 2)  # n + k = 9 processors; kill 2 to match the figure
+    faults = ["p0", "p1"]
+
+    pipeline = benchmark(lambda: reconfigure(net, faults))
+
+    assert is_pipeline(net, pipeline.nodes, faults)
+    assert pipeline.length == 7, "Figure 1 shows exactly 7 processors"
+    art = pipeline_ascii(pipeline)
+    artifact("Figure 1 — a pipeline with 7 processors:")
+    artifact(art)
+    assert art.count("(") == 7

@@ -1,0 +1,43 @@
+"""F14–F15 — Figures 14 and 15: the worked asymptotic examples
+``G(22,4)`` and ``G(26,5)``.
+
+Checks every structural fact the figures display — node sets Ti, To, I,
+O, S, R; the circulant labels and offsets; the bisector edges of
+``G(26,5)`` — and backs each instance with adversarial sampled
+verification.  The benchmarked operation is building both examples.
+"""
+
+from repro.analysis import network_summary
+from repro.core.constructions import build_asymptotic
+from repro.core.verify import verify_sampled
+
+
+def test_fig14_15_worked_examples(benchmark, artifact):
+    g22, g26 = benchmark(lambda: (build_asymptotic(22, 4), build_asymptotic(26, 5)))
+
+    # --- Figure 14: G(22,4) ---
+    assert len(g22) == 36
+    assert len(g22.processors) == 26
+    assert g22.meta["m"] == 16
+    assert sorted(g22.meta["offsets"]) == [1, 2, 3]
+    assert g22.meta["bisector"] is None
+    assert g22.max_processor_degree() == 6
+    assert len(g22.meta["S"]) == 6 and len(g22.meta["R"]) == 10
+    artifact("--- Figure 14: G(22,4) ---")
+    artifact(network_summary(g22))
+
+    # --- Figure 15: G(26,5), with bisectors ---
+    assert len(g26) == 26 + 3 * 5 + 2
+    assert g26.meta["m"] == 19
+    assert g26.meta["bisector"] == 9
+    # bisector edges present: c_j -- c_{j+9 mod 19}
+    assert g26.graph.has_edge("c0", "c9")
+    assert g26.graph.has_edge("c10", "c0")
+    assert g26.max_processor_degree() == 8  # n even, k odd -> k+3
+    artifact("--- Figure 15: G(26,5) with bisector edges ---")
+    artifact(network_summary(g26))
+
+    for net, trials in ((g22, 150), (g26, 100)):
+        cert = verify_sampled(net, trials=trials, rng=14)
+        assert cert.ok, cert.summary()
+        artifact(cert.summary())

@@ -1,0 +1,75 @@
+"""FRONT/CONN — tolerance frontier and connectivity (extension studies).
+
+Two structural characterizations the paper's model invites:
+
+* **frontier**: the exact set of size-``k+1`` fault sets that first
+  break each small construction — how the network dies, and how often;
+* **connectivity**: vertex connectivity of the processor subgraph sits
+  exactly at the structural minimum ``k + 1`` for the degree-optimal
+  designs (connectivity above the minimum would cost ports).
+"""
+
+from repro.analysis import format_table
+from repro.analysis.connectivity import connectivity_report
+from repro.analysis.frontier import co_failure_blacklist, tolerance_frontier
+from repro.core.constructions import build
+
+FRONTIER_CASES = [(1, 2), (2, 2), (3, 2), (6, 2)]
+CONNECTIVITY_CASES = [(3, 2), (6, 2), (8, 2), (7, 3), (14, 4), (22, 4)]
+
+
+def test_frontier_and_connectivity(benchmark, artifact):
+    def run():
+        fronts = {
+            (n, k): tolerance_frontier(build(n, k)) for n, k in FRONTIER_CASES
+        }
+        conns = {
+            (n, k): connectivity_report(build(n, k))
+            for n, k in CONNECTIVITY_CASES
+        }
+        return fronts, conns
+
+    fronts, conns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (n, k), rep in sorted(fronts.items()):
+        prof = rep.kind_profile
+        rows.append(
+            [
+                f"G({n},{k})",
+                rep.total_sets,
+                rep.breaking_count,
+                f"{rep.breaking_fraction:.1%}",
+                f"in={prof['input']} out={prof['output']} proc={prof['processor']}",
+            ]
+        )
+        assert 0 < rep.breaking_fraction < 0.5
+    artifact("Tolerance frontier: the (k+1)-fault sets that first break it:")
+    artifact(
+        format_table(
+            ["instance", "(k+1)-sets", "breaking", "fraction", "member kinds"],
+            rows,
+        )
+    )
+    worst = co_failure_blacklist(fronts[(6, 2)], top=3)
+    artifact(
+        "G(6,2) co-failure blacklist (keep apart in deployment): "
+        + ", ".join(f"{a}+{b} ({c} sets)" for (a, b), c in worst)
+    )
+
+    rows2 = []
+    for (n, k), rep in sorted(conns.items()):
+        rows2.append(
+            [f"G({n},{k})", k + 1, rep.vertex_connectivity,
+             rep.min_processor_neighbors, f"{rep.algebraic_connectivity:.2f}"]
+        )
+        assert rep.meets_structural_minimum
+    artifact("")
+    artifact("Processor-subgraph connectivity (structural minimum = k+1):")
+    artifact(
+        format_table(
+            ["instance", "k+1", "vertex connectivity", "min proc neighbors",
+             "algebraic"],
+            rows2,
+        )
+    )

@@ -1,0 +1,35 @@
+"""L37/L39 — Lemmas 3.7 and 3.9: ``G(1,k)`` and ``G(2,k)`` are the
+*only* standard solutions for ``n = 1`` and ``n = 2``.
+
+The machine version: the bounds force the processor subgraph to be a
+clique, so all terminal placements are enumerated, each verified
+exhaustively, and the survivors deduplicated up to labeled isomorphism —
+exactly one must remain, and it must match the paper's construction.
+"""
+
+from repro.analysis import format_table
+from repro.core.search import prove_uniqueness
+
+CASES = [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2)]
+
+
+def test_lemma37_39_uniqueness(benchmark, artifact):
+    def prove_all():
+        return {(n, k): prove_uniqueness(n, k) for (n, k) in CASES}
+
+    reports = benchmark.pedantic(prove_all, rounds=1, iterations=1)
+
+    rows = []
+    for (n, k), report in sorted(reports.items()):
+        assert report.unique, (n, k)
+        lemma = "Lemma 3.7" if n == 1 else "Lemma 3.9"
+        rows.append(
+            [lemma, n, k, len(report.solutions), "yes" if report.matches_paper else "NO"]
+        )
+    artifact("Uniqueness of the n=1 / n=2 standard solutions:")
+    artifact(
+        format_table(
+            ["lemma", "n", "k", "solutions (up to labeled iso)", "matches paper"],
+            rows,
+        )
+    )

@@ -1,0 +1,63 @@
+"""RCF — reconfiguration latency scaling.
+
+Not a paper table (the paper proves existence only); this harness
+quantifies what the constructive algorithms deliver: reconfiguration
+time as ``n`` grows, per construction family, for worst-allowed fault
+loads (``|F| = k``).  The shape claim: all families stay in the
+milliseconds at hundreds of processors because the constructive routes
+(clique arrangements, Lemma 3.6 splicing, seeded heuristics) avoid
+exponential search.
+"""
+
+import random
+import time
+
+from repro.analysis import format_table
+from repro.core.constructions import build
+from repro.core.pipeline import is_pipeline
+from repro.core.reconfigure import reconfigure
+
+CASES = [
+    ("k=1 chain", [(25, 1), (101, 1), (201, 1)]),
+    ("k=2 chain", [(25, 2), (100, 2), (201, 2)]),
+    ("k=3 chain", [(25, 3), (101, 3), (201, 3)]),
+    ("asymptotic k=4", [(30, 4), (100, 4), (200, 4)]),
+    ("asymptotic k=6", [(30, 6), (100, 6), (200, 6)]),
+]
+
+
+def _time_reconfigure(net, k, samples=5, seed=0):
+    rng = random.Random(seed)
+    nodes = sorted(net.graph.nodes, key=repr)
+    total = 0.0
+    for _ in range(samples):
+        faults = rng.sample(nodes, k)
+        t0 = time.perf_counter()
+        pl = reconfigure(net, faults)
+        total += time.perf_counter() - t0
+        assert is_pipeline(net, pl.nodes, faults)
+    return total / samples
+
+
+def test_reconfiguration_scaling(benchmark, artifact):
+    net_mid = build(100, 2)
+    rng = random.Random(1)
+    nodes = sorted(net_mid.graph.nodes, key=repr)
+
+    def one_reconfigure():
+        return reconfigure(net_mid, rng.sample(nodes, 2))
+
+    benchmark(one_reconfigure)
+
+    rows = []
+    for family, params in CASES:
+        for n, k in params:
+            net = build(n, k)
+            avg = _time_reconfigure(net, k, seed=n)
+            rows.append([family, n, k, len(net.processors), f"{avg * 1e3:.2f} ms"])
+    artifact("Reconfiguration latency (mean over 5 worst-size fault sets):")
+    artifact(format_table(["family", "n", "k", "processors", "mean latency"], rows))
+
+    # shape: even the largest instances stay well under a second
+    for row in rows:
+        assert float(row[4].split()[0]) < 1000.0, row

@@ -1,0 +1,59 @@
+"""REL — mission-time reliability (extension study).
+
+Folds the structural survivability curve into an exponential node-
+failure model: R(t) for the graceful design vs the spare-pool cut-off.
+Shape claims: R(0) = 1; R(t) decreases; the graceful design's R(t)
+dominates the spare pool's under the same exposure (the beyond-k
+survivability is free extra availability).
+"""
+
+from repro.analysis import format_table
+from repro.analysis.reliability import reliability_curve, spare_pool_reliability_at
+from repro.core.constructions import build
+
+N, K = 6, 2
+RATE = 0.003  # per-node failures per time unit
+TIMES = [0.0, 10.0, 30.0, 60.0, 120.0]
+
+
+def test_reliability_model(benchmark, artifact):
+    net = build(N, K)
+
+    def run():
+        return reliability_curve(
+            net, RATE, TIMES, beyond=4, trials=150, rng=13
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    prev = 1.0
+    for pt in points:
+        sp = spare_pool_reliability_at(N, K, len(net.graph), RATE, pt.time)
+        rows.append(
+            [
+                f"{pt.time:g}",
+                f"{pt.expected_failures:.2f}",
+                f"{pt.reliability:.4f}",
+                f"{sp:.4f}",
+                f"+{pt.reliability - sp:.4f}",
+            ]
+        )
+        assert pt.reliability <= prev + 1e-12
+        assert pt.reliability >= sp - 1e-9
+        prev = pt.reliability
+    assert points[0].reliability == 1.0
+    artifact(
+        f"Mission reliability R(t), G({N},{K}), node rate {RATE}/t "
+        "(exponential lifetimes):"
+    )
+    artifact(
+        format_table(
+            ["t", "E[failures]", "graceful R(t)", "spare-pool R(t)", "margin"],
+            rows,
+        )
+    )
+    artifact(
+        "shape: R(0)=1, monotone decay, graceful >= spare pool at every t "
+        "(beyond-k survivability is free availability) — confirmed"
+    )

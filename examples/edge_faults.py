@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Link faults and the Hayes reduction — with a subtlety the paper
+glosses over.
+
+The paper notes (via Hayes's model) that link faults are handled "by
+viewing an adjacent processor as being faulty".  For graceful
+degradation that means *retiring* one healthy endpoint per dead link:
+the pipeline then spans every non-retired processor, and any mix of
+``f_n + f_e <= k`` faults is survivable.  Demanding the stronger thing —
+a pipeline through **all** node-healthy processors with the edge simply
+removed — is NOT guaranteed, and this example exhibits the
+counterexample this reproduction surfaced.
+
+Run:  python examples/edge_faults.py
+"""
+
+from repro import (
+    build,
+    build_g1k,
+    find_pipeline_with_edge_faults,
+    is_pipeline,
+    reconfigure,
+    reduce_mixed_faults,
+    verify_reduced_edge_model_exhaustive,
+)
+from repro.analysis import pipeline_ascii
+
+
+def main() -> None:
+    net = build(8, 2)
+    edge = ("p0", sorted(net.graph["p0"])[-1])
+    print(f"Network {net!r}; failing link {edge} and node 'p3'.")
+    print()
+
+    # --- the guaranteed route: retire an endpoint -------------------------
+    retired = reduce_mixed_faults(net, ["p3"], [edge])
+    print(f"Hayes reduction retires: {sorted(retired - {'p3'}, key=repr)} "
+          f"(plus the dead node 'p3')")
+    pl = reconfigure(net, retired)
+    assert is_pipeline(net, pl.nodes, retired)
+    print(f"Reduced-model pipeline ({pl.length} stages):")
+    print(pipeline_ascii(pl))
+    print()
+
+    # --- the exact model sometimes does better... ------------------------
+    exact = find_pipeline_with_edge_faults(net, ["p3"], [edge])
+    if exact is not None:
+        print(f"Exact model keeps the retired processor too ({exact.length} "
+              "stages) — one more than the reduction:")
+        print(pipeline_ascii(exact))
+    print()
+
+    # --- ... but is NOT guaranteed ---------------------------------------
+    tiny = build_g1k(2)
+    bad_nodes, bad_edge = ["p2"], ("p0", "p1")
+    exact = find_pipeline_with_edge_faults(tiny, bad_nodes, [bad_edge])
+    print(
+        "Counterexample on G(1,2): node p2 dead + link (p0,p1) cut -> "
+        f"exact-model pipeline exists: {exact is not None}"
+    )
+    assert exact is None, "p0 and p1 are healthy but mutually unreachable"
+    retired = reduce_mixed_faults(tiny, bad_nodes, [bad_edge])
+    pl = reconfigure(tiny, retired)
+    print(
+        f"The reduced model still works (retire {sorted(retired - set(bad_nodes), key=repr)}): "
+        f"{pipeline_ascii(pl)}"
+    )
+    print()
+
+    # --- the guarantee, machine-proved ------------------------------------
+    cert = verify_reduced_edge_model_exhaustive(tiny, node_budget=2, edge_budget=2)
+    print(f"Reduced-model guarantee on G(1,2), all |Fn|+|Fe| <= 2: "
+          f"{cert.summary()}")
+    assert cert.is_proof
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Online graceful degradation: faults arrive one at a time.
+
+A deployed system doesn't get its fault set in a batch.  This example
+drives a :class:`repro.ReconfigurationSession` through a sequence of node
+deaths on ``G(40, 4)``, printing after each one how much of the pipeline
+stayed in place (embedding churn) — the operational cost of each
+re-embedding beyond raw downtime.
+
+Run:  python examples/online_reconfiguration.py
+"""
+
+import random
+
+from repro import ReconfigurationSession, build, is_pipeline
+from repro.analysis import format_table
+
+
+def main() -> None:
+    net = build(40, 4)
+    print(f"Network: {net!r} ({net.meta['construction']}, "
+          f"max degree {net.max_processor_degree()})")
+    session = ReconfigurationSession(net)
+    print(f"Initial pipeline: {session.pipeline.length} stages")
+    print()
+
+    rng = random.Random(2024)
+    victims = rng.sample(sorted(net.processors, key=repr), net.k)
+    rows = []
+    for victim in victims:
+        record = session.fail(victim)
+        assert is_pipeline(net, session.pipeline.nodes, session.faults)
+        rows.append(
+            [
+                record.fault_index + 1,
+                str(victim),
+                record.healthy_processors,
+                session.pipeline.length,
+                record.moved,
+                record.kept,
+                f"{record.churn:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["fault #", "victim", "healthy", "stages", "moved", "kept", "churn"],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"All {net.k} faults absorbed; every surviving processor is on the "
+        f"pipeline at every step (graceful), and on average only "
+        f"{session.mean_churn():.0%} of stages had to re-establish their "
+        "channels per fault."
+    )
+
+
+if __name__ == "__main__":
+    main()

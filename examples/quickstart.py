@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: build G(22,4) (the paper's Figure 14 example), kill some
+nodes, and watch the network reconfigure onto every surviving processor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build, degree_lower_bound, is_pipeline, reconfigure, verify_sampled
+from repro.analysis import network_summary, pipeline_ascii
+
+
+def main() -> None:
+    # --- build the Figure 14 construction --------------------------------
+    net = build(22, 4)
+    print("Built the Section 3.4 asymptotic construction for n=22, k=4:")
+    print(network_summary(net))
+    print()
+    assert net.is_standard(), "every paper construction is standard"
+    print(
+        f"max processor degree {net.max_processor_degree()} == proven lower "
+        f"bound {degree_lower_bound(22, 4)} -> degree-optimal"
+    )
+    print()
+
+    # --- the fault-free pipeline -----------------------------------------
+    pipeline = reconfigure(net)
+    print(f"Fault-free pipeline ({pipeline.length} stages):")
+    print(pipeline_ascii(pipeline))
+    print()
+
+    # --- inject faults: two processors, one input terminal ---------------
+    faults = ["c3", "c10", "ti2"]
+    print(f"Injecting faults: {faults}")
+    degraded = reconfigure(net, faults)
+    assert is_pipeline(net, degraded.nodes, faults)
+    print(f"Reconfigured pipeline ({degraded.length} stages — every healthy "
+          "processor still in use):")
+    print(pipeline_ascii(degraded))
+    print()
+    healthy = len(net.processors) - 2  # two processor faults
+    assert degraded.length == healthy, "graceful degradation uses ALL healthy processors"
+
+    # --- statistical verification (exhaustive is happy to run too, given
+    #     time: C(36, <=4) fault sets) -----------------------------------
+    cert = verify_sampled(net, trials=300, rng=7)
+    print(cert.summary())
+    assert cert.ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figure set as text files.
+
+Produces the textual equivalents of Figures 1–15 into ``figures/``
+(created next to the working directory) in one call — no benchmark run
+required.
+
+Run:  python examples/regenerate_figures.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.figures import FIGURES, generate_figures
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    written = generate_figures(outdir)
+    print(f"Wrote {len(written)} figures to {outdir}/:")
+    for spec in FIGURES:
+        path = written[spec.name]
+        size = path.stat().st_size
+        print(f"  {path.name:<16} {size:>6} bytes  {spec.title}")
+    print()
+    print(f"Preview of {written['fig14'].name}:")
+    print(written["fig14"].read_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Mission reliability: what graceful degradation buys over a mission.
+
+Combines three layers of this library: the structural survivability
+curve (exact within the fault budget, Monte-Carlo beyond), an
+exponential node-failure model, and the spare-pool baseline — answering
+"what's the probability the pipeline is still up at time t, and how much
+work has it done by then?"
+
+Run:  python examples/reliability_study.py
+"""
+
+from repro import build
+from repro.analysis import format_table
+from repro.analysis.reliability import reliability_curve, spare_pool_reliability_at
+from repro.analysis.survivability import survivability_curve
+
+N, K = 6, 2
+RATE = 0.004
+TIMES = [0.0, 20.0, 50.0, 100.0, 200.0]
+
+
+def main() -> None:
+    net = build(N, K)
+    print(f"Network {net!r}; per-node failure rate {RATE}/t, exponential "
+          "lifetimes, no repair.")
+    print()
+
+    # --- layer 1: structural survivability ----------------------------
+    curve = survivability_curve(net, max_faults=K + 3, trials=200, rng=7)
+    print("Structural survivability (probability a uniformly random fault")
+    print("set of the given size leaves a pipeline):")
+    print(
+        format_table(
+            ["faults", "method", "P(survive)"],
+            [
+                [p.faults, "exact" if p.exact else "Monte-Carlo",
+                 f"{p.probability:.3f}"]
+                for p in curve
+            ],
+        )
+    )
+    assert all(p.probability == 1.0 for p in curve[: K + 1])
+    print(f"-> certain through the design budget k={K} (the theorem), "
+          "graceful decay beyond.")
+    print()
+
+    # --- layer 2: mission reliability ----------------------------------
+    points = reliability_curve(net, RATE, TIMES, beyond=3, trials=200, rng=7)
+    rows = []
+    for pt in points:
+        sp = spare_pool_reliability_at(N, K, len(net.graph), RATE, pt.time)
+        rows.append(
+            [f"{pt.time:g}", f"{pt.expected_failures:.2f}",
+             f"{pt.reliability:.4f}", f"{sp:.4f}",
+             f"{pt.reliability - sp:+.4f}"]
+        )
+    print("Mission reliability R(t):")
+    print(
+        format_table(
+            ["t", "E[failures]", "graceful", "spare pool", "margin"], rows
+        )
+    )
+    print()
+    print(
+        "Same fault budget, same hardware exposure — the graceful design's "
+        "beyond-k survivability is additional availability for free, on top "
+        "of its throughput advantage while healthy (see "
+        "examples/video_pipeline.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

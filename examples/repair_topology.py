@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Guided topology repair: from a broken network to a verified one.
+
+The paper designs optimal topologies from scratch; practitioners often
+start from a topology they already have.  This example takes a damaged
+``G(3,2)`` (one clique edge missing), shows the lemma-derived witness
+that disproves its 2-graceful-degradability, lets the repair tool
+propose reinforcement edges, and re-verifies the result exhaustively.
+
+Run:  python examples/repair_topology.py
+"""
+
+from repro import build_g3k, find_fatal_witness, verify_exhaustive
+from repro.analysis import network_summary
+from repro.core.repair import repair_network
+
+
+def main() -> None:
+    # --- damage a known-good construction --------------------------------
+    net = build_g3k(2)
+    victim = sorted(net.processor_subgraph().edges)[0]
+    net.graph.remove_edge(*victim)
+    print(f"Removed processor edge {victim} from G(3,2):")
+    print(network_summary(net))
+    print()
+
+    # --- disprove ----------------------------------------------------------
+    witness = find_fatal_witness(net)
+    if witness is not None:
+        print(f"Fast disproof via {witness.lemma}: fault set "
+              f"{sorted(map(str, witness.faults))} is intolerable.")
+    cert = verify_exhaustive(net)
+    assert not cert.is_proof
+    print(f"Exhaustive check agrees: {cert.summary()}")
+    print()
+
+    # --- repair -------------------------------------------------------------
+    patched, report = repair_network(net)
+    assert report.success
+    print(f"Repair added {report.edges_added} edge(s):")
+    for step in report.steps:
+        print(f"  + {step.edge}  (fixes fault set "
+              f"{sorted(map(str, step.fixed_fault_set))})")
+    print()
+    final = verify_exhaustive(patched)
+    assert final.is_proof
+    print(f"Re-verified: {final.summary()}")
+    print(
+        f"Max processor degree {report.final_max_degree} vs the paper's "
+        f"lower bound {report.degree_bound} "
+        f"(overhead +{report.degree_overhead}; the original optimal "
+        "construction sits exactly on the bound)."
+    )
+
+
+if __name__ == "__main__":
+    main()

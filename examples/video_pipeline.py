@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fault-tolerant video compression on a gracefully degradable network.
+
+The paper's Section 1 motivation: asymmetric video compression is a
+pipeline of subsample / filter / rescale / quantize / entropy-code stages
+with real-time constraints.  This example runs that pipeline (real numpy
+kernels) on ``G(10, 3)`` under an accumulating Poisson fault stream and
+compares throughput against the classic spare-pool design, which leaves
+healthy spares idle.
+
+Run:  python examples/video_pipeline.py
+"""
+
+import numpy as np
+
+from repro import build
+from repro.analysis import format_table
+from repro.simulator import (
+    GracefulPipelineRuntime,
+    SparePoolRuntime,
+    video_compression_chain,
+    ct_reconstruction_chain,
+    video_frames,
+)
+from repro.simulator.faults import poisson_fault_schedule
+
+N, K = 10, 3
+HORIZON = 200.0
+FAULT_RATE = 0.015  # expected system-wide failures per time unit
+
+
+def main() -> None:
+    net = build(N, K)
+    print(f"Network: {net!r} (construction {net.meta['construction']})")
+
+    # --- 1. the kernels actually compress frames -------------------------
+    chain = video_compression_chain()
+    frame = next(iter(video_frames(1, (64, 64), seed=3)))
+    tokens = chain.apply(frame)
+    raw = frame.size
+    print(
+        f"Compression sanity: 64x64 frame ({raw} samples) -> "
+        f"{len(tokens)} RLE tokens"
+    )
+    print()
+
+    # --- 2. throughput under faults: graceful vs spare-pool --------------
+    # The CT chain is fully data-parallel; the video chain has sequential
+    # entropy coding (an Amdahl plateau).  Run both to show the contrast.
+    rows = []
+    for chain_factory in (ct_reconstruction_chain, video_compression_chain):
+        chain = chain_factory()
+        graceful = GracefulPipelineRuntime(net, chain)
+        schedule = poisson_fault_schedule(
+            graceful.nodes, rate=FAULT_RATE, horizon=HORIZON, rng=11, max_faults=K
+        )
+        g_res = graceful.run(schedule, HORIZON)
+
+        spare = SparePoolRuntime(N, K, chain)
+        # same fault times, mapped onto the baseline's node names
+        mapping = dict(zip(graceful.nodes, spare.nodes))
+        schedule_sp = [
+            type(ev)(ev.time, mapping[ev.node]) for ev in schedule
+        ]
+        s_res = spare.run(schedule_sp, HORIZON)
+
+        rows.append(
+            [
+                chain.name,
+                f"{g_res.items_completed:.1f}",
+                f"{s_res.items_completed:.1f}",
+                f"{g_res.items_completed / max(s_res.items_completed, 1e-9):.2f}x",
+                g_res.reconfigurations,
+            ]
+        )
+        print(f"  {g_res.summary()}")
+        print(f"  {s_res.summary()}")
+    print()
+    print(
+        format_table(
+            ["workload", "graceful items", "spare-pool items", "advantage", "reconfigs"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "The graceful design keeps all healthy processors in the pipeline, "
+        "so fully data-parallel workloads (ct-radon) see the largest gain; "
+        "the sequential entropy coder caps the video chain (Amdahl)."
+    )
+
+
+if __name__ == "__main__":
+    main()

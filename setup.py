@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+package remains installable in offline environments whose setuptools lacks
+the ``wheel`` package (``pip install -e . --no-use-pep517`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

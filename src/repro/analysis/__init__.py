@@ -1,0 +1,18 @@
+"""Analysis and reporting: optimality audits, theorem tables, ASCII
+figure rendering."""
+
+from .ascii_art import network_summary, pipeline_ascii
+from .optimality import OptimalityRow, optimality_audit
+from .reporting import format_markdown_table, format_table
+from .tables import degree_table, theorem_degree_claims
+
+__all__ = [
+    "optimality_audit",
+    "OptimalityRow",
+    "degree_table",
+    "theorem_degree_claims",
+    "pipeline_ascii",
+    "network_summary",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,82 @@
+"""ASCII rendering of pipelines and networks (the paper's Figure 1
+notation, adapted to plain text).
+
+The paper draws a pipeline as an input square, a chain of processor
+circles, and an output square.  :func:`pipeline_ascii` renders the same
+idea::
+
+    [i0]==(p2)--(p4)--(p1)--(p3)==[o1]
+
+:func:`network_summary` prints a construction's node sets, labels and
+degree profile — the textual equivalent of Figures 2-3 / 14-15.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.model import PipelineNetwork
+from ..core.pipeline import Pipeline
+
+
+def pipeline_ascii(pipeline: Pipeline, max_width: int = 100) -> str:
+    """Render a pipeline in Figure-1 style, wrapping long chains.
+
+    >>> from ..core.pipeline import Pipeline
+    >>> print(pipeline_ascii(Pipeline(["i0", "p0", "p1", "o0"])))
+    [i0]==(p0)--(p1)==[o0]
+    """
+    parts = [f"[{pipeline.source}]"]
+    parts += [f"({p})" for p in pipeline.stages]
+    parts.append(f"[{pipeline.sink}]")
+    joined = parts[0] + "==" + "--".join(parts[1:-1]) + "==" + parts[-1]
+    if len(joined) <= max_width:
+        return joined
+    # wrap: break the stage chain into lines
+    lines: list[str] = []
+    cur = parts[0] + "=="
+    for i, p in enumerate(parts[1:-1]):
+        sep = "--" if i else ""
+        if len(cur) + len(sep) + len(p) > max_width:
+            lines.append(cur + "--")
+            cur = "  " + p
+        else:
+            cur += sep + p
+    lines.append(cur + "==" + parts[-1])
+    return "\n".join(lines)
+
+
+def network_summary(network: PipelineNetwork) -> str:
+    """A textual rendering of a construction: parameters, node sets,
+    degree profile, and special structure recorded by the builder."""
+    g = network.graph
+    lines = [
+        f"{network.meta.get('construction', 'network')}  "
+        f"n={network.n} k={network.k}  "
+        f"|V|={len(g)} |E|={g.number_of_edges()}",
+        f"  input terminals  ({len(network.inputs)}): "
+        + " ".join(sorted(map(str, network.inputs))),
+        f"  output terminals ({len(network.outputs)}): "
+        + " ".join(sorted(map(str, network.outputs))),
+        f"  processors       ({len(network.processors)}): "
+        + " ".join(sorted(map(str, network.processors))),
+    ]
+    degs = Counter(network.processor_degrees().values())
+    prof = ", ".join(f"{c} nodes of degree {d}" for d, c in sorted(degs.items()))
+    lines.append(f"  processor degrees: {prof}")
+    meta = network.meta
+    if "offsets" in meta:
+        offs = sorted(meta["offsets"])
+        bis = meta.get("bisector")
+        lines.append(
+            f"  circulant core: m={meta['m']} offsets={offs}"
+            + (f" bisector={bis}" if bis is not None else "")
+        )
+    if "removed_matching" in meta:
+        pairs = ", ".join(f"{a}-{b}" for a, b in meta["removed_matching"])
+        lines.append(f"  removed matching: {pairs}")
+    if "blocks" in meta:
+        lines.append(
+            "  blocks: " + " | ".join(str(len(b)) for b in meta["blocks"])
+        )
+    return "\n".join(lines)

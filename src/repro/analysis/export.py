@@ -1,0 +1,115 @@
+"""Network export: DOT (Graphviz), JSON adjacency, edge lists.
+
+Enables downstream tooling (visualization, external verification,
+interchange) without adding dependencies: plain-text formats only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from ..core.model import NodeKind, PipelineNetwork
+from ..core.pipeline import Pipeline
+
+Node = Hashable
+
+_DOT_STYLE = {
+    NodeKind.INPUT: 'shape=box, style=filled, fillcolor="#c8e6c9"',
+    NodeKind.OUTPUT: 'shape=box, style=filled, fillcolor="#ffccbc"',
+    NodeKind.PROCESSOR: "shape=circle",
+}
+
+
+def _quote(v: Node) -> str:
+    return '"' + str(v).replace('"', r"\"") + '"'
+
+
+def to_dot(
+    network: PipelineNetwork,
+    pipeline: Pipeline | None = None,
+    faults: frozenset | set | None = None,
+) -> str:
+    """Graphviz DOT rendering.
+
+    Terminals are boxes (green inputs, orange outputs), processors are
+    circles; faulty nodes are grayed out and a highlighted pipeline's
+    edges are drawn bold red.
+
+    >>> from repro import build
+    >>> "graph" in to_dot(build(1, 1))
+    True
+    """
+    faults = frozenset(faults or ())
+    pipeline_edges: set[frozenset] = set()
+    if pipeline is not None:
+        pipeline_edges = {
+            frozenset((a, b)) for a, b in zip(pipeline.nodes, pipeline.nodes[1:])
+        }
+    lines = ["graph pipeline_network {", "  layout=neato;", "  overlap=false;"]
+    for v in sorted(network.graph.nodes, key=repr):
+        style = _DOT_STYLE[network.kind(v)]
+        if v in faults:
+            style += ', color=gray, fontcolor=gray, style="dashed"'
+        lines.append(f"  {_quote(v)} [{style}];")
+    for a, b in sorted(network.graph.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+        attrs = ""
+        if frozenset((a, b)) in pipeline_edges:
+            attrs = ' [color=red, penwidth=2.5]'
+        elif a in faults or b in faults:
+            attrs = ' [color=gray, style=dashed]'
+        lines.append(f"  {_quote(a)} -- {_quote(b)}{attrs};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_adjacency_json(network: PipelineNetwork, indent: int | None = None) -> str:
+    """A self-contained JSON document: parameters, node kinds, adjacency
+    lists, and construction name — loadable by
+    :func:`from_adjacency_json`."""
+    doc = {
+        "n": network.n,
+        "k": network.k,
+        "construction": network.meta.get("construction", ""),
+        "inputs": sorted(map(str, network.inputs)),
+        "outputs": sorted(map(str, network.outputs)),
+        "adjacency": {
+            str(v): sorted(str(u) for u in network.graph.neighbors(v))
+            for v in sorted(network.graph.nodes, key=repr)
+        },
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def from_adjacency_json(document: str) -> PipelineNetwork:
+    """Inverse of :func:`to_adjacency_json` (node ids become strings)."""
+    import networkx as nx
+
+    doc = json.loads(document)
+    g = nx.Graph()
+    for v, nbrs in doc["adjacency"].items():
+        g.add_node(v)
+        for u in nbrs:
+            g.add_edge(v, u)
+    meta = {}
+    if doc.get("construction"):
+        meta["construction"] = doc["construction"]
+    return PipelineNetwork(
+        g,
+        doc["inputs"],
+        doc["outputs"],
+        n=doc["n"],
+        k=doc["k"],
+        meta=meta,
+    )
+
+
+def to_edge_list(network: PipelineNetwork) -> str:
+    """A sorted whitespace edge list (one edge per line)."""
+    return "\n".join(
+        f"{a} {b}"
+        for a, b in sorted(
+            (tuple(sorted(e, key=str)) for e in network.graph.edges),
+            key=lambda e: (str(e[0]), str(e[1])),
+        )
+    )

@@ -1,0 +1,105 @@
+"""The tolerance frontier: the first fault sets that break the network.
+
+A k-GD network tolerates everything up to size ``k``; the *frontier* is
+the collection of minimal intolerable fault sets.  For a k-GD network
+every intolerable set of size ``k + 1`` is automatically minimal (all
+its subsets are within the tolerance budget), so the frontier at depth
+``k + 1`` is simply the failing ``(k+1)``-subsets — this module
+enumerates them exactly for small instances and characterizes what they
+have in common (the designer's "what should never co-fail" list).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Hashable
+
+from ..core.hamilton import SolvePolicy, SpanningPathInstance, Status, solve
+from ..core.model import NodeKind, PipelineNetwork
+from ..errors import InvalidParameterError
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class FrontierReport:
+    """The size-``k+1`` tolerance frontier of one network."""
+
+    fault_size: int
+    total_sets: int
+    breaking_sets: tuple[tuple[Node, ...], ...]
+    kind_profile: dict
+
+    @property
+    def breaking_count(self) -> int:
+        return len(self.breaking_sets)
+
+    @property
+    def breaking_fraction(self) -> float:
+        if self.total_sets == 0:
+            return 0.0
+        return self.breaking_count / self.total_sets
+
+
+def tolerance_frontier(
+    network: PipelineNetwork,
+    policy: SolvePolicy | None = None,
+    *,
+    max_nodes: int = 20,
+    max_breaking: int | None = None,
+) -> FrontierReport:
+    """Enumerate the intolerable fault sets of size ``k + 1`` exactly.
+
+    ``kind_profile`` counts, over all breaking sets, how many members are
+    input terminals / output terminals / processors — revealing *how* the
+    network dies first (terminal starvation vs processor cuts).
+
+    >>> from repro import build_g1k
+    >>> rep = tolerance_frontier(build_g1k(1))
+    >>> rep.fault_size, rep.breaking_count > 0
+    (2, True)
+    """
+    if len(network.graph) > max_nodes:
+        raise InvalidParameterError(
+            f"frontier enumeration limited to {max_nodes} nodes "
+            f"(got {len(network.graph)})"
+        )
+    policy = policy or SolvePolicy()
+    size = network.k + 1
+    nodes = sorted(network.graph.nodes, key=repr)
+    breaking: list[tuple[Node, ...]] = []
+    total = 0
+    kinds: Counter = Counter()
+    for fault_set in combinations(nodes, size):
+        if max_breaking is not None and len(breaking) >= max_breaking:
+            break
+        total += 1
+        inst = SpanningPathInstance(network.surviving(fault_set))
+        if solve(inst, policy).status is Status.NONE:
+            breaking.append(fault_set)
+            for v in fault_set:
+                kinds[network.kind(v)] += 1
+    return FrontierReport(
+        fault_size=size,
+        total_sets=total,
+        breaking_sets=tuple(breaking),
+        kind_profile={
+            "input": kinds.get(NodeKind.INPUT, 0),
+            "output": kinds.get(NodeKind.OUTPUT, 0),
+            "processor": kinds.get(NodeKind.PROCESSOR, 0),
+        },
+    )
+
+
+def co_failure_blacklist(
+    report: FrontierReport, top: int = 5
+) -> list[tuple[tuple[Node, Node], int]]:
+    """The node *pairs* that appear together most often in breaking sets
+    — the deployment-level "keep these on separate power feeds" list."""
+    pair_counts: Counter = Counter()
+    for fault_set in report.breaking_sets:
+        for pair in combinations(sorted(fault_set, key=repr), 2):
+            pair_counts[pair] += 1
+    return pair_counts.most_common(top)

@@ -1,0 +1,103 @@
+"""Pipeline redundancy: how many distinct pipelines a network offers.
+
+The k-GD property guarantees *at least one* pipeline per fault set; the
+number of distinct pipelines is a natural resilience margin (more
+pipelines → more routing freedom for the reconfiguration layer, and more
+slack before the property is threatened).  This module profiles the
+exact pipeline count (via the subset-DP counter) across fault sets —
+an extension study the paper's model invites but does not run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Hashable
+
+from ..core.hamilton import SpanningPathInstance, count_spanning_paths
+from ..core.model import PipelineNetwork
+from ..core.verify.exhaustive import iter_fault_sets
+from ..errors import InvalidParameterError
+
+Node = Hashable
+
+#: Subset-DP counting is exponential in healthy-processor count; refuse
+#: beyond this many to protect callers.
+COUNT_LIMIT = 22
+
+
+@dataclass(frozen=True)
+class RedundancyProfile:
+    """Pipeline-count statistics over all fault sets of one size."""
+
+    fault_size: int
+    fault_sets: int
+    min_pipelines: int
+    mean_pipelines: float
+    max_pipelines: int
+
+    @property
+    def guaranteed(self) -> bool:
+        """k-GD at this fault size means the minimum count is >= 1."""
+        return self.min_pipelines >= 1
+
+
+def pipeline_count(network: PipelineNetwork, faults=()) -> int:
+    """The exact number of distinct pipelines of ``network \\ faults``.
+
+    >>> from repro import build_g1k
+    >>> pipeline_count(build_g1k(1))
+    1
+    """
+    surv = network.surviving(faults)
+    if len(surv.processors) > COUNT_LIMIT:
+        raise InvalidParameterError(
+            f"exact counting limited to {COUNT_LIMIT} healthy processors, "
+            f"got {len(surv.processors)}"
+        )
+    return count_spanning_paths(SpanningPathInstance(surv))
+
+
+def redundancy_profile(
+    network: PipelineNetwork, max_fault_size: int | None = None
+) -> list[RedundancyProfile]:
+    """Exact pipeline-count statistics for every fault-set size up to
+    ``max_fault_size`` (default: the network's ``k``), over **all**
+    fault sets of each size.
+
+    For a k-GD network every row up to size ``k`` has
+    ``min_pipelines >= 1``; the *margin* is how far above 1 the minimum
+    sits, and how fast the mean falls with fault size.
+    """
+    k = network.k if max_fault_size is None else max_fault_size
+    rows: list[RedundancyProfile] = []
+    nodes = list(network.graph.nodes)
+    for size in range(k + 1):
+        counts = [
+            pipeline_count(network, faults)
+            for faults in iter_fault_sets(nodes, size, sizes=[size])
+        ]
+        rows.append(
+            RedundancyProfile(
+                fault_size=size,
+                fault_sets=len(counts),
+                min_pipelines=min(counts),
+                mean_pipelines=float(mean(counts)),
+                max_pipelines=max(counts),
+            )
+        )
+    return rows
+
+
+def critical_fault_sets(
+    network: PipelineNetwork, size: int, threshold: int = 1
+) -> list[tuple]:
+    """The fault sets of the given size that leave at most *threshold*
+    pipelines — the network's weakest spots, useful both for targeted
+    hardening and as adversarial test vectors."""
+    nodes = list(network.graph.nodes)
+    out = []
+    for faults in iter_fault_sets(nodes, size, sizes=[size]):
+        if pipeline_count(network, faults) <= threshold:
+            out.append(faults)
+    return out

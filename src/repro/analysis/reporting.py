@@ -1,0 +1,43 @@
+"""Plain-text and Markdown table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(rows: Iterable[Sequence]) -> list[list[str]]:
+    out = []
+    for row in rows:
+        out.append([f"{cell:.4g}" if isinstance(cell, float) else str(cell) for cell in row])
+    return out
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 22], [333, 4]]))
+    a    b
+    ---  --
+    1    22
+    333  4
+    """
+    srows = _stringify(rows)
+    heads = [str(h) for h in headers]
+    widths = [len(h) for h in heads]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(heads), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in srows]
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """GitHub-flavored Markdown table."""
+    srows = _stringify(rows)
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(row) + " |" for row in srows]
+    return "\n".join([head, sep, *body])

@@ -1,0 +1,119 @@
+"""Hardware-cost accounting across fault-tolerant designs.
+
+The paper's constructions are **node-optimal**: exactly ``k+1`` input
+terminals, ``k+1`` output terminals and ``n+k`` processors — no design
+can do with less (Section 3).  This module tabulates the full hardware
+bill (nodes, edges/ports, buses/switches) for the paper's networks and
+each Section 2 baseline, the raw material for the cost-comparison
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_nk
+from ..baselines.bypass_line import build_bypass_line
+from ..baselines.diogenes import DiogenesArray
+from ..baselines.hayes import build_hayes_cycle
+from ..core.constructions import build
+from ..errors import ConstructionUnavailableError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """Hardware bill for one design at one ``(n, k)``."""
+
+    design: str
+    nodes: int
+    edges: int
+    max_degree: int
+    spare_processors: int
+    extra: str = ""
+
+    @property
+    def ports_total(self) -> int:
+        """Total port count (sum of degrees) = ``2 * edges``."""
+        return 2 * self.edges
+
+
+def paper_cost(n: int, k: int) -> CostRow:
+    """The paper's construction (node-optimal by design)."""
+    net = build(n, k)
+    return CostRow(
+        design="paper (labeled, graceful)",
+        nodes=len(net),
+        edges=net.graph.number_of_edges(),
+        max_degree=net.max_processor_degree(),
+        spare_processors=k,
+        extra=f"{len(net.inputs)}+{len(net.outputs)} terminals",
+    )
+
+
+def hayes_cost(n: int, k: int) -> CostRow:
+    """Hayes's k-FT cycle (unlabeled; add I/O out-of-model)."""
+    g = build_hayes_cycle(n, k)
+    return CostRow(
+        design="Hayes k-FT cycle",
+        nodes=len(g),
+        edges=g.number_of_edges(),
+        max_degree=max(d for _, d in g.degree()),
+        spare_processors=k,
+        extra="no I/O model",
+    )
+
+
+def bypass_line_cost(n: int, k: int) -> CostRow:
+    g = build_bypass_line(n, k)
+    return CostRow(
+        design="bypass line",
+        nodes=len(g),
+        edges=g.number_of_edges(),
+        max_degree=max(d for _, d in g.degree()),
+        spare_processors=k,
+        extra="no I/O model",
+    )
+
+
+def diogenes_cost(n: int, k: int) -> CostRow:
+    d = DiogenesArray(n, k)
+    return CostRow(
+        design="Diogenes buses",
+        nodes=d.processor_count,
+        edges=d.processor_count * d.switches_per_processor,
+        max_degree=d.switches_per_processor,
+        spare_processors=k,
+        extra=f"bus width {d.bus_width} (single point of failure)",
+    )
+
+
+def cost_table(n: int, k: int) -> list[CostRow]:
+    """All designs at one parameter point.
+
+    >>> rows = cost_table(11, 4)
+    >>> rows[0].spare_processors
+    4
+    """
+    check_nk(n, k)
+    rows = [paper_cost(n, k)]
+    try:
+        rows.append(hayes_cost(n, k))
+    except InvalidParameterError:
+        pass  # odd-k Hayes needs even n+k
+    rows.append(bypass_line_cost(n, k))
+    rows.append(diogenes_cost(n, k))
+    return rows
+
+
+def node_optimality_check(n: int, k: int) -> dict[str, int]:
+    """The Section 3 node-optimality identity for the paper's network:
+    measured counts vs the proven minimums (all must be equal)."""
+    net = build(n, k)
+    return {
+        "inputs": len(net.inputs),
+        "inputs_minimum": k + 1,
+        "outputs": len(net.outputs),
+        "outputs_minimum": k + 1,
+        "processors": len(net.processors),
+        "processors_minimum": n + k,
+    }

@@ -1,0 +1,63 @@
+"""Theorem tables: the paper's degree claims in tabular form.
+
+The optimality theorems are parity tables; :func:`theorem_degree_claims`
+states the claimed optimal degree for ``k in {1, 2, 3}`` and any ``n``
+(Theorems 3.13, 3.15, 3.16), and :func:`degree_table` renders the
+built-vs-claimed comparison used by the theorem benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .._util import check_nk
+from ..errors import InvalidParameterError
+from .optimality import OptimalityRow, optimality_audit
+from .reporting import format_table
+
+
+def theorem_degree_claims(n: int, k: int) -> int:
+    """The optimal maximum processor degree the theorems claim.
+
+    * Theorem 3.13 (``k = 1``): ``k+2`` odd ``n``, ``k+3`` even ``n``;
+    * Theorem 3.15 (``k = 2``): ``k+3`` for ``n in {2, 3, 5}``, else ``k+2``;
+    * Theorem 3.16 (``k = 3``): ``k+2`` odd ``n``, ``k+3`` even ``n`` —
+      except ``n = 3``, where Lemma 3.11 forces ``k+3`` (the theorem's
+      proof places ``G(3,3)`` in the ``k+3`` family despite odd ``n``).
+
+    >>> theorem_degree_claims(5, 2)
+    5
+    >>> theorem_degree_claims(6, 2)
+    4
+    """
+    check_nk(n, k)
+    if k == 1:
+        return k + 2 if n % 2 == 1 else k + 3
+    if k == 2:
+        return k + 3 if n in (2, 3, 5) else k + 2
+    if k == 3:
+        return k + 2 if (n % 2 == 1 and n != 3) else k + 3
+    raise InvalidParameterError(
+        "theorem_degree_claims covers the all-n theorems (k in {1, 2, 3}); "
+        f"got k={k}"
+    )
+
+
+def degree_table(k: int, n_values: Iterable[int]) -> tuple[list[OptimalityRow], str]:
+    """The rows and a rendered table for one theorem's ``n`` sweep."""
+    rows = optimality_audit(n_values, [k])
+    rendered = format_table(
+        ["n", "construction", "max degree", "claimed", "lower bound", "optimal"],
+        [
+            [
+                r.n,
+                f"{r.base}+{r.extensions}ext" if r.extensions else r.base,
+                r.max_degree,
+                theorem_degree_claims(r.n, k) if k in (1, 2, 3) else "-",
+                r.lower_bound,
+                "yes" if r.optimal else f"+{r.overhead}",
+            ]
+            for r in rows
+        ],
+    )
+    return rows, rendered

@@ -1,0 +1,37 @@
+"""Related-work baselines (Section 2 of the paper).
+
+The paper positions its constructions against three strands of prior
+work, all reimplemented here for the comparison benchmarks:
+
+* :mod:`repro.baselines.hayes` — Hayes's graph model and k-FT cycle
+  construction [13]: same optimal degree ``k + 2``, but *unlabeled* (no
+  I/O terminals) and not gracefully degradable (only ``n`` of the healthy
+  nodes are used);
+* :mod:`repro.baselines.bypass_line` — the folklore bypass-link linear
+  array (k-FT path used by spare-based designs such as [3,5]): gracefully
+  degradable as an unlabeled structure but at degree ``2k + 2`` — the
+  ablation baseline showing what the paper's degree optimization saves;
+* :mod:`repro.baselines.diogenes` — Rosenberg's Diogenes bus approach
+  [18]: tolerates processor faults with cheap processor ports but, as the
+  paper notes, "does not tolerate faults in the buses";
+* :mod:`repro.baselines.spare_pool` — the abstract non-gracefully-
+  degrading k-FT pipeline: ``n`` active stages plus a pool of ``k``
+  spares, utilization pinned at ``n`` regardless of how few faults have
+  occurred.
+"""
+
+from .bypass_line import build_bypass_line, bypass_line_spanning_path
+from .diogenes import DiogenesArray
+from .hayes import build_hayes_cycle, hayes_surviving_cycle
+from .spare_pool import SparePoolPipeline
+from .utilization import utilization_profile
+
+__all__ = [
+    "build_hayes_cycle",
+    "hayes_surviving_cycle",
+    "build_bypass_line",
+    "bypass_line_spanning_path",
+    "DiogenesArray",
+    "SparePoolPipeline",
+    "utilization_profile",
+]

@@ -1,0 +1,70 @@
+"""The bypass-link linear array — the folklore degree-heavy alternative.
+
+Connect ``n + k`` nodes in a line and add *bypass links* spanning up to
+``k + 1`` positions: node ``i`` is adjacent to node ``j`` iff
+``|i - j| <= k + 1``.  After any ``<= k`` node faults, the surviving nodes
+*in index order* still form a path (no faulty run can exceed ``k``
+positions), so the structure is gracefully degradable **as an unlabeled
+graph** — but
+
+* its maximum degree is ``2(k + 1)``, nearly double the paper's optimal
+  ``k + 2``;
+* terminal placement breaks it: the spanning path must start at the
+  lowest-index healthy node, which need not be the one with a surviving
+  input terminal (the paper's Section 2 point about unlabeled models).
+
+This is the ablation baseline quantifying what the paper's constructions
+save in port count.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from .._util import check_nk
+
+Node = Hashable
+
+
+def build_bypass_line(n: int, k: int) -> nx.Graph:
+    """The bypass line on nodes ``0 .. n+k-1`` (unlabeled).
+
+    >>> g = build_bypass_line(10, 2)
+    >>> max(d for _, d in g.degree())
+    6
+    """
+    check_nk(n, k)
+    total = n + k
+    g = nx.Graph()
+    g.add_nodes_from(range(total))
+    span = k + 1
+    for i in range(total):
+        for d in range(1, span + 1):
+            if i + d < total:
+                g.add_edge(i, i + d)
+    return g
+
+
+def bypass_line_spanning_path(
+    graph: nx.Graph, faults: Iterable[int] = ()
+) -> list[int] | None:
+    """The canonical spanning path of the healthy nodes (index order);
+    ``None`` if some faulty run exceeds the bypass span (more than the
+    design's ``k`` faults, or adversarially clustered ones)."""
+    faults = set(faults)
+    alive = [v for v in sorted(graph.nodes) if v not in faults]
+    if not alive:
+        return None
+    for a, b in zip(alive, alive[1:]):
+        if not graph.has_edge(a, b):
+            return None
+    return alive
+
+
+def bypass_line_max_degree(n: int, k: int) -> int:
+    """Closed form for the bypass line's maximum degree:
+    ``min(2(k+1), n+k-1)``."""
+    check_nk(n, k)
+    return min(2 * (k + 1), n + k - 1)

@@ -1,0 +1,162 @@
+"""Rosenberg's Diogenes approach (reference [18]) — bus-based
+reconfiguration.
+
+Diogenes lays the ``n + k`` processors out in a line next to a bundle of
+bypass buses; each processor connects to the bundle through a small fixed
+number of switches, and faulty processors are "bypassed" by a stack
+discipline on the buses.  Its selling points are testability and constant
+processor degree; its weakness — the one the paper calls out in Section 2
+("this approach does not tolerate faults in the buses") — is that the
+buses themselves are single points of failure.
+
+The model here captures exactly the facts the comparison benchmarks need:
+processor-fault tolerance up to ``k``, zero bus-fault tolerance, and the
+hardware-cost accounting (bus width grows with ``k`` while per-processor
+switch count stays constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .._util import check_nk
+
+
+@dataclass
+class DiogenesArray:
+    """A Diogenes-style reconfigurable linear array.
+
+    Parameters mirror the paper's setting: a target pipeline of ``n``
+    stages built from ``n + k`` processors.  The bus bundle is modeled as
+    ``bus_width`` independent lines; any bus fault severs the array.
+    """
+
+    n: int
+    k: int
+    failed_processors: set = field(default_factory=set)
+    failed_buses: set = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        check_nk(self.n, self.k)
+
+    @property
+    def processor_count(self) -> int:
+        return self.n + self.k
+
+    @property
+    def bus_width(self) -> int:
+        """Number of bus lines needed to bypass up to ``k`` consecutive
+        faulty processors in the stack scheme: ``k + 1``."""
+        return self.k + 1
+
+    @property
+    def switches_per_processor(self) -> int:
+        """Per-processor switching cost — constant (2 in the simplest
+        stack scheme), Diogenes's headline advantage."""
+        return 2
+
+    def fail_processor(self, index: int) -> None:
+        if not 0 <= index < self.processor_count:
+            raise IndexError(index)
+        self.failed_processors.add(index)
+
+    def fail_bus(self, line: int) -> None:
+        if not 0 <= line < self.bus_width:
+            raise IndexError(line)
+        self.failed_buses.add(line)
+
+    def operational(self) -> bool:
+        """Whether an ``n``-stage pipeline can still be configured:
+        needs every bus line healthy and at least ``n`` healthy
+        processors."""
+        if self.failed_buses:
+            return False
+        healthy = self.processor_count - len(self.failed_processors)
+        return healthy >= self.n
+
+    def survives(
+        self, processor_faults: Iterable[int] = (), bus_faults: Iterable[int] = ()
+    ) -> bool:
+        """Non-mutating what-if query."""
+        pf = set(processor_faults) | self.failed_processors
+        bf = set(bus_faults) | self.failed_buses
+        if bf:
+            return False
+        return self.processor_count - len(pf) >= self.n
+
+    def utilization(self) -> float:
+        """Fraction of healthy processors used: like all non-graceful
+        designs, pinned at ``n`` active stages."""
+        healthy = self.processor_count - len(self.failed_processors)
+        if healthy <= 0 or not self.operational():
+            return 0.0
+        return min(1.0, self.n / healthy)
+
+    # ------------------------------------------------------------------
+    # the actual Diogenes stack reconfiguration
+    # ------------------------------------------------------------------
+    def configure(self) -> "DiogenesConfiguration":
+        """Run the stack reconfiguration and return the realized array.
+
+        Rosenberg's scheme treats the bus bundle as a LIFO *stack of
+        wires*: scanning processors left to right, a healthy processor
+        POPs the top wire as its inbound link and PUSHes a fresh wire as
+        its outbound link; a faulty processor is simply skipped (its
+        switches stay in the "bypass" position).  The realized linear
+        array is therefore exactly the healthy processors in physical
+        order, and the number of simultaneously-live wires never exceeds
+        one — the reason a constant number of switches per processor
+        suffices, *provided every bus wire is healthy*.
+
+        Raises :class:`~repro.errors.SimulationError` when a bus line has
+        failed or fewer than ``n`` processors survive.
+        """
+        from ..errors import SimulationError
+
+        if self.failed_buses:
+            raise SimulationError(
+                f"bus line(s) {sorted(self.failed_buses)} failed: the "
+                "Diogenes bundle is a single point of failure"
+            )
+        healthy = [
+            i for i in range(self.processor_count)
+            if i not in self.failed_processors
+        ]
+        if len(healthy) < self.n:
+            raise SimulationError(
+                f"only {len(healthy)} healthy processors; need {self.n}"
+            )
+        switch_settings = {
+            i: ("bypass" if i in self.failed_processors else "connect")
+            for i in range(self.processor_count)
+        }
+        # the first n healthy processors form the array; the rest idle
+        array = healthy[: self.n]
+        # wire-depth profile: +1 at each connected processor's outbound,
+        # -1 when the next connected processor consumes it => depth is 1
+        # between consecutive array members, 0 elsewhere
+        return DiogenesConfiguration(
+            array=tuple(array),
+            idle=tuple(healthy[self.n :]),
+            switch_settings=switch_settings,
+            max_wire_depth=1 if len(array) > 1 else 0,
+        )
+
+
+@dataclass(frozen=True)
+class DiogenesConfiguration:
+    """The outcome of a Diogenes stack reconfiguration."""
+
+    array: tuple[int, ...]
+    idle: tuple[int, ...]
+    switch_settings: dict
+    max_wire_depth: int
+
+    @property
+    def length(self) -> int:
+        return len(self.array)
+
+    def in_physical_order(self) -> bool:
+        """The stack discipline realizes the array in physical order."""
+        return list(self.array) == sorted(self.array)

@@ -1,0 +1,153 @@
+"""Hayes's k-fault-tolerant cycle construction (reference [13]).
+
+Hayes (1976) introduced the graph model the paper builds on and gave the
+classic k-FT realization of the ``n``-cycle: the circulant on ``n + k``
+nodes with offsets ``{1, .., floor(k/2) + 1}`` (plus the half-offset when
+``k`` is odd, requiring ``n + k`` even), which contains an ``n``-cycle
+after the removal of any ``k`` nodes.  Its degree is ``k + 2`` — the paper
+notes its own circulant core "is a supergraph of Hayes's construction with
+the same maximum degree".
+
+Two limitations motivate the paper (Section 2), both observable with this
+module:
+
+* **unlabeled**: there are no I/O terminals; any node may play any role;
+* **not gracefully degradable**: the guarantee is an ``n``-cycle, so with
+  ``f < k`` faults the ``k - f`` surviving spares sit idle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from .._util import as_rng, check_nk
+from ..errors import InvalidParameterError
+from ..graphs.circulant import circulant_graph
+
+Node = Hashable
+
+
+def hayes_offsets(n: int, k: int) -> frozenset[int]:
+    """The offset set of Hayes's k-FT ``n``-cycle realization.
+
+    >>> sorted(hayes_offsets(10, 4))
+    [1, 2, 3]
+    >>> sorted(hayes_offsets(9, 3))
+    [1, 2, 6]
+    """
+    check_nk(n, k)
+    m = n + k
+    offs = set(range(1, k // 2 + 2))
+    if k % 2 == 1:
+        if m % 2 != 0:
+            raise InvalidParameterError(
+                f"Hayes's odd-k construction needs n + k even, got {m}"
+            )
+        offs.add(m // 2)
+    return frozenset(offs)
+
+
+def build_hayes_cycle(n: int, k: int) -> nx.Graph:
+    """Hayes's k-FT supergraph for the ``n``-cycle (unlabeled).
+
+    >>> g = build_hayes_cycle(10, 4)
+    >>> len(g), max(d for _, d in g.degree())
+    (14, 6)
+    """
+    return circulant_graph(n + k, hayes_offsets(n, k))
+
+
+def hayes_surviving_cycle(
+    graph: nx.Graph, n: int, faults: Iterable[Node] = (),
+    rng: random.Random | int | None = 0,
+) -> list[Node] | None:
+    """Find an ``n``-node cycle in ``graph \\ faults``.
+
+    Uses the natural construction: walk the healthy nodes in circulant
+    order, bridging over faulty runs with the larger offsets, then trims
+    the walk to exactly ``n`` nodes; falls back to a randomized search.
+    Returns the cycle's node list or ``None``.
+    """
+    faults = set(faults)
+    alive = [v for v in sorted(graph.nodes) if v not in faults]
+    if len(alive) < n:
+        return None
+    h = graph.subgraph(alive)
+    # circulant-order walk: consecutive alive labels; valid when every
+    # faulty run is shorter than the largest offset
+    ring = alive
+    ok = all(h.has_edge(ring[i], ring[(i + 1) % len(ring)]) for i in range(len(ring)))
+    if ok and len(ring) >= n:
+        cycle = _trim_cycle(h, ring, n)
+        if cycle is not None:
+            return cycle
+    # randomized rotation-extension fallback for a cycle of length >= n
+    r = as_rng(rng)
+    for _ in range(50):
+        path = _random_long_path(h, r)
+        if len(path) >= n:
+            cyc = _close_and_trim(h, path, n)
+            if cyc is not None:
+                return cyc
+    return None
+
+
+def _trim_cycle(h: nx.Graph, ring: list[Node], n: int) -> list[Node] | None:
+    """Shorten a full alive-ring to exactly ``n`` nodes by skipping the
+    spare nodes via chords where possible."""
+    m = len(ring)
+    if m == n:
+        return ring
+    # drop m - n nodes greedily: removing ring[i] needs chord
+    # (ring[i-1], ring[i+1])
+    ring = list(ring)
+    drops = m - n
+    i = 0
+    while drops and i < len(ring):
+        a, b = ring[i - 1], ring[(i + 1) % len(ring)]
+        if h.has_edge(a, b):
+            ring.pop(i)
+            drops -= 1
+        else:
+            i += 1
+    if drops:
+        return None
+    return ring
+
+
+def _random_long_path(h: nx.Graph, rng: random.Random) -> list[Node]:
+    nodes = sorted(h.nodes)
+    cur = rng.choice(nodes)
+    path = [cur]
+    used = {cur}
+    while True:
+        nxts = [v for v in h.neighbors(cur) if v not in used]
+        if not nxts:
+            return path
+        cur = rng.choice(nxts)
+        path.append(cur)
+        used.add(cur)
+
+
+def _close_and_trim(h: nx.Graph, path: list[Node], n: int) -> list[Node] | None:
+    for ln in range(len(path), n - 1, -1):
+        sub = path[:ln]
+        if h.has_edge(sub[-1], sub[0]) and ln >= n:
+            trimmed = _trim_cycle(h, sub, n)
+            if trimmed is not None:
+                return trimmed
+    return None
+
+
+def hayes_utilization(n: int, k: int, fault_count: int) -> float:
+    """Fraction of healthy nodes Hayes's design utilizes after
+    ``fault_count`` faults: always ``n`` of ``n + k - f`` — the
+    non-graceful flatline the paper improves on."""
+    check_nk(n, k)
+    healthy = n + k - fault_count
+    if healthy <= 0:
+        return 0.0
+    return min(1.0, n / healthy)

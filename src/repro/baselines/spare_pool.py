@@ -1,0 +1,95 @@
+"""The abstract non-gracefully-degrading k-FT pipeline.
+
+The "previous work" the paper generalizes (Section 2, second limitation):
+a design that keeps exactly ``n`` stages active and holds ``k`` spares in
+reserve.  Any ``<= k`` faults are survived by swapping in spares, but the
+``k - f`` unused spares contribute nothing — utilization is ``n`` healthy
+processors always, versus the paper's ``n + k - f``.
+
+This is the primary comparison object for the utilization and simulator
+throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .._util import check_nk
+from ..errors import SimulationError
+
+Node = Hashable
+
+
+@dataclass
+class SparePoolPipeline:
+    """``n`` active stages plus a pool of ``k`` spares.
+
+    >>> p = SparePoolPipeline(4, 2)
+    >>> p.fail("s1")
+    True
+    >>> p.active_count
+    4
+    >>> p.utilization()
+    0.8
+    """
+
+    n: int
+    k: int
+    swap_downtime: float = 1.0
+    _active: list[Node] = field(default_factory=list)
+    _spares: list[Node] = field(default_factory=list)
+    _dead: set = field(default_factory=set)
+    total_downtime: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_nk(self.n, self.k)
+        if not self._active:
+            self._active = [f"s{j}" for j in range(self.n)]
+        if not self._spares:
+            self._spares = [f"spare{j}" for j in range(self.k)]
+
+    @property
+    def active(self) -> tuple[Node, ...]:
+        return tuple(self._active)
+
+    @property
+    def spares_left(self) -> int:
+        return len(self._spares)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def healthy_count(self) -> int:
+        return self.n + self.k - len(self._dead)
+
+    def operational(self) -> bool:
+        return len(self._active) == self.n
+
+    def fail(self, node: Node) -> bool:
+        """Kill *node*.  Returns True if the pipeline stays operational
+        (a spare was swapped in, or the node was an idle spare)."""
+        if node in self._dead:
+            return self.operational()
+        self._dead.add(node)
+        if node in self._spares:
+            self._spares.remove(node)
+            return self.operational()
+        if node in self._active:
+            idx = self._active.index(node)
+            if not self._spares:
+                self._active.pop(idx)
+                return False
+            self._active[idx] = self._spares.pop(0)
+            self.total_downtime += self.swap_downtime
+            return True
+        raise SimulationError(f"unknown node {node!r}")
+
+    def utilization(self) -> float:
+        """Active stages as a fraction of healthy processors — the
+        flatline the paper's graceful degradation lifts to 1.0."""
+        if self.healthy_count <= 0 or not self.operational():
+            return 0.0
+        return min(1.0, self.active_count / self.healthy_count)

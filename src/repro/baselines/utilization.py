@@ -1,0 +1,68 @@
+"""Utilization comparison across designs.
+
+The quantitative heart of the paper's motivation: with ``f <= k`` faults,
+
+* a gracefully degradable network runs ``n + k - f`` stages (every
+  healthy processor),
+* Hayes cycles / spare-pool / Diogenes designs run ``n``,
+
+so the graceful design's advantage is ``(k - f)`` extra stages — largest
+exactly when the system is healthiest.  :func:`utilization_profile`
+tabulates this for the benchmark that regenerates the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import check_nk
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    """One row of the utilization table."""
+
+    faults: int
+    healthy: int
+    graceful_stages: int
+    baseline_stages: int
+
+    @property
+    def graceful_utilization(self) -> float:
+        return self.graceful_stages / self.healthy if self.healthy else 0.0
+
+    @property
+    def baseline_utilization(self) -> float:
+        return self.baseline_stages / self.healthy if self.healthy else 0.0
+
+    @property
+    def advantage(self) -> int:
+        """Extra stages the graceful design keeps busy."""
+        return self.graceful_stages - self.baseline_stages
+
+
+def utilization_profile(n: int, k: int) -> list[UtilizationRow]:
+    """Stage counts for ``f = 0 .. k`` *processor* faults.
+
+    Worst case for the graceful design is assumed (every fault hits a
+    processor; terminal faults would only help).
+
+    >>> rows = utilization_profile(10, 4)
+    >>> rows[0].graceful_stages, rows[0].baseline_stages
+    (14, 10)
+    >>> rows[-1].advantage
+    0
+    """
+    check_nk(n, k)
+    rows = []
+    for f in range(k + 1):
+        healthy = n + k - f
+        rows.append(
+            UtilizationRow(
+                faults=f,
+                healthy=healthy,
+                graceful_stages=healthy,
+                baseline_stages=min(n, healthy),
+            )
+        )
+    return rows

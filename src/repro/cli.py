@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands
+-----------
+
+``build``        construct G(n,k), print a structural summary
+``verify``       exhaustive or sampled k-GD verification
+``reconfigure``  embed a pipeline around a fault list
+``audit``        degree-optimality table over an (n, k) grid
+``export``       emit DOT / JSON / edge-list renderings
+``search``       re-derive a special solution by constrained search
+
+Examples::
+
+    python -m repro build 22 4
+    python -m repro verify 6 2 --mode exhaustive
+    python -m repro reconfigure 22 4 --fault c3 --fault ti2
+    python -m repro audit --n 1-12 --k 1-3
+    python -m repro export 8 2 --format dot
+    python -m repro search 6 2 --max-degree 4 --trials 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import format_table, network_summary, optimality_audit, pipeline_ascii
+from .analysis.export import to_adjacency_json, to_dot, to_edge_list
+from .core.constructions import build
+from .core.reconfigure import reconfigure
+from .core.search import random_search_standard_solution
+from .core.verify import verify_exhaustive, verify_sampled
+from .errors import ReproError
+
+
+def _parse_range(spec: str) -> list[int]:
+    """``"3"`` -> [3]; ``"1-4"`` -> [1, 2, 3, 4]; ``"1,3,5"`` -> [1,3,5]."""
+    out: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(part))
+    return out
+
+
+def _add_nk(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("n", type=int, help="minimum pipeline length")
+    parser.add_argument("k", type=int, help="fault tolerance")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gracefully degradable pipeline networks (Cypher & Laing, IPPS 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build", help="construct G(n,k) and summarize it")
+    _add_nk(p)
+    p.add_argument("--strict", action="store_true",
+                   help="error on parameters the paper does not cover")
+
+    p = sub.add_parser("verify", help="verify k-graceful-degradability")
+    _add_nk(p)
+    p.add_argument("--mode", choices=["exhaustive", "sampled"], default="exhaustive")
+    p.add_argument("--trials", type=int, default=300, help="sampled mode trials")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("reconfigure", help="embed a pipeline around faults")
+    _add_nk(p)
+    p.add_argument("--fault", action="append", default=[], metavar="NODE",
+                   help="faulty node (repeatable)")
+
+    p = sub.add_parser("audit", help="degree-optimality table")
+    p.add_argument("--n", default="1-12", help="n range, e.g. 1-12 or 3,5,7")
+    p.add_argument("--k", default="1-3", help="k range")
+    p.add_argument("--strict", action="store_true")
+
+    p = sub.add_parser("export", help="emit a rendering of G(n,k)")
+    _add_nk(p)
+    p.add_argument("--format", choices=["dot", "json", "edges"], default="dot")
+
+    p = sub.add_parser("search", help="search for a standard solution")
+    _add_nk(p)
+    p.add_argument("--max-degree", type=int, required=True)
+    p.add_argument("--trials", type=int, default=20000)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("catalog", help="list the construction families")
+    p.add_argument("--n", type=int, default=None,
+                   help="with --k: show only families covering (n, k)")
+    p.add_argument("--k", type=int, default=None)
+
+    p = sub.add_parser(
+        "report",
+        help="one-shot reproduction report (verify + audit + regression corpus)",
+    )
+    p.add_argument("--out", default="-",
+                   help="output file ('-' = stdout)")
+    p.add_argument("--quick", action="store_true",
+                   help="skip the slower verification layers")
+    return parser
+
+
+def cmd_build(args) -> int:
+    net = build(args.n, args.k, strict=args.strict)
+    print(network_summary(net))
+    plan = net.meta.get("plan")
+    if plan is not None:
+        print(
+            f"route: {plan.base}+{plan.extensions}ext per {plan.source}; "
+            f"degree-optimal: {'yes' if plan.degree_optimal else 'no'}"
+        )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    net = build(args.n, args.k)
+    if args.mode == "exhaustive":
+        cert = verify_exhaustive(net)
+    else:
+        cert = verify_sampled(net, trials=args.trials, rng=args.seed)
+    print(cert.summary())
+    return 0 if cert.ok else 1
+
+
+def cmd_reconfigure(args) -> int:
+    net = build(args.n, args.k)
+    pipeline = reconfigure(net, args.fault)
+    print(pipeline_ascii(pipeline))
+    print(f"{pipeline.length} stages (all healthy processors in use)")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    rows = optimality_audit(
+        _parse_range(args.n), _parse_range(args.k), strict=args.strict
+    )
+    print(
+        format_table(
+            ["n", "k", "construction", "max deg", "bound", "optimal"],
+            [
+                [
+                    r.n,
+                    r.k,
+                    f"{r.base}+{r.extensions}ext" if r.extensions else r.base,
+                    r.max_degree,
+                    r.lower_bound,
+                    "yes" if r.optimal else f"+{r.overhead}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_export(args) -> int:
+    net = build(args.n, args.k)
+    if args.format == "dot":
+        print(to_dot(net))
+    elif args.format == "json":
+        print(to_adjacency_json(net, indent=2))
+    else:
+        print(to_edge_list(net))
+    return 0
+
+
+def cmd_search(args) -> int:
+    result = random_search_standard_solution(
+        args.n, args.k, args.max_degree, trials=args.trials, rng=args.seed
+    )
+    if not result.found:
+        print(f"no solution in {result.trials_used} trials")
+        return 1
+    print(f"found after {result.trials_used} trials")
+    print(network_summary(result.network))
+    print(f"proc edges: {result.proc_edges}")
+    print(f"inputs at {result.input_at}; outputs at {result.output_at}")
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    from .core.constructions.catalog import catalog_entries, supporting_entries
+
+    if (args.n is None) != (args.k is None):
+        print("error: --n and --k must be given together", file=sys.stderr)
+        return 2
+    entries = (
+        supporting_entries(args.n, args.k)
+        if args.n is not None
+        else list(catalog_entries())
+    )
+    print(
+        format_table(
+            ["family", "source", "parameters", "degree"],
+            [[e.name, e.source, e.parameters, e.degree] for e in entries],
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.reporting import format_markdown_table
+    from .core.verify.regression import replay
+
+    lines: list[str] = [
+        "# Reproduction report — Gracefully Degradable Pipeline Networks",
+        "",
+        "Generated by `python -m repro report`.",
+        "",
+        "## Degree optimality (Theorems 3.13/3.15/3.16)",
+        "",
+    ]
+    rows = optimality_audit(range(1, 13), [1, 2, 3])
+    lines.append(
+        format_markdown_table(
+            ["n", "k", "construction", "max degree", "bound", "optimal"],
+            [
+                [r.n, r.k, r.base, r.max_degree, r.lower_bound,
+                 "yes" if r.optimal else "NO"]
+                for r in rows
+            ],
+        )
+    )
+    bad = [r for r in rows if not r.optimal]
+    lines += ["", f"Optimal rows: {len(rows) - len(bad)}/{len(rows)}.", ""]
+
+    lines += ["## Exhaustive machine proofs", ""]
+    proof_cases = [(1, 2), (2, 2), (3, 2), (6, 2)] if args.quick else [
+        (1, 2), (2, 2), (3, 2), (6, 2), (8, 2), (4, 3), (7, 3)
+    ]
+    proof_rows = []
+    all_proved = True
+    for n, k in proof_cases:
+        cert = verify_exhaustive(build(n, k))
+        all_proved &= cert.is_proof
+        proof_rows.append(
+            [f"G({n},{k})", cert.checked,
+             "PROOF" if cert.is_proof else "FAILED"]
+        )
+    lines.append(
+        format_markdown_table(["instance", "fault sets", "verdict"], proof_rows)
+    )
+
+    lines += ["", "## Solver regression corpus", ""]
+    failures = replay()
+    lines.append(
+        f"{'PASS' if not failures else 'FAIL'} — "
+        f"{len(failures)} disagreement(s) out of the frozen corpus."
+    )
+    body = "\n".join(lines) + "\n"
+    if args.out == "-":
+        print(body)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(body)
+        print(f"wrote {args.out}")
+    return 0 if (all_proved and not bad and not failures) else 1
+
+
+_COMMANDS = {
+    "build": cmd_build,
+    "verify": cmd_verify,
+    "reconfigure": cmd_reconfigure,
+    "audit": cmd_audit,
+    "export": cmd_export,
+    "search": cmd_search,
+    "catalog": cmd_catalog,
+    "report": cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # output piped into a closed reader (e.g. head)
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Core contribution of the paper: gracefully degradable pipeline networks.
+
+The subpackage is organized as:
+
+* :mod:`repro.core.model` — the node-labeled graph model of Section 3
+  (:class:`~repro.core.model.PipelineNetwork`), standardness and
+  node-optimality checks;
+* :mod:`repro.core.pipeline` — the pipeline definition and validators;
+* :mod:`repro.core.bounds` — the degree lower bounds (Lemmas 3.1–3.5,
+  3.11, 3.14) as executable checks;
+* :mod:`repro.core.hamilton` — exact and heuristic spanning-path solvers
+  (deciding "does ``G \\ F`` contain a pipeline?");
+* :mod:`repro.core.constructions` — every construction in the paper;
+* :mod:`repro.core.reconfigure` — constructive reconfiguration: given a
+  fault set, produce an actual pipeline;
+* :mod:`repro.core.verify` — exhaustive and sampled k-GD verification;
+* :mod:`repro.core.search` — solution-graph search (re-derives the
+  paper's "special solutions", reproduces the Lemma 3.14 impossibility
+  and the Lemma 3.7/3.9 uniqueness results).
+"""
+
+from .model import NodeKind, PipelineNetwork
+from .pipeline import Pipeline, explain_pipeline_failure, is_pipeline
+
+__all__ = [
+    "NodeKind",
+    "PipelineNetwork",
+    "Pipeline",
+    "is_pipeline",
+    "explain_pipeline_failure",
+]

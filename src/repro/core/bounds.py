@@ -1,0 +1,208 @@
+"""Executable lower bounds (Section 3.1 and the small-``k`` lemmas).
+
+Two kinds of artifact live here:
+
+1. **Necessary-condition checkers** for concrete networks — e.g. Lemma 3.1
+   says every processor of a ``k``-gracefully-degradable graph has degree
+   at least ``k + 2``; :func:`check_necessary_conditions` evaluates all of
+   them and any violation *disproves* the k-GD claim without touching a
+   single fault set.
+
+2. **The closed-form degree lower bound** :func:`degree_lower_bound` for
+   standard solutions, assembled from Corollary 3.2 (``k+2`` always),
+   Lemma 3.5 (``k+3`` when ``n`` even and ``k`` odd), Corollary 3.10
+   (``n = 2``), Lemma 3.11 (``n = 3``, ``k > 1``) and Lemma 3.14
+   (``(n, k) = (5, 2)``).  Together with the constructions this reproduces
+   the optimality claims of Theorems 3.13, 3.15 and 3.16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .._util import check_nk
+from .model import PipelineNetwork
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """One violated necessary condition."""
+
+    lemma: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.lemma}] {self.message}"
+
+
+@dataclass(frozen=True)
+class NecessaryConditionsReport:
+    """Outcome of :func:`check_necessary_conditions`."""
+
+    violations: tuple[BoundViolation, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_lemma_3_1(network: PipelineNetwork) -> list[BoundViolation]:
+    """Lemma 3.1: in a k-GD graph the minimum processor degree is
+    >= k + 2.
+
+    (Sketch: with degree <= k+1 a fault set containing all of a
+    processor's neighbors except one leaves it a dead end that no pipeline
+    can pass through, and one containing all of them isolates it.)
+    """
+    k = network.k
+    bad = [
+        v for v, d in network.processor_degrees().items() if d < k + 2
+    ]
+    if not bad:
+        return []
+    return [
+        BoundViolation(
+            "Lemma 3.1",
+            f"processors with degree < k+2={k + 2}: "
+            f"{sorted((repr(v), network.graph.degree(v)) for v in bad)}",
+        )
+    ]
+
+
+def check_lemma_3_4(network: PipelineNetwork) -> list[BoundViolation]:
+    """Lemma 3.4: for ``n > 1``, every processor has at least ``k + 1``
+    *processor* neighbors.
+
+    (Sketch: a pipeline through an internal processor needs two healthy
+    processor neighbors — except at the pipeline's extremal processors —
+    and up to ``k`` of them can be killed.)
+    """
+    if network.n <= 1:
+        return []
+    k = network.k
+    procs = network.processors
+    bad: list[tuple[Node, int]] = []
+    for v in procs:
+        pn = sum(1 for u in network.graph.neighbors(v) if u in procs)
+        if pn < k + 1:
+            bad.append((v, pn))
+    if not bad:
+        return []
+    return [
+        BoundViolation(
+            "Lemma 3.4",
+            f"processors with < k+1={k + 1} processor neighbors: "
+            f"{sorted((repr(v), c) for v, c in bad)}",
+        )
+    ]
+
+
+def lemma_3_5_applies(n: int, k: int) -> bool:
+    """Whether the parity bound of Lemma 3.5 forces max degree >= k + 3:
+    ``n`` even and ``k`` odd.
+
+    The proof is a counting argument: if every processor of a standard
+    solution had degree exactly ``k+2``, pairing the terminal stubs into a
+    multigraph gives ``2|E| = (n+k)(k+2)`` — odd when ``n`` is even and
+    ``k`` odd, a contradiction.
+    """
+    check_nk(n, k)
+    return n % 2 == 0 and k % 2 == 1
+
+
+def check_lemma_3_5(network: PipelineNetwork) -> list[BoundViolation]:
+    """Lemma 3.5 as a check on a concrete standard network."""
+    if not network.is_standard():
+        return []
+    if not lemma_3_5_applies(network.n, network.k):
+        return []
+    k = network.k
+    md = network.max_processor_degree()
+    if md >= k + 3:
+        return []
+    return [
+        BoundViolation(
+            "Lemma 3.5",
+            f"n even, k odd requires max processor degree >= k+3={k + 3}, "
+            f"found {md}",
+        )
+    ]
+
+
+def check_necessary_conditions(network: PipelineNetwork) -> NecessaryConditionsReport:
+    """Evaluate every necessary condition the paper proves for k-GD graphs.
+
+    A clean report does **not** prove the network is k-GD (use
+    :mod:`repro.core.verify` for that); a violation *disproves* it (for
+    standard networks, under the declared ``(n, k)``).
+    """
+    violations: list[BoundViolation] = []
+    violations += check_lemma_3_1(network)
+    violations += check_lemma_3_4(network)
+    violations += check_lemma_3_5(network)
+    return NecessaryConditionsReport(tuple(violations))
+
+
+def degree_lower_bound(n: int, k: int) -> int:
+    """The paper's proven lower bound on the maximum processor degree of
+    any *standard* k-GD graph for ``n`` nodes.
+
+    ============================  =========  ==========================
+    case                          bound      source
+    ============================  =========  ==========================
+    always                        ``k + 2``  Lemma 3.1 / Corollary 3.2
+    ``n`` even and ``k`` odd      ``k + 3``  Lemma 3.5
+    ``n == 2``                    ``k + 3``  Lemma 3.9 + Corollary 3.10
+    ``n == 3`` and ``k > 1``      ``k + 3``  Lemma 3.11
+    ``(n, k) == (5, 2)``          ``k + 3``  Lemma 3.14
+    ============================  =========  ==========================
+    """
+    check_nk(n, k)
+    bound = k + 2
+    if lemma_3_5_applies(n, k):
+        bound = max(bound, k + 3)
+    if n == 2:
+        bound = max(bound, k + 3)
+    if n == 3 and k > 1:
+        bound = max(bound, k + 3)
+    if (n, k) == (5, 2):
+        bound = max(bound, k + 3)
+    return bound
+
+
+def is_degree_optimal(network: PipelineNetwork) -> bool:
+    """Whether the network's maximum processor degree meets
+    :func:`degree_lower_bound` for its declared ``(n, k)``.
+
+    Matching the *proven* bound certifies optimality (Corollary 3.3 for
+    the ``k+2`` case; the cited lemmas otherwise).
+    """
+    return network.max_processor_degree() == degree_lower_bound(network.n, network.k)
+
+
+def min_terminal_count(k: int) -> int:
+    """Minimum number of input (equally, output) terminals of any k-GD
+    graph: ``k + 1`` — all of them could be faulty otherwise (Section 3)."""
+    check_nk(1, k)
+    return k + 1
+
+
+def min_processor_count(n: int, k: int) -> int:
+    """Minimum number of processor nodes: ``n + k`` (Section 3): with
+    ``k`` processor faults, ``n`` healthy ones must remain."""
+    check_nk(n, k)
+    return n + k
+
+
+def merged_terminal_degree_bound(k: int) -> int:
+    """In the merged model (fault-free single terminals, Section 3), a
+    terminal needs degree >= ``k + 1`` — with fewer neighbors a fault set
+    covering all of them would isolate it."""
+    check_nk(1, k)
+    return k + 1

@@ -1,0 +1,59 @@
+"""Every construction from the paper, one module each.
+
+================  =====================================================
+module            paper artifact
+================  =====================================================
+``g1k``           ``G(1,k)`` — Lemma 3.7 (unique standard solution)
+``g2k``           ``G(2,k)`` — Lemma 3.9 (unique standard solution)
+``g3k``           ``G(3,k)`` — Figures 2–3, Lemma 3.12
+``extension``     the ``G -> G'`` operator of Lemma 3.6
+``special``       ``G(6,2)``, ``G(8,2)``, ``G(4,3)``, ``G(7,3)`` —
+                  Figures 10–13 ("special solutions")
+``asymptotic``    ``G'(n,k)`` and ``G(n,k)`` for ``k >= 4`` —
+                  Section 3.4, Figures 14–15
+``clique_chain``  non-optimal universal fallback (not from the paper;
+                  the ablation baseline for degree optimality)
+``merge``         terminal merging — the fault-free-terminal model
+``factory``       ``build(n,k)`` — Theorems 3.13/3.15/3.16 + Cor. 3.8
+                  + Theorem 3.17 dispatch
+================  =====================================================
+"""
+
+from .asymptotic import build_asymptotic, build_extended_asymptotic, minimum_asymptotic_n
+from .clique_chain import build_clique_chain
+from .extension import extend, extend_iterated
+from .factory import build, construction_plan
+from .g1k import build_g1k
+from .g2k import build_g2k
+from .g3k import build_g3k, g3k_removed_matching
+from .merge import merge_terminals
+from .special import (
+    SPECIAL_PARAMETERS,
+    build_special,
+    build_g62,
+    build_g82,
+    build_g43,
+    build_g73,
+)
+
+__all__ = [
+    "build",
+    "construction_plan",
+    "build_g1k",
+    "build_g2k",
+    "build_g3k",
+    "g3k_removed_matching",
+    "extend",
+    "extend_iterated",
+    "build_special",
+    "build_g62",
+    "build_g82",
+    "build_g43",
+    "build_g73",
+    "SPECIAL_PARAMETERS",
+    "build_asymptotic",
+    "build_extended_asymptotic",
+    "minimum_asymptotic_n",
+    "build_clique_chain",
+    "merge_terminals",
+]

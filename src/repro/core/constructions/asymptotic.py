@@ -1,0 +1,200 @@
+"""The asymptotic construction for ``k >= 4`` (Section 3.4, Figures 14–15).
+
+Two graphs are defined.  The *extended graph* ``G'(n,k)`` has
+``n + 3k + 6`` nodes partitioned into six sets, each of the first five of
+size ``k + 2`` and labeled ``0 .. k+1``::
+
+    Ti' -- i -- input terminals          I' -- clique, one edge to Ti'
+    To' -- o -- output terminals         O' -- clique, one edge to To'
+    S'  -- the first k+2 circulant nodes (one edge each to I' and O')
+    R'  -- the remaining circulant nodes (labels k+2 .. n-k-3)
+
+``C' = S' U R'`` is a **circulant** on ``m = n - k - 2`` nodes with
+offsets ``{1, .., p+1}`` where ``p = floor(k/2)``, plus the *bisector*
+offset ``floor(m/2)`` when ``k`` is odd.
+
+The actual solution graph ``G(n,k)`` is obtained from ``G'`` by deleting
+the input-side nodes with label 0 (``ti'_0``, ``i'_0``), the output-side
+nodes with label ``k+1`` (``to'_{k+1}``, ``o'_{k+1}``), and the offset-1
+edges *inside* ``S'``.  The result is standard (``n + 3k + 2`` nodes,
+degree-1 terminals) and degree-optimal: every processor has degree
+``k + 2``, except that when ``n`` is even and ``k`` odd the circulant
+nodes reach ``k + 3`` — exactly the parity case where Lemma 3.5 proves
+``k + 3`` is forced.
+
+The offsets and deletions above resolve the scan's OCR ambiguities; they
+are pinned down by the stated degrees and by the worked examples
+``G(22,4)`` (Figure 14: ``m = 16``, offsets ``{1,2,3}``) and ``G(26,5)``
+(Figure 15: ``m = 19``, offsets ``{1,2,3}`` + bisector ``9``), and
+validated in the test suite by exhaustive/sampled fault checking.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..._util import check_nk
+from ...errors import InvalidParameterError
+from ...graphs.circulant import normalize_offsets
+from ..model import PipelineNetwork
+
+
+def asymptotic_offsets(n: int, k: int) -> tuple[frozenset[int], int | None]:
+    """The circulant offsets of ``C'`` and the bisector offset (or None).
+
+    >>> asymptotic_offsets(22, 4)
+    (frozenset({1, 2, 3}), None)
+    >>> asymptotic_offsets(26, 5)[1]
+    9
+    """
+    check_nk(n, k)
+    m = n - k - 2
+    p = k // 2
+    small = frozenset(range(1, p + 2))
+    bisector = m // 2 if k % 2 == 1 else None
+    return small, bisector
+
+
+def minimum_asymptotic_n(k: int) -> int:
+    """The smallest ``n`` this implementation supports for the Section 3.4
+    construction (the paper only claims "``n`` sufficiently large, linear
+    in ``k``"; this is the structural floor at which the circulant core is
+    well-formed — every offset distinct and below the bisector).
+
+    >>> minimum_asymptotic_n(4)
+    14
+    >>> minimum_asymptotic_n(5)
+    15
+    """
+    check_nk(1, k)
+    return 2 * k + 6 if k % 2 == 0 else 2 * k + 5
+
+
+def _validate_parameters(n: int, k: int, allow_small_k: bool) -> None:
+    check_nk(n, k)
+    if k < 4 and not allow_small_k:
+        raise InvalidParameterError(
+            f"the Section 3.4 construction is stated for k >= 4 (got k={k}); "
+            "pass allow_small_k=True to build it anyway"
+        )
+    floor = minimum_asymptotic_n(k)
+    if n < floor:
+        raise InvalidParameterError(
+            f"asymptotic construction needs n >= {floor} for k={k}, got n={n}"
+        )
+    m = n - k - 2
+    p = k // 2
+    # all small offsets must be strictly below m/2 so each contributes 2
+    if 2 * (p + 1) >= m:
+        raise InvalidParameterError(
+            f"circulant too small: m={m} must exceed 2*(p+1)={2 * (p + 1)}"
+        )
+    if k % 2 == 1:
+        bis = m // 2
+        norm = min(bis % m, (-bis) % m)
+        if norm <= p + 1:
+            raise InvalidParameterError(
+                f"bisector offset {bis} collides with small offsets for m={m}"
+            )
+
+
+def build_extended_asymptotic(
+    n: int, k: int, *, allow_small_k: bool = False
+) -> PipelineNetwork:
+    """Build the extended graph ``G'(n, k)`` (the regular superstructure;
+    **not** itself node-optimal — use :func:`build_asymptotic` for the
+    actual solution graph).
+
+    Node names: ``ti{j}``, ``i{j}``, ``to{j}``, ``o{j}`` for labels
+    ``j = 0 .. k+1``, and circulant nodes ``c{j}`` for ``j = 0 .. m-1``
+    (``c0 .. c{k+1}`` are ``S'``; the rest are ``R'``).
+    """
+    _validate_parameters(n, k, allow_small_k)
+    m = n - k - 2
+    small, bisector = asymptotic_offsets(n, k)
+    g = nx.Graph()
+    labels = range(k + 2)
+    for j in labels:
+        g.add_edge(f"ti{j}", f"i{j}")      # Ti' -- I'
+        g.add_edge(f"i{j}", f"c{j}")       # I'  -- S'
+        g.add_edge(f"c{j}", f"o{j}")       # S'  -- O'
+        g.add_edge(f"o{j}", f"to{j}")      # O'  -- To'
+    g.add_edges_from(combinations([f"i{j}" for j in labels], 2))
+    g.add_edges_from(combinations([f"o{j}" for j in labels], 2))
+    offsets = set(small) | ({bisector} if bisector is not None else set())
+    offsets = normalize_offsets(m, offsets)
+    for a in range(m):
+        for s in offsets:
+            b = (a + s) % m
+            if a != b:
+                g.add_edge(f"c{a}", f"c{b}")
+    inputs = [f"ti{j}" for j in labels]
+    outputs = [f"to{j}" for j in labels]
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        # G' is a supergraph of the solution, not node-optimal; declare the
+        # same (n, k) it targets
+        n=n,
+        k=k,
+        meta={
+            "construction": "asymptotic-extended",
+            "m": m,
+            "offsets": offsets,
+            "bisector": bisector,
+        },
+    )
+
+
+def build_asymptotic(
+    n: int, k: int, *, allow_small_k: bool = False
+) -> PipelineNetwork:
+    """Build the solution graph ``G(n, k)`` of Section 3.4.
+
+    Derived from ``G'(n,k)`` by deleting ``ti0``, ``i0``, ``to{k+1}``,
+    ``o{k+1}`` and the offset-1 edges inside ``S``.
+
+    >>> net = build_asymptotic(22, 4)
+    >>> len(net), net.max_processor_degree()
+    (36, 6)
+    >>> net26 = build_asymptotic(26, 5)
+    >>> net26.max_processor_degree()   # n even, k odd -> k + 3
+    8
+    """
+    ext = build_extended_asymptotic(n, k, allow_small_k=allow_small_k)
+    m = ext.meta["m"]
+    g = ext.graph  # already a private copy built above
+    g.remove_nodes_from(["ti0", "i0", f"to{k + 1}", f"o{k + 1}"])
+    for j in range(0, k + 1):
+        if g.has_edge(f"c{j}", f"c{j + 1}"):
+            g.remove_edge(f"c{j}", f"c{j + 1}")
+    inputs = [f"ti{j}" for j in range(1, k + 2)]
+    outputs = [f"to{j}" for j in range(0, k + 1)]
+    i_nodes = tuple(f"i{j}" for j in range(1, k + 2))
+    o_nodes = tuple(f"o{j}" for j in range(0, k + 1))
+    s_nodes = tuple(f"c{j}" for j in range(0, k + 2))
+    r_nodes = tuple(f"c{j}" for j in range(k + 2, m))
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=n,
+        k=k,
+        meta={
+            "construction": "asymptotic",
+            "m": m,
+            "offsets": ext.meta["offsets"],
+            "bisector": ext.meta["bisector"],
+            "I": i_nodes,
+            "O": o_nodes,
+            "S": s_nodes,
+            "R": r_nodes,
+            # canonical processor order used to seed the reconfiguration
+            # heuristic: input clique, then the circulant snake, then the
+            # output clique
+            "canonical_order": i_nodes + s_nodes[1:] + r_nodes + (s_nodes[0],) + o_nodes,
+        },
+    )

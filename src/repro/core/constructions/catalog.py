@@ -1,0 +1,128 @@
+"""The construction catalog: a queryable registry of every construction.
+
+Programmatic access to "what can this library build, for which
+parameters, at what degree, from which part of the paper" — used by the
+CLI's ``catalog`` subcommand and handy for tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..._util import check_nk
+from ..bounds import degree_lower_bound
+from ..model import PipelineNetwork
+from .asymptotic import build_asymptotic, minimum_asymptotic_n
+from .clique_chain import build_clique_chain
+from .g1k import build_g1k
+from .g2k import build_g2k
+from .g3k import build_g3k
+from .special import SPECIALS, build_special
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One construction family."""
+
+    name: str
+    source: str
+    parameters: str
+    degree: str
+    builder: Callable[[int, int], PipelineNetwork]
+    supports: Callable[[int, int], bool]
+
+    def build(self, n: int, k: int) -> PipelineNetwork:
+        check_nk(n, k)
+        if not self.supports(n, k):
+            from ...errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"{self.name} does not support (n, k) = ({n}, {k}): "
+                f"requires {self.parameters}"
+            )
+        return self.builder(n, k)
+
+
+CATALOG: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        name="g1k",
+        source="Lemma 3.7",
+        parameters="n = 1, any k",
+        degree="k+2 (optimal; unique standard solution)",
+        builder=lambda n, k: build_g1k(k),
+        supports=lambda n, k: n == 1,
+    ),
+    CatalogEntry(
+        name="g2k",
+        source="Lemma 3.9",
+        parameters="n = 2, any k",
+        degree="k+3 (optimal; unique standard solution)",
+        builder=lambda n, k: build_g2k(k),
+        supports=lambda n, k: n == 2,
+    ),
+    CatalogEntry(
+        name="g3k",
+        source="Lemma 3.12 / Figures 2-3",
+        parameters="n = 3, any k",
+        degree="k+2 for k = 1, else k+3 (optimal)",
+        builder=lambda n, k: build_g3k(k),
+        supports=lambda n, k: n == 3,
+    ),
+    CatalogEntry(
+        name="special",
+        source="Theorems 3.15-3.16 / Figures 10-13",
+        parameters="(n, k) in {(6,2), (8,2), (4,3), (7,3)}",
+        degree="optimal (k+2 or k+3 per the theorems)",
+        builder=build_special,
+        supports=lambda n, k: (n, k) in SPECIALS,
+    ),
+    CatalogEntry(
+        name="asymptotic",
+        source="Theorem 3.17 / Section 3.4",
+        parameters="k >= 4, n >= 2k+6 (2k+5 for odd k)",
+        degree="k+2, or k+3 iff n even and k odd (optimal)",
+        builder=lambda n, k: build_asymptotic(n, k),
+        supports=lambda n, k: k >= 4 and n >= minimum_asymptotic_n(k),
+    ),
+    CatalogEntry(
+        name="clique-chain",
+        source="fallback (not from the paper)",
+        parameters="any (n, k)",
+        degree="~3k (NOT degree-optimal; ablation baseline)",
+        builder=build_clique_chain,
+        supports=lambda n, k: True,
+    ),
+)
+
+
+def catalog_entries() -> tuple[CatalogEntry, ...]:
+    """All registered construction families."""
+    return CATALOG
+
+
+def supporting_entries(n: int, k: int) -> list[CatalogEntry]:
+    """The families that can directly build ``(n, k)`` (extension chains
+    not included — see :func:`~.factory.construction_plan` for the full
+    dispatch).
+
+    >>> [e.name for e in supporting_entries(6, 2)]
+    ['special', 'clique-chain']
+    """
+    check_nk(n, k)
+    return [e for e in CATALOG if e.supports(n, k)]
+
+
+def describe(n: int, k: int) -> list[dict]:
+    """Catalog rows for ``(n, k)``, with the degree bound attached."""
+    bound = degree_lower_bound(n, k)
+    return [
+        {
+            "name": e.name,
+            "source": e.source,
+            "parameters": e.parameters,
+            "degree": e.degree,
+            "lower_bound": bound,
+        }
+        for e in supporting_entries(n, k)
+    ]

@@ -1,0 +1,105 @@
+"""Clique-chain fallback construction (not from the paper).
+
+The paper leaves a gap: for ``k >= 4`` it only covers ``n in {1, 2, 3}``,
+``n = (k+1)l + 1`` (Corollary 3.8) and ``n >= Omega(k)`` (Theorem 3.17).
+This module provides a *universal* standard k-GD construction for every
+``(n, k)`` — at the cost of a distinctly sub-optimal maximum degree
+(roughly ``3k`` instead of ``k + 2``).  It doubles as the ablation
+baseline quantifying how much the paper's optimized constructions save.
+
+Design: the ``n + k`` processors are split into consecutive *blocks*,
+each of size at least ``k + 1`` (so no block can be wiped out by ``k``
+faults), arranged in a chain; each block is a clique and consecutive
+blocks are completely joined.  The ``k + 1`` input terminals attach to
+distinct nodes of the first block, the ``k + 1`` output terminals to
+distinct nodes of the last block (staggered from the opposite ends when
+there is a single block).  Reconfiguration is trivially constructive:
+walk the blocks left to right, visiting each block's healthy nodes in any
+order — see :mod:`repro.core.reconfigure`.
+
+Gracefulness argument (single chain, >= 2 blocks): every block retains a
+healthy node, consecutive blocks are completely joined, so any
+block-by-block order is a spanning path; among the ``k + 1`` disjoint
+(terminal, attach-node) pairs on each side at least one is fully healthy.
+The single-block case degenerates to a ``G(1,k)``/``G(2,k)``-style clique
+and is verified exhaustively in the tests for small parameters.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..._util import check_nk
+from ..model import PipelineNetwork
+
+
+def chain_blocks(n: int, k: int) -> list[int]:
+    """Block sizes for the clique chain: as many blocks of size ``k + 1``
+    as fit, with the remainder distributed one-per-block from the front
+    (every block size is ``k + 1`` or ``k + 2``); a single block of size
+    ``n + k`` when fewer than two full blocks fit.
+
+    >>> chain_blocks(10, 2)
+    [3, 3, 3, 3]
+    >>> chain_blocks(11, 2)
+    [4, 3, 3, 3]
+    >>> chain_blocks(1, 3)
+    [4]
+    """
+    check_nk(n, k)
+    total = n + k
+    nblocks = total // (k + 1)
+    if nblocks < 2:
+        return [total]
+    sizes = [k + 1] * nblocks
+    for j in range(total - nblocks * (k + 1)):
+        sizes[j % nblocks] += 1
+    return sizes
+
+
+def build_clique_chain(n: int, k: int) -> PipelineNetwork:
+    """Build the clique-chain network for any ``(n, k)``.
+
+    >>> net = build_clique_chain(10, 2)
+    >>> net.is_standard()
+    True
+    """
+    check_nk(n, k)
+    sizes = chain_blocks(n, k)
+    g = nx.Graph()
+    blocks: list[list[str]] = []
+    idx = 0
+    for size in sizes:
+        block = [f"p{idx + j}" for j in range(size)]
+        idx += size
+        g.add_nodes_from(block)
+        g.add_edges_from(combinations(block, 2))
+        if blocks:
+            g.add_edges_from(
+                (u, v) for u in blocks[-1] for v in block
+            )
+        blocks.append(block)
+    first, last = blocks[0], blocks[-1]
+    inputs, outputs = [], []
+    for j in range(k + 1):
+        g.add_edge(f"i{j}", first[j])
+        inputs.append(f"i{j}")
+    # outputs attach from the far end of the last block, so that in the
+    # single-block case the input- and output-attachment sets are
+    # staggered rather than identical
+    for j in range(k + 1):
+        g.add_edge(f"o{j}", last[-1 - j])
+        outputs.append(f"o{j}")
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=n,
+        k=k,
+        meta={
+            "construction": "clique-chain",
+            "blocks": tuple(tuple(b) for b in blocks),
+        },
+    )

@@ -1,0 +1,117 @@
+"""The extension operator of Lemma 3.6: ``G -> G'``.
+
+    "the idea is to relabel all the input terminal nodes as processor
+    nodes, to put edges between them so they become a clique, and lastly,
+    to create a new input terminal node adjacent to each of these
+    relabeled nodes."
+
+If ``G`` is a standard k-GD graph for ``n`` nodes with maximum degree
+``d``, then ``G'`` is a standard k-GD graph for ``n + k + 1`` nodes with
+the same maximum degree ``d`` (Lemma 3.6): a relabeled terminal had degree
+1 and gains ``k`` clique edges plus one new-terminal edge, ending at
+``k + 2 <= d`` (Corollary 3.2); no existing node's degree changes.
+
+Iterating yields degree-optimal solutions for every ``n`` congruent to the
+base ``n`` modulo ``k + 1`` — the engine behind Theorems 3.13, 3.15, 3.16
+and Corollary 3.8.
+
+The constructive reconfiguration for extended graphs (the two-case argument
+in the proof of Lemma 3.6) lives in :mod:`repro.core.reconfigure`; this
+module records the lineage metadata it needs (the base network, the
+relabeled set ``I``, and the bijection ``phi`` from new terminals onto it).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..._util import check_positive_int
+from ...errors import NotStandardError
+from ..model import PipelineNetwork
+
+
+def extend(network: PipelineNetwork) -> PipelineNetwork:
+    """Apply Lemma 3.6 once: a standard k-GD graph for ``n`` nodes becomes
+    a standard k-GD graph for ``n + k + 1`` nodes with unchanged maximum
+    degree.
+
+    New-terminal names are ``i{j}@{depth}`` where *depth* counts the
+    extension generation, guaranteeing freshness.
+
+    >>> from .g1k import build_g1k
+    >>> g = extend(build_g1k(1))
+    >>> (g.n, g.k, len(g.processors))
+    (3, 1, 4)
+    """
+    network.assert_standard()
+    k = network.k
+    depth = network.meta.get("extension_depth", 0) + 1
+    old_inputs = sorted(network.inputs, key=repr)
+    g = network.graph.copy()
+    # the relabeled nodes become a clique ...
+    g.add_edges_from(combinations(old_inputs, 2))
+    # ... and each gets a fresh input terminal (phi maps terminal -> node)
+    phi: dict[str, object] = {}
+    new_inputs = []
+    for j, old in enumerate(old_inputs):
+        t = f"i{j}@{depth}"
+        if t in g:
+            raise NotStandardError(f"fresh terminal name {t!r} already in graph")
+        g.add_edge(t, old)
+        phi[t] = old
+        new_inputs.append(t)
+    return PipelineNetwork(
+        g,
+        new_inputs,
+        network.outputs,
+        n=network.n + k + 1,
+        k=k,
+        meta={
+            "construction": "extension",
+            "extension_depth": depth,
+            "base": network,
+            "relabeled": tuple(old_inputs),
+            "phi": phi,
+        },
+    )
+
+
+def extend_iterated(network: PipelineNetwork, times: int) -> PipelineNetwork:
+    """Apply :func:`extend` *times* times (Lemma 3.6 iterated: base ``n``
+    grows to ``n + times * (k + 1)``)."""
+    if times < 0:
+        raise ValueError(f"times must be >= 0, got {times}")
+    out = network
+    for _ in range(times):
+        out = extend(out)
+    return out
+
+
+def extension_chain(network: PipelineNetwork) -> list[PipelineNetwork]:
+    """The lineage ``[base, ..., network]`` recorded by repeated
+    extension (length 1 for non-extended networks)."""
+    chain = [network]
+    while chain[-1].meta.get("construction") == "extension":
+        chain.append(chain[-1].meta["base"])
+    chain.reverse()
+    return chain
+
+
+def extensions_needed(base_n: int, target_n: int, k: int) -> int:
+    """How many extensions turn a base for ``base_n`` into one for
+    ``target_n``; raises if the residues don't match.
+
+    >>> extensions_needed(2, 8, 2)
+    2
+    """
+    check_positive_int(base_n, "base_n")
+    check_positive_int(target_n, "target_n", minimum=base_n)
+    check_positive_int(k, "k")
+    delta = target_n - base_n
+    times, rem = divmod(delta, k + 1)
+    if rem:
+        raise ValueError(
+            f"cannot reach n={target_n} from base n={base_n} with k={k}: "
+            f"difference {delta} is not a multiple of k+1={k + 1}"
+        )
+    return times

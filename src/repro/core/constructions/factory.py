@@ -1,0 +1,190 @@
+"""``build(n, k)`` — the construction dispatcher.
+
+Encodes the coverage theorems of the paper:
+
+* **Theorem 3.13** (``k = 1``): degree ``k+2`` for odd ``n``, ``k+3`` for
+  even ``n`` — via ``G(1,1)``/``G(2,1)``/``G(3,1)`` and Lemma 3.6 chains;
+* **Theorem 3.15** (``k = 2``): degree ``k+3`` for ``n in {2,3,5}``,
+  ``k+2`` otherwise — using the specials ``G(6,2)``, ``G(8,2)``;
+* **Theorem 3.16** (``k = 3``): degree ``k+2`` for odd ``n``, ``k+3`` for
+  even ``n`` — using the specials ``G(4,3)``, ``G(7,3)``;
+* **Corollary 3.8** (any ``k``, ``n = (k+1)l + 1``): degree ``k+2`` via
+  the ``G(1,k)`` extension chain;
+* **Theorem 3.17** (``k >= 4``, ``n`` large): the Section 3.4 asymptotic
+  construction, degree ``k+2`` (``k+3`` iff ``n`` even and ``k`` odd);
+* remaining ``(n, k)`` (small ``n``, large ``k``, residue mismatch): not
+  covered by the paper — ``strict=True`` raises
+  :class:`~repro.errors.ConstructionUnavailableError`, otherwise the
+  degree-suboptimal clique chain is used.
+
+Every build returns a *standard* network; the chosen route and the
+expected maximum degree are exposed via :func:`construction_plan` for the
+optimality-audit tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..._util import check_nk
+from ...errors import ConstructionUnavailableError
+from ..bounds import degree_lower_bound
+from ..model import PipelineNetwork
+from .asymptotic import build_asymptotic, minimum_asymptotic_n
+from .clique_chain import build_clique_chain
+from .extension import extend_iterated
+from .g1k import build_g1k
+from .g2k import build_g2k
+from .g3k import build_g3k
+from .special import SPECIALS, build_special
+
+
+@dataclass(frozen=True)
+class ConstructionPlan:
+    """How ``build`` will realize a given ``(n, k)``.
+
+    ``base`` is one of ``g1k / g2k / g3k / special / asymptotic /
+    clique-chain``; ``extensions`` counts Lemma 3.6 applications on top of
+    the base (always 0 for asymptotic and clique-chain).
+    """
+
+    n: int
+    k: int
+    base: str
+    base_n: int
+    extensions: int
+    expected_max_degree: int
+    source: str
+
+    @property
+    def degree_optimal(self) -> bool:
+        """Whether the produced graph provably meets the paper's degree
+        lower bound."""
+        return self.expected_max_degree == degree_lower_bound(self.n, self.k)
+
+
+def _small_n_plan(n: int, k: int) -> ConstructionPlan:
+    if n == 1:
+        return ConstructionPlan(n, k, "g1k", 1, 0, k + 2, "Lemma 3.7")
+    if n == 2:
+        return ConstructionPlan(n, k, "g2k", 2, 0, k + 3, "Lemma 3.9")
+    deg = k + 2 if k == 1 else k + 3
+    return ConstructionPlan(n, k, "g3k", 3, 0, deg, "Lemma 3.12 / Figs 2-3")
+
+
+def _chain_plan(n: int, k: int, base: str, base_n: int, deg: int, src: str) -> ConstructionPlan:
+    times = (n - base_n) // (k + 1)
+    return ConstructionPlan(n, k, base, base_n, times, deg, src)
+
+
+def construction_plan(n: int, k: int, *, strict: bool = False) -> ConstructionPlan:
+    """Choose the construction route for ``(n, k)`` without building it.
+
+    >>> construction_plan(9, 2).base, construction_plan(9, 2).extensions
+    ('special', 1)
+    >>> construction_plan(22, 4).base
+    'asymptotic'
+    """
+    check_nk(n, k)
+    if n <= 3:
+        return _small_n_plan(n, k)
+
+    if k == 1:
+        # Theorem 3.13: odd n from G(1,1), even n from G(2,1)
+        if n % 2 == 1:
+            return _chain_plan(n, k, "g1k", 1, k + 2, "Theorem 3.13")
+        return _chain_plan(n, k, "g2k", 2, k + 3, "Theorem 3.13")
+
+    if k == 2:
+        # Theorem 3.15: degree k+3 only for n in {2, 3, 5}
+        if n == 5:
+            return _chain_plan(n, k, "g2k", 2, k + 3, "Theorem 3.15 / Lemma 3.14")
+        if n in SPECIALS_BY_K.get(2, ()):  # n in {6, 8}
+            return ConstructionPlan(n, k, "special", n, 0, k + 2, "Theorem 3.15")
+        r = n % 3
+        if r == 1:
+            return _chain_plan(n, k, "g1k", 1, k + 2, "Theorem 3.15")
+        if r == 0:
+            return _chain_plan(n, k, "special", 6, k + 2, "Theorem 3.15")
+        return _chain_plan(n, k, "special", 8, k + 2, "Theorem 3.15")
+
+    if k == 3:
+        # Theorem 3.16: odd n -> k+2, even n -> k+3 (Lemma 3.5)
+        if n in SPECIALS_BY_K.get(3, ()):  # n in {4, 7}
+            deg = k + 3 if n % 2 == 0 else k + 2
+            return ConstructionPlan(n, k, "special", n, 0, deg, "Theorem 3.16")
+        r = n % 4
+        if r == 1:
+            return _chain_plan(n, k, "g1k", 1, k + 2, "Theorem 3.16")
+        if r == 2:
+            return _chain_plan(n, k, "g2k", 2, k + 3, "Theorem 3.16")
+        if r == 3:
+            return _chain_plan(n, k, "special", 7, k + 2, "Theorem 3.16")
+        return _chain_plan(n, k, "special", 4, k + 3, "Theorem 3.16")
+
+    # k >= 4
+    if (n - 1) % (k + 1) == 0:
+        return _chain_plan(n, k, "g1k", 1, k + 2, "Corollary 3.8")
+    if n >= minimum_asymptotic_n(k):
+        deg = k + 3 if (n % 2 == 0 and k % 2 == 1) else k + 2
+        return ConstructionPlan(n, k, "asymptotic", n, 0, deg, "Theorem 3.17")
+    if (n - 2) % (k + 1) == 0:
+        return _chain_plan(n, k, "g2k", 2, k + 3, "Lemmas 3.9 + 3.6")
+    if (n - 3) % (k + 1) == 0:
+        return _chain_plan(n, k, "g3k", 3, k + 3, "Lemma 3.12 + 3.6")
+    if strict:
+        raise ConstructionUnavailableError(
+            f"the paper gives no construction for (n, k) = ({n}, {k}): "
+            f"n < {minimum_asymptotic_n(k)} and n mod {k + 1} is not in "
+            "{1, 2, 3} mod (k+1); pass strict=False for the clique-chain "
+            "fallback"
+        )
+    # below the asymptotic floor with no matching residue: fall back
+    deg = _clique_chain_degree(n, k)
+    return ConstructionPlan(n, k, "clique-chain", n, 0, deg, "fallback (not from the paper)")
+
+
+def _clique_chain_degree(n: int, k: int) -> int:
+    # computed rather than proven: build is cheap, but avoid importing the
+    # builder's internals here
+    net = build_clique_chain(n, k)
+    return net.max_processor_degree()
+
+
+#: special-solution ``n`` values per ``k`` (derived from the frozen specs).
+SPECIALS_BY_K: dict[int, frozenset[int]] = {}
+for (_n, _k) in SPECIALS:
+    SPECIALS_BY_K.setdefault(_k, frozenset())
+    SPECIALS_BY_K[_k] = SPECIALS_BY_K[_k] | {_n}
+
+
+_BASE_BUILDERS = {
+    "g1k": lambda base_n, k: build_g1k(k),
+    "g2k": lambda base_n, k: build_g2k(k),
+    "g3k": lambda base_n, k: build_g3k(k),
+    "special": lambda base_n, k: build_special(base_n, k),
+}
+
+
+def build(n: int, k: int, *, strict: bool = False) -> PipelineNetwork:
+    """Build a standard ``k``-gracefully-degradable graph for ``n`` nodes.
+
+    Picks the paper's construction for the parameters (see module
+    docstring); with ``strict=False`` (default) uncovered parameters get
+    the clique-chain fallback instead of an error.
+
+    >>> build(9, 2).max_processor_degree()
+    4
+    >>> build(22, 4).meta["construction"]
+    'asymptotic'
+    """
+    plan = construction_plan(n, k, strict=strict)
+    if plan.base == "asymptotic":
+        net = build_asymptotic(n, k)
+    elif plan.base == "clique-chain":
+        net = build_clique_chain(n, k)
+    else:
+        net = _BASE_BUILDERS[plan.base](plan.base_n, k)
+        net = extend_iterated(net, plan.extensions)
+    net.meta["plan"] = plan
+    return net

@@ -1,0 +1,60 @@
+"""``G(1, k)`` — the unique standard solution for ``n = 1`` (Lemma 3.7).
+
+    "G(1,k) is defined to have a complete subgraph on the k + 1
+    processing nodes.  The processing nodes are the set I = O."
+
+Each of the ``k + 1`` processors carries its own input terminal and its own
+output terminal; the processors form a clique.  Maximum processor degree is
+``k + 2`` (``k`` clique edges + 2 terminals), matching the Lemma 3.1 lower
+bound, hence degree-optimal (Corollary 3.3).  Lemma 3.7 also proves this is
+the *only* standard solution for ``n = 1`` — reproduced computationally in
+:mod:`repro.core.search`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..._util import check_positive_int
+from ..model import PipelineNetwork
+
+
+def build_g1k(k: int) -> PipelineNetwork:
+    """Build ``G(1, k)``.
+
+    Node names: processors ``p0 .. pk``; terminal ``ij``/``oj`` attaches to
+    ``pj``.
+
+    >>> net = build_g1k(2)
+    >>> len(net.processors), len(net.inputs), len(net.outputs)
+    (3, 3, 3)
+    >>> net.max_processor_degree()
+    4
+    """
+    check_positive_int(k, "k")
+    g = nx.Graph()
+    procs = [f"p{j}" for j in range(k + 1)]
+    g.add_edges_from(combinations(procs, 2))
+    inputs, outputs = [], []
+    for j in range(k + 1):
+        g.add_edge(f"i{j}", procs[j])
+        g.add_edge(f"o{j}", procs[j])
+        inputs.append(f"i{j}")
+        outputs.append(f"o{j}")
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=1,
+        k=k,
+        meta={
+            "construction": "g1k",
+            "processors": tuple(procs),
+            # per-processor terminal map, used by the constructive
+            # reconfiguration (the partition argument of Lemma 3.7)
+            "input_of": {procs[j]: f"i{j}" for j in range(k + 1)},
+            "output_of": {procs[j]: f"o{j}" for j in range(k + 1)},
+        },
+    )

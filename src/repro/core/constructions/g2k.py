@@ -1,0 +1,78 @@
+"""``G(2, k)`` — the unique standard solution for ``n = 2`` (Lemma 3.9).
+
+    "G(2,k) is defined to have a complete subgraph on the processing
+    nodes.  There are at least three processing nodes, and we distinguish
+    two of them as a and b.  All nodes except a and b are each adjacent to
+    an input terminal node and an output terminal node.  Each of a and b
+    is adjacent to only one terminal node; a to an input terminal and b
+    to an output terminal."
+
+``k + 2`` processors form a clique; ``a`` carries only an input terminal,
+``b`` only an output terminal, and the other ``k`` processors carry one of
+each.  Maximum processor degree is ``k + 3`` (``k + 1`` clique edges + 2
+terminals on the doubly-attached processors), which Corollary 3.10 shows is
+optimal for ``n = 2``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..._util import check_positive_int
+from ..model import PipelineNetwork
+
+#: Conventional names of the two distinguished processors.
+NODE_A = "p0"  # input-only
+NODE_B = "p1"  # output-only
+
+
+def build_g2k(k: int) -> PipelineNetwork:
+    """Build ``G(2, k)``.
+
+    Node names: processors ``p0 .. p{k+1}`` with ``p0 = a`` (input
+    terminal ``i0`` only) and ``p1 = b`` (output terminal ``o1`` only);
+    ``pj`` for ``j >= 2`` carries ``ij`` and ``oj``.
+
+    >>> net = build_g2k(2)
+    >>> len(net.processors), len(net.inputs), len(net.outputs)
+    (4, 3, 3)
+    >>> net.max_processor_degree()
+    5
+    """
+    check_positive_int(k, "k")
+    g = nx.Graph()
+    procs = [f"p{j}" for j in range(k + 2)]
+    g.add_edges_from(combinations(procs, 2))
+    inputs, outputs = [], []
+    input_of: dict[str, str] = {}
+    output_of: dict[str, str] = {}
+    g.add_edge("i0", NODE_A)
+    inputs.append("i0")
+    input_of[NODE_A] = "i0"
+    g.add_edge("o1", NODE_B)
+    outputs.append("o1")
+    output_of[NODE_B] = "o1"
+    for j in range(2, k + 2):
+        g.add_edge(f"i{j}", procs[j])
+        g.add_edge(f"o{j}", procs[j])
+        inputs.append(f"i{j}")
+        outputs.append(f"o{j}")
+        input_of[procs[j]] = f"i{j}"
+        output_of[procs[j]] = f"o{j}"
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=2,
+        k=k,
+        meta={
+            "construction": "g2k",
+            "processors": tuple(procs),
+            "a": NODE_A,
+            "b": NODE_B,
+            "input_of": input_of,
+            "output_of": output_of,
+        },
+    )

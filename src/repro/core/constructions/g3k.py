@@ -1,0 +1,108 @@
+"""``G(3, k)`` — the explicit solution for ``n = 3`` (Figures 2–3,
+Lemma 3.12).
+
+The paper defines, for ``k >= 1``::
+
+    Ti = {i0, .., i_{k-2}, i_k, i_{k+2}}          (k + 1 input terminals)
+    To = {o0, .., o_{k-1}, o_{k+1}}               (k + 1 output terminals)
+    P  = {p0, .., p_{k+2}}                        (k + 3 processors)
+
+with terminal ``ij``/``oj`` attached to ``pj``, and the processor subgraph
+a **clique minus the consecutive-pair matching**
+``{(p_{2q}, p_{2q+1}) : 0 <= q <= floor((k+1)/2)}`` (the dotted ovals in
+Figures 2 and 3; the printed set bound is OCR-garbled — this form is forced
+by the degree arithmetic and is exhaustively re-verified in the test
+suite).  Indices ``i_{k-1}, o_k, i_{k+1}, o_{k+2}`` are deliberately
+*absent*.
+
+Degrees: a processor with two terminals (``p_j``, ``j <= k-2``) is matched,
+so it has ``(k+1) + 2 = k+3`` edges; the four single-terminal processors
+have ``k+2`` or ``k+3``.  For ``k >= 2`` the maximum degree ``k+3`` meets
+the Lemma 3.11 lower bound; for ``k = 1`` the maximum is ``k+2``
+(Corollary 3.2's bound) — both degree-optimal.
+
+The matching's parity differs with ``n + k = k + 3``: even ``k+3`` (odd
+``k``) gives a perfect matching (Figure 2); odd ``k+3`` (even ``k``) leaves
+``p_{k+2}`` unmatched at full clique degree (Figure 3).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+
+from ..._util import check_positive_int
+from ...graphs.generators import consecutive_pair_matching
+from ..model import PipelineNetwork
+
+
+def g3k_input_indices(k: int) -> list[int]:
+    """The input-terminal indices ``{0..k-2} U {k, k+2}``."""
+    check_positive_int(k, "k")
+    return list(range(0, k - 1)) + [k, k + 2]
+
+
+def g3k_output_indices(k: int) -> list[int]:
+    """The output-terminal indices ``{0..k-1} U {k+1}``."""
+    check_positive_int(k, "k")
+    return list(range(0, k)) + [k + 1]
+
+
+def g3k_removed_matching(k: int) -> list[tuple[int, int]]:
+    """The clique edges removed by the construction, as index pairs.
+
+    >>> g3k_removed_matching(1)
+    [(0, 1), (2, 3)]
+    >>> g3k_removed_matching(2)
+    [(0, 1), (2, 3)]
+    >>> g3k_removed_matching(3)
+    [(0, 1), (2, 3), (4, 5)]
+    """
+    return consecutive_pair_matching(k + 3)
+
+
+def build_g3k(k: int) -> PipelineNetwork:
+    """Build ``G(3, k)``.
+
+    >>> net = build_g3k(4)
+    >>> len(net.processors), len(net.inputs), len(net.outputs)
+    (7, 5, 5)
+    >>> net.max_processor_degree()
+    7
+    """
+    check_positive_int(k, "k")
+    g = nx.Graph()
+    procs = [f"p{j}" for j in range(k + 3)]
+    removed = set(g3k_removed_matching(k))
+    for a, b in combinations(range(k + 3), 2):
+        if (a, b) not in removed:
+            g.add_edge(procs[a], procs[b])
+    g.add_nodes_from(procs)  # k=1 corner: ensure isolated-at-this-point nodes exist
+    inputs, outputs = [], []
+    input_of: dict[str, str] = {}
+    output_of: dict[str, str] = {}
+    for j in g3k_input_indices(k):
+        g.add_edge(f"i{j}", procs[j])
+        inputs.append(f"i{j}")
+        input_of[procs[j]] = f"i{j}"
+    for j in g3k_output_indices(k):
+        g.add_edge(f"o{j}", procs[j])
+        outputs.append(f"o{j}")
+        output_of[procs[j]] = f"o{j}"
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=3,
+        k=k,
+        meta={
+            "construction": "g3k",
+            "processors": tuple(procs),
+            "removed_matching": tuple(
+                (procs[a], procs[b]) for a, b in sorted(removed)
+            ),
+            "input_of": input_of,
+            "output_of": output_of,
+        },
+    )

@@ -1,0 +1,81 @@
+"""Terminal merging — the fault-free-terminal model (Section 3).
+
+    "We can then modify each of our solutions to the case of modelling
+    single faultless input nodes and output nodes by 'merging' Ti into
+    one node i, and To into o. [...] After merging the terminal nodes the
+    single input terminal i has degree k + 1, which is the smallest
+    possible degree for a terminal."
+
+Because every construction in this library keeps all terminals at degree
+1, merging is always applicable: the merged graph has exactly one input
+terminal and one output terminal, each of degree ``k + 1`` (the minimum —
+with fewer neighbors a fault set covering all of them would isolate the
+terminal).  In the merged model the terminals are assumed fault-free;
+fault sets therefore range over processors only.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import networkx as nx
+
+from ...errors import NotStandardError
+from ..model import PipelineNetwork
+
+Node = Hashable
+
+#: Conventional names of the merged terminals.
+MERGED_INPUT = "INPUT"
+MERGED_OUTPUT = "OUTPUT"
+
+
+def merge_terminals(
+    network: PipelineNetwork,
+    input_name: Node = MERGED_INPUT,
+    output_name: Node = MERGED_OUTPUT,
+) -> PipelineNetwork:
+    """Merge all input terminals into one node and all output terminals
+    into another (the fault-free-terminal model).
+
+    The source network must have degree-1 terminals (all the paper's
+    constructions do).  The merged network keeps the same processors and
+    processor-processor edges; the single input terminal is adjacent to
+    the old attachment set ``I``, the single output terminal to ``O``.
+
+    >>> from .g1k import build_g1k
+    >>> m = merge_terminals(build_g1k(3))
+    >>> m.graph.degree("INPUT"), m.graph.degree("OUTPUT")
+    (4, 4)
+    """
+    if not network.terminals_have_degree_one():
+        raise NotStandardError(
+            "merge_terminals requires all terminals to have degree 1"
+        )
+    if input_name in network.graph or output_name in network.graph:
+        raise NotStandardError(
+            f"merged terminal names {input_name!r}/{output_name!r} collide "
+            "with existing nodes"
+        )
+    g = nx.Graph()
+    procs = network.processors
+    sub = network.graph.subgraph(procs)
+    g.add_nodes_from(procs)
+    g.add_edges_from(sub.edges)
+    for p in network.I:
+        g.add_edge(input_name, p)
+    for p in network.O:
+        g.add_edge(output_name, p)
+    return PipelineNetwork(
+        g,
+        [input_name],
+        [output_name],
+        n=network.n,
+        k=network.k,
+        meta={
+            "construction": "merged",
+            "base": network,
+            "merged_input": input_name,
+            "merged_output": output_name,
+        },
+    )

@@ -1,0 +1,188 @@
+"""The four "special solutions" of Theorems 3.15 and 3.16 (Figures 10–13).
+
+The paper presents ``G(6,2)``, ``G(8,2)``, ``G(4,3)`` and ``G(7,3)`` only
+as figures, noting they were "intuitively designed and exhaustively
+verified by human and/or computer checking".  The printed figures are not
+recoverable from the available scan, so this module freezes *equally valid
+witnesses*: standard solutions with the theorem-required maximum degrees,
+found by the constrained search in :mod:`repro.core.search` and verified
+**exhaustively** (every fault set of size ``<= k``) — the same standard of
+evidence the paper applies.  The exhaustive verification is repeated in the
+test suite (``tests/test_special.py``) and the search is re-runnable via
+``examples/search_special.py``.
+
+Required degrees (all matched):
+
+* ``G(6,2)``, ``G(8,2)``: max degree ``k + 2 = 4`` (Corollary 3.3 ⇒
+  degree-optimal);
+* ``G(7,3)``: max degree ``k + 2 = 5`` (Corollary 3.3);
+* ``G(4,3)``: max degree ``k + 3 = 6`` (optimal by Lemma 3.5 — ``n``
+  even, ``k`` odd).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ...errors import InvalidParameterError
+from ..model import PipelineNetwork
+
+
+@dataclass(frozen=True)
+class SpecialSpec:
+    """Frozen description of one special solution.
+
+    ``proc_edges`` index into processors ``p0 .. p_{n+k-1}``;
+    ``input_at[j]`` / ``output_at[j]`` give the processor index that
+    terminal ``ij`` / ``oj`` attaches to.
+    """
+
+    n: int
+    k: int
+    figure: str
+    max_degree: int
+    proc_edges: tuple[tuple[int, int], ...]
+    input_at: tuple[int, ...]
+    output_at: tuple[int, ...]
+
+
+#: ``G(6,2)`` — Figure 10 witness.  8 processors, 4-regular processor
+#: degrees, exhaustively verified 2-GD.
+G62_SPEC = SpecialSpec(
+    n=6,
+    k=2,
+    figure="Figure 10",
+    max_degree=4,
+    proc_edges=(
+        (0, 1), (0, 2), (0, 6), (1, 4), (1, 5), (2, 5), (2, 7),
+        (3, 5), (3, 6), (3, 7), (4, 6), (4, 7), (5, 7),
+    ),
+    input_at=(4, 2, 6),
+    output_at=(3, 1, 0),
+)
+
+#: ``G(8,2)`` — Figure 11 witness.  10 processors, max degree 4,
+#: exhaustively verified 2-GD.
+G82_SPEC = SpecialSpec(
+    n=8,
+    k=2,
+    figure="Figure 11",
+    max_degree=4,
+    proc_edges=(
+        (0, 4), (0, 5), (0, 7), (1, 5), (1, 8), (1, 9), (2, 3),
+        (2, 6), (2, 7), (2, 9), (3, 6), (3, 9), (4, 5), (4, 8),
+        (4, 9), (6, 7), (6, 8),
+    ),
+    input_at=(3, 5, 0),
+    output_at=(1, 7, 8),
+)
+
+#: ``G(7,3)`` — Figure 12 witness.  10 processors, max degree 5,
+#: exhaustively verified 3-GD.
+G73_SPEC = SpecialSpec(
+    n=7,
+    k=3,
+    figure="Figure 12",
+    max_degree=5,
+    proc_edges=(
+        (0, 1), (0, 3), (0, 8), (0, 9), (1, 4), (1, 5), (1, 6),
+        (2, 3), (2, 4), (2, 6), (2, 7), (3, 6), (3, 8), (4, 8),
+        (4, 9), (5, 6), (5, 7), (5, 9), (6, 7), (7, 8), (7, 9),
+    ),
+    input_at=(4, 3, 8, 1),
+    output_at=(2, 9, 0, 5),
+)
+
+#: ``G(4,3)`` — Figure 13 witness.  7 processors (so ``p0`` and ``p4``
+#: each carry an input *and* an output terminal), max degree 6,
+#: exhaustively verified 3-GD.
+G43_SPEC = SpecialSpec(
+    n=4,
+    k=3,
+    figure="Figure 13",
+    max_degree=6,
+    proc_edges=(
+        (0, 1), (0, 2), (0, 3), (0, 5), (1, 2), (1, 4), (1, 5),
+        (1, 6), (2, 3), (2, 4), (2, 5), (2, 6), (3, 4), (3, 5),
+        (3, 6), (4, 6), (5, 6),
+    ),
+    input_at=(0, 1, 6, 4),
+    output_at=(3, 0, 4, 5),
+)
+
+#: All frozen specials keyed by ``(n, k)``.
+SPECIALS: dict[tuple[int, int], SpecialSpec] = {
+    (6, 2): G62_SPEC,
+    (8, 2): G82_SPEC,
+    (7, 3): G73_SPEC,
+    (4, 3): G43_SPEC,
+}
+
+#: The ``(n, k)`` pairs covered by special solutions.
+SPECIAL_PARAMETERS: tuple[tuple[int, int], ...] = tuple(sorted(SPECIALS))
+
+
+def build_from_spec(spec: SpecialSpec) -> PipelineNetwork:
+    """Materialize a :class:`SpecialSpec` as a network."""
+    g = nx.Graph()
+    nprocs = spec.n + spec.k
+    procs = [f"p{j}" for j in range(nprocs)]
+    g.add_nodes_from(procs)
+    for a, b in spec.proc_edges:
+        g.add_edge(procs[a], procs[b])
+    inputs, outputs = [], []
+    for j, at in enumerate(spec.input_at):
+        g.add_edge(f"i{j}", procs[at])
+        inputs.append(f"i{j}")
+    for j, at in enumerate(spec.output_at):
+        g.add_edge(f"o{j}", procs[at])
+        outputs.append(f"o{j}")
+    return PipelineNetwork(
+        g,
+        inputs,
+        outputs,
+        n=spec.n,
+        k=spec.k,
+        meta={
+            "construction": "special",
+            "figure": spec.figure,
+            "processors": tuple(procs),
+        },
+    )
+
+
+def build_special(n: int, k: int) -> PipelineNetwork:
+    """Build the special solution for ``(n, k)``; raises if none exists.
+
+    >>> build_special(6, 2).max_processor_degree()
+    4
+    """
+    spec = SPECIALS.get((n, k))
+    if spec is None:
+        raise InvalidParameterError(
+            f"no special solution for (n, k) = ({n}, {k}); "
+            f"available: {SPECIAL_PARAMETERS}"
+        )
+    return build_from_spec(spec)
+
+
+def build_g62() -> PipelineNetwork:
+    """``G(6,2)`` (Figure 10 witness)."""
+    return build_special(6, 2)
+
+
+def build_g82() -> PipelineNetwork:
+    """``G(8,2)`` (Figure 11 witness)."""
+    return build_special(8, 2)
+
+
+def build_g73() -> PipelineNetwork:
+    """``G(7,3)`` (Figure 12 witness)."""
+    return build_special(7, 3)
+
+
+def build_g43() -> PipelineNetwork:
+    """``G(4,3)`` (Figure 13 witness)."""
+    return build_special(4, 3)

@@ -1,0 +1,364 @@
+"""Edge (link) faults.
+
+The paper adopts Hayes's graph model, noting (Section 2) that it "can
+accomodate faults in both processors and communication links (by viewing
+an adjacent processor as being faulty)".  For *graceful degradation* the
+reduction carries a subtlety this module makes precise:
+
+**Reduced model** (the paper's, via Hayes): a faulty link ``(u, v)``
+forces one of its endpoints to be *retired* — treated as faulty, and
+therefore legitimately omitted from the pipeline.  Under this model a
+k-GD graph tolerates any mix of ``f_n`` node faults and ``f_e`` link
+faults with ``f_n + f_e <= k``: the pipeline spans every processor that
+is healthy *after* the retirements.  The price is one idled-but-healthy
+processor per faulty link.
+
+**Exact model**: remove the faulty edges from the graph but still demand
+a pipeline through **all** node-healthy processors.  This is *strictly
+harder* and **not** guaranteed by k-graceful-degradability — e.g. in
+``G(1,2)`` killing processor ``p2`` and the link ``(p0, p1)`` leaves
+both ``p0`` and ``p1`` healthy but disconnected from each other, so no
+pipeline can span both.  (For Hayes's original targets — fixed-size
+cycles that may skip healthy nodes — the two models coincide, which is
+why the paper can cite the reduction without qualification.)
+
+Provided here:
+
+* :func:`edge_fault_to_node_fault` / :func:`reduce_mixed_faults` — the
+  retirement reduction;
+* :func:`verify_reduced_edge_model_exhaustive` — exhaustive verification
+  of the *guaranteed* reduced-model property (a clean run is expected
+  for every construction in this library);
+* :func:`find_pipeline_with_edge_faults` — exact-model pipeline search
+  (edges removed directly, all node-healthy processors required);
+* :func:`verify_edge_faults_exhaustive` — exhaustive exact-model
+  verification (counterexamples are *informative*, not bugs);
+* :func:`compare_models_exhaustive` — quantifies the gap between the
+  two models.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..errors import InvalidParameterError
+from .hamilton import SolvePolicy, SpanningPathInstance, Status, solve
+from .model import PipelineNetwork
+from .pipeline import Pipeline
+from .verify.certificates import VerificationCertificate, VerificationMode
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+def _normalize_edge(network: PipelineNetwork, edge: Edge) -> Edge:
+    u, v = edge
+    if not network.graph.has_edge(u, v):
+        raise InvalidParameterError(f"({u!r}, {v!r}) is not an edge of the network")
+    return (u, v)
+
+
+def edge_fault_to_node_fault(network: PipelineNetwork, edge: Edge) -> Node:
+    """Choose the endpoint to sacrifice for a faulty link (Hayes's
+    reduction).
+
+    Preference order: a processor endpoint over a terminal endpoint (a
+    "faulty" terminal only removes one of ``k+1`` redundant attach
+    points, but the reduction must kill an endpoint of the *edge*); among
+    two processors, the one with the larger surviving degree, so the
+    reduction perturbs the graph least.
+    """
+    u, v = _normalize_edge(network, edge)
+    procs = network.processors
+    u_proc, v_proc = u in procs, v in procs
+    if u_proc and not v_proc:
+        # processor-terminal link: killing the terminal suffices (the
+        # terminal is useless without its only link anyway)
+        return v
+    if v_proc and not u_proc:
+        return u
+    if not u_proc and not v_proc:  # cannot happen in the model (Ti,To disjoint, no t-t edges in constructions)
+        return u
+    du, dv = network.graph.degree(u), network.graph.degree(v)
+    return u if du >= dv else v
+
+
+def reduce_mixed_faults(
+    network: PipelineNetwork,
+    node_faults: Iterable[Node] = (),
+    edge_faults: Iterable[Edge] = (),
+) -> frozenset:
+    """Map a mixed fault set to the pure node fault set of the *reduced
+    model*: every faulty node plus one retired endpoint per faulty edge
+    (edges already covered by a faulty node cost nothing extra).
+
+    Tolerating the returned set means a pipeline exists through every
+    non-retired healthy processor — the guarantee k-graceful-
+    degradability provides for mixed faults (see the module docstring
+    for why the stronger exact model is *not* implied).
+    """
+    nodes = set(node_faults)
+    for edge in edge_faults:
+        u, v = _normalize_edge(network, edge)
+        if u in nodes or v in nodes:
+            continue
+        nodes.add(edge_fault_to_node_fault(network, (u, v)))
+    return frozenset(nodes)
+
+
+class _EdgeFaultedView:
+    """A survivor view whose graph additionally lost specific edges."""
+
+    def __init__(
+        self,
+        network: PipelineNetwork,
+        node_faults: frozenset,
+        edge_faults: frozenset,
+    ) -> None:
+        base = network.surviving(node_faults)
+        g = base.graph.copy()
+        for u, v in edge_faults:
+            if g.has_edge(u, v):
+                g.remove_edge(u, v)
+        self.graph = g
+        self.network = network
+        self.faults = node_faults
+        self._inputs = base.inputs
+        self._outputs = base.outputs
+        self._processors = base.processors
+
+    @property
+    def inputs(self):
+        return self._inputs
+
+    @property
+    def outputs(self):
+        return self._outputs
+
+    @property
+    def processors(self):
+        return self._processors
+
+    def input_attached(self):
+        ins = self.inputs
+        return frozenset(
+            p for p in self.processors
+            if any(t in ins for t in self.graph.neighbors(p))
+        )
+
+    def output_attached(self):
+        outs = self.outputs
+        return frozenset(
+            p for p in self.processors
+            if any(t in outs for t in self.graph.neighbors(p))
+        )
+
+
+def _solve_with_edge_faults(
+    network: PipelineNetwork,
+    node_faults: Iterable[Node],
+    edge_faults: Iterable[Edge],
+    policy: SolvePolicy,
+):
+    edges = frozenset(tuple(_normalize_edge(network, e)) for e in edge_faults)
+    view = _EdgeFaultedView(network, frozenset(node_faults), edges)
+    inst = SpanningPathInstance(view)  # type: ignore[arg-type]
+    return solve(inst, policy)
+
+
+def find_pipeline_with_edge_faults(
+    network: PipelineNetwork,
+    node_faults: Iterable[Node] = (),
+    edge_faults: Iterable[Edge] = (),
+    policy: SolvePolicy | None = None,
+) -> Pipeline | None:
+    """Exact pipeline search under mixed faults (edges removed directly,
+    no reduction).  Returns a pipeline of the *edge-faulted* graph
+    spanning all processors healthy in the node sense, or ``None``.
+    Raises :class:`~repro.errors.BudgetExceededError` on an inconclusive
+    search — it never converts "don't know" into "no"."""
+    from ..errors import BudgetExceededError
+
+    policy = policy or SolvePolicy()
+    report = _solve_with_edge_faults(network, node_faults, edge_faults, policy)
+    if report.status is Status.FOUND:
+        return Pipeline.oriented(report.path, network)
+    if report.status is Status.UNDECIDED:
+        raise BudgetExceededError(
+            "pipeline existence under edge faults undecided; raise the budget"
+        )
+    return None
+
+
+@dataclass(frozen=True)
+class MixedFaultComparison:
+    """Outcome of comparing the exact edge-fault model with the
+    reduction, over an exhaustive budget sweep."""
+
+    tolerated_exact: int
+    tolerated_reduced: int
+    checked: int
+
+    @property
+    def reduction_conservatism(self) -> float:
+        """Fraction of mixed fault sets the exact model tolerates but the
+        reduction (which burns a processor per link fault) also does —
+        i.e. how often the conservative answer agrees."""
+        if self.tolerated_exact == 0:
+            return 1.0
+        return self.tolerated_reduced / self.tolerated_exact
+
+
+def verify_reduced_edge_model_exhaustive(
+    network: PipelineNetwork,
+    node_budget: int,
+    edge_budget: int,
+    policy: SolvePolicy | None = None,
+) -> VerificationCertificate:
+    """Exhaustively verify the *guaranteed* reduced-model property: for
+    every mixed fault set with ``|F_n| + |F_e| <= k`` (within the given
+    per-kind budgets), the retirement reduction yields a tolerable node
+    fault set.  A counterexample here is a genuine bug in a claimed k-GD
+    construction."""
+    policy = policy or SolvePolicy()
+    k = network.k
+    t0 = time.perf_counter()
+    nodes = sorted(network.graph.nodes, key=repr)
+    edges = sorted(
+        (tuple(sorted(e, key=repr)) for e in network.graph.edges), key=repr
+    )
+    checked = tolerated = 0
+    undecided: list = []
+    for fn in range(node_budget + 1):
+        for fe in range(edge_budget + 1):
+            if fn + fe > k:
+                continue
+            for node_set in itertools.combinations(nodes, fn):
+                for edge_set in itertools.combinations(edges, fe):
+                    checked += 1
+                    reduced = reduce_mixed_faults(network, node_set, edge_set)
+                    inst = SpanningPathInstance(network.surviving(reduced))
+                    report = solve(inst, policy)
+                    if report.status is Status.FOUND:
+                        tolerated += 1
+                    elif report.status is Status.UNDECIDED:
+                        undecided.append(tuple(node_set) + tuple(edge_set))
+                    else:
+                        return VerificationCertificate(
+                            mode=VerificationMode.EXHAUSTIVE,
+                            k=k,
+                            checked=checked,
+                            tolerated=tolerated,
+                            counterexample=tuple(node_set) + tuple(edge_set),
+                            undecided=tuple(undecided),
+                            elapsed_seconds=time.perf_counter() - t0,
+                            network_description=repr(network),
+                        )
+    return VerificationCertificate(
+        mode=VerificationMode.EXHAUSTIVE,
+        k=k,
+        checked=checked,
+        tolerated=tolerated,
+        counterexample=None,
+        undecided=tuple(undecided),
+        elapsed_seconds=time.perf_counter() - t0,
+        network_description=repr(network),
+    )
+
+
+def verify_edge_faults_exhaustive(
+    network: PipelineNetwork,
+    node_budget: int,
+    edge_budget: int,
+    policy: SolvePolicy | None = None,
+    *,
+    require_reduction_within_k: bool = True,
+) -> VerificationCertificate:
+    """Exhaustively verify tolerance of every mixed fault set with up to
+    ``node_budget`` node faults and up to ``edge_budget`` edge faults in
+    the **exact** model (edges removed directly; all node-healthy
+    processors must be spanned).
+
+    A counterexample is *not* a bug: k-graceful-degradability does not
+    promise the exact model (module docstring).  Use
+    :func:`verify_reduced_edge_model_exhaustive` for the guaranteed
+    property.  ``require_reduction_within_k`` restricts to mixed sets
+    with ``|F_n| + |F_e| <= k``.
+    """
+    policy = policy or SolvePolicy()
+    k = network.k
+    t0 = time.perf_counter()
+    nodes = sorted(network.graph.nodes, key=repr)
+    edges = sorted((tuple(sorted(e, key=repr)) for e in network.graph.edges), key=repr)
+    checked = tolerated = 0
+    counterexample = None
+    undecided: list = []
+    for fn in range(node_budget + 1):
+        for fe in range(edge_budget + 1):
+            if require_reduction_within_k and fn + fe > k:
+                continue
+            for node_set in itertools.combinations(nodes, fn):
+                for edge_set in itertools.combinations(edges, fe):
+                    checked += 1
+                    report = _solve_with_edge_faults(
+                        network, node_set, edge_set, policy
+                    )
+                    if report.status is Status.FOUND:
+                        tolerated += 1
+                    elif report.status is Status.UNDECIDED:
+                        undecided.append(tuple(node_set) + tuple(edge_set))
+                    else:
+                        counterexample = tuple(node_set) + tuple(edge_set)
+                        return VerificationCertificate(
+                            mode=VerificationMode.EXHAUSTIVE,
+                            k=k,
+                            checked=checked,
+                            tolerated=tolerated,
+                            counterexample=counterexample,
+                            undecided=tuple(undecided),
+                            elapsed_seconds=time.perf_counter() - t0,
+                            network_description=repr(network),
+                        )
+    return VerificationCertificate(
+        mode=VerificationMode.EXHAUSTIVE,
+        k=k,
+        checked=checked,
+        tolerated=tolerated,
+        counterexample=None,
+        undecided=tuple(undecided),
+        elapsed_seconds=time.perf_counter() - t0,
+        network_description=repr(network),
+    )
+
+
+def compare_models_exhaustive(
+    network: PipelineNetwork,
+    node_budget: int,
+    edge_budget: int,
+    policy: SolvePolicy | None = None,
+) -> MixedFaultComparison:
+    """For every mixed fault set within the budgets (no ``k`` cap),
+    decide tolerance in both the exact model and the reduced model, and
+    tally the comparison.  Quantifies the Hayes reduction's pessimism."""
+    policy = policy or SolvePolicy()
+    nodes = sorted(network.graph.nodes, key=repr)
+    edges = sorted((tuple(sorted(e, key=repr)) for e in network.graph.edges), key=repr)
+    checked = exact_ok = reduced_ok = 0
+    for fn in range(node_budget + 1):
+        for fe in range(edge_budget + 1):
+            for node_set in itertools.combinations(nodes, fn):
+                for edge_set in itertools.combinations(edges, fe):
+                    checked += 1
+                    exact = _solve_with_edge_faults(
+                        network, node_set, edge_set, policy
+                    )
+                    if exact.status is Status.FOUND:
+                        exact_ok += 1
+                    reduced = reduce_mixed_faults(network, node_set, edge_set)
+                    inst = SpanningPathInstance(network.surviving(reduced))
+                    if solve(inst, policy).status is Status.FOUND:
+                        reduced_ok += 1
+    return MixedFaultComparison(exact_ok, reduced_ok, checked)

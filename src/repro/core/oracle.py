@@ -1,0 +1,102 @@
+"""Brute-force reference oracle.
+
+Every fast decision procedure in this library ultimately answers one
+question: *does ``G \\ F`` contain a pipeline?*  This module answers it
+by sheer enumeration of processor permutations — hopeless beyond ~8
+healthy processors, but **obviously correct**, which makes it the anchor
+the solver suite is differentially tested against
+(``tests/test_oracle.py`` cross-checks every solver on every fault set
+of the small constructions).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable
+
+from ..errors import InvalidParameterError
+from .model import PipelineNetwork
+from .pipeline import is_pipeline
+
+Node = Hashable
+
+#: permutation enumeration is factorial; refuse beyond this many healthy
+#: processors.
+ORACLE_LIMIT = 9
+
+
+def enumerate_pipelines_bruteforce(
+    network: PipelineNetwork, faults: Iterable[Node] = ()
+) -> list[tuple[Node, ...]]:
+    """Every pipeline of ``network \\ faults``, as full node tuples
+    (terminal included), one orientation per undirected pipeline
+    (normalized input→output)."""
+    surv = network.surviving(faults)
+    procs = sorted(surv.processors, key=repr)
+    if len(procs) > ORACLE_LIMIT:
+        raise InvalidParameterError(
+            f"brute force limited to {ORACLE_LIMIT} healthy processors, "
+            f"got {len(procs)}"
+        )
+    faults = frozenset(faults)
+    out: list[tuple[Node, ...]] = []
+    graph = surv.graph
+    ins = surv.inputs
+    outs = surv.outputs
+    if not procs:
+        return out
+    seen: set[tuple[Node, ...]] = set()
+    for perm in itertools.permutations(procs):
+        if not all(graph.has_edge(a, b) for a, b in zip(perm, perm[1:])):
+            continue
+        heads = [t for t in graph.neighbors(perm[0]) if t in ins]
+        tails = [t for t in graph.neighbors(perm[-1]) if t in outs]
+        for t_in in sorted(heads, key=repr):
+            for t_out in sorted(tails, key=repr):
+                seq = (t_in, *perm, t_out)
+                rev = tuple(reversed(seq))
+                if rev in seen:
+                    continue
+                if is_pipeline(network, seq, faults):
+                    seen.add(seq)
+                    out.append(seq)
+    return out
+
+
+def has_pipeline_bruteforce(
+    network: PipelineNetwork, faults: Iterable[Node] = ()
+) -> bool:
+    """Ground-truth pipeline existence by enumeration (small nets only).
+
+    >>> from .constructions import build_g1k
+    >>> has_pipeline_bruteforce(build_g1k(1))
+    True
+    >>> has_pipeline_bruteforce(build_g1k(1), ["p0", "p1"])
+    False
+    """
+    surv = network.surviving(faults)
+    procs = sorted(surv.processors, key=repr)
+    if len(procs) > ORACLE_LIMIT:
+        raise InvalidParameterError(
+            f"brute force limited to {ORACLE_LIMIT} healthy processors"
+        )
+    faults = frozenset(faults)
+    graph = surv.graph
+    ins = surv.inputs
+    outs = surv.outputs
+    if not ins or not outs:
+        return False
+    if not procs:
+        return False
+    for perm in itertools.permutations(procs):
+        if not all(graph.has_edge(a, b) for a, b in zip(perm, perm[1:])):
+            continue
+        head_in = any(t in ins for t in graph.neighbors(perm[0]))
+        tail_out = any(t in outs for t in graph.neighbors(perm[-1]))
+        if head_in and tail_out:
+            return True
+        head_out = any(t in outs for t in graph.neighbors(perm[0]))
+        tail_in = any(t in ins for t in graph.neighbors(perm[-1]))
+        if head_out and tail_in:
+            return True
+    return False

@@ -1,0 +1,141 @@
+"""The pipeline definition (Section 3) and validators.
+
+    A *pipeline* in ``G`` is a path ``(a0, ..., aq)`` in ``G`` such that
+    either ``a0 in Ti`` and ``aq in To`` (or the reverse), and in either
+    case ``{a1, ..., a_{q-1}} = V \\ (Ti U To)``.
+
+That is: the two endpoints are terminals of opposite kinds and the interior
+is **exactly** the set of all processor nodes.  Applied to ``G \\ F`` this
+becomes: endpoints are healthy terminals of opposite kinds, interior is all
+healthy processors — graceful degradation means no healthy processor is
+wasted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..errors import InvalidParameterError
+from ..graphs.paths import is_path_in_graph
+from .model import PipelineNetwork
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """An ordered pipeline: input terminal, processors in order, output
+    terminal.
+
+    Instances are always stored in input→output orientation; the
+    constructor accepts either orientation and normalizes (the paper allows
+    ``a0 in To`` and ``aq in Ti``).
+    """
+
+    nodes: tuple[Node, ...]
+
+    def __init__(self, nodes: Sequence[Node]) -> None:
+        if len(nodes) < 3:
+            raise InvalidParameterError(
+                "a pipeline has at least 3 nodes (terminal, processor, terminal)"
+            )
+        object.__setattr__(self, "nodes", tuple(nodes))
+
+    @classmethod
+    def oriented(cls, nodes: Sequence[Node], network: PipelineNetwork) -> "Pipeline":
+        """Build a pipeline normalized to input→output orientation."""
+        if not nodes:
+            raise InvalidParameterError("empty pipeline")
+        if nodes[0] in network.outputs and nodes[-1] in network.inputs:
+            nodes = list(reversed(nodes))
+        return cls(nodes)
+
+    @property
+    def source(self) -> Node:
+        """The first endpoint (the input terminal once oriented)."""
+        return self.nodes[0]
+
+    @property
+    def sink(self) -> Node:
+        """The last endpoint (the output terminal once oriented)."""
+        return self.nodes[-1]
+
+    @property
+    def stages(self) -> tuple[Node, ...]:
+        """The processor nodes, in pipeline order."""
+        return self.nodes[1:-1]
+
+    @property
+    def length(self) -> int:
+        """Number of processor stages (the paper's pipeline length)."""
+        return len(self.nodes) - 2
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"<Pipeline {self.source!r} -> {self.length} stages -> {self.sink!r}>"
+
+
+def explain_pipeline_failure(
+    network: PipelineNetwork,
+    nodes: Sequence[Node],
+    faults: Iterable[Node] = (),
+) -> str | None:
+    """Why *nodes* is not a pipeline of ``network \\ faults`` — or ``None``
+    if it is one.
+
+    Checks, in order: fault avoidance, endpoints are healthy terminals of
+    opposite kinds, the sequence is a path of the surviving graph, and the
+    interior equals the full set of healthy processors.
+    """
+    F = frozenset(faults)
+    surv = network.surviving(F)
+    seq = list(nodes)
+    if len(seq) < 3:
+        return f"too short ({len(seq)} nodes; a pipeline needs >= 3)"
+    hit = [v for v in seq if v in F]
+    if hit:
+        return f"uses faulty nodes: {sorted(map(repr, hit))}"
+    a0, aq = seq[0], seq[-1]
+    fwd = a0 in surv.inputs and aq in surv.outputs
+    bwd = a0 in surv.outputs and aq in surv.inputs
+    if not (fwd or bwd):
+        return (
+            f"endpoints ({a0!r}, {aq!r}) are not a healthy input/output "
+            "terminal pair"
+        )
+    interior = seq[1:-1]
+    bad_interior = [v for v in interior if v in network.terminals]
+    if bad_interior:
+        return f"interior contains terminals: {sorted(map(repr, bad_interior))}"
+    if not is_path_in_graph(surv.graph, seq):
+        return "sequence is not a path of the surviving graph"
+    want = surv.processors
+    got = set(interior)
+    if got != want:
+        missing = want - got
+        return (
+            f"interior does not cover all healthy processors "
+            f"(missing {sorted(map(repr, missing))})"
+        )
+    return None
+
+
+def is_pipeline(
+    network: PipelineNetwork,
+    nodes: Sequence[Node] | Pipeline,
+    faults: Iterable[Node] = (),
+) -> bool:
+    """True iff *nodes* is a pipeline of ``network \\ faults``.
+
+    This is the executable form of the paper's pipeline definition — it is
+    the ground-truth predicate every solver and construction in the library
+    is tested against.
+    """
+    seq = nodes.nodes if isinstance(nodes, Pipeline) else nodes
+    return explain_pipeline_failure(network, seq, faults) is None

@@ -1,0 +1,150 @@
+"""Guided topology repair.
+
+Given a network that *fails* k-GD verification, propose edge additions
+that fix it.  The loop is counterexample-driven:
+
+1. find an intolerable fault set (lemma witnesses first — they're
+   cheap — then exhaustive search);
+2. for that fault set, try candidate edges between healthy nodes and
+   keep one whose addition restores a pipeline for it (preferring edges
+   that least increase the maximum processor degree);
+3. repeat until verification passes or the edge budget runs out.
+
+This inverts the paper's workflow (it *designs* optimal graphs; this
+tool patches broken ones toward feasibility) — the result is generally
+*not* degree-optimal, but the tool reports how far above the bound the
+patched network lands, so users know what they paid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Hashable
+
+from ..errors import InvalidParameterError
+from .bounds import degree_lower_bound
+from .hamilton import SolvePolicy, SpanningPathInstance, Status, solve
+from .model import PipelineNetwork
+from .verify.exhaustive import verify_exhaustive
+from .witnesses import find_fatal_witness
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class RepairStep:
+    """One accepted reinforcement edge."""
+
+    edge: tuple[Node, Node]
+    fixed_fault_set: tuple[Node, ...]
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a repair attempt."""
+
+    success: bool
+    steps: list[RepairStep] = field(default_factory=list)
+    final_max_degree: int = 0
+    degree_bound: int = 0
+    remaining_counterexample: tuple[Node, ...] | None = None
+
+    @property
+    def edges_added(self) -> int:
+        return len(self.steps)
+
+    @property
+    def degree_overhead(self) -> int:
+        return self.final_max_degree - self.degree_bound
+
+
+def _find_counterexample(
+    network: PipelineNetwork, policy: SolvePolicy
+) -> tuple[Node, ...] | None:
+    wit = find_fatal_witness(network, policy)
+    if wit is not None:
+        return tuple(sorted(wit.faults, key=repr))
+    cert = verify_exhaustive(network, policy=policy)
+    return cert.counterexample
+
+
+def _candidate_edges(network: PipelineNetwork, fault_set: tuple):
+    """Candidate reinforcements for one counterexample: processor-
+    processor non-edges among the survivors, lowest combined degree
+    first (so the repair disturbs the degree profile least)."""
+    faults = set(fault_set)
+    procs = sorted(network.processors - faults, key=repr)
+    g = network.graph
+    pairs = [
+        (u, v)
+        for u, v in combinations(procs, 2)
+        if not g.has_edge(u, v)
+    ]
+    pairs.sort(key=lambda e: (g.degree(e[0]) + g.degree(e[1]), repr(e)))
+    return pairs
+
+
+def repair_network(
+    network: PipelineNetwork,
+    max_edges: int = 10,
+    policy: SolvePolicy | None = None,
+) -> tuple[PipelineNetwork, RepairReport]:
+    """Reinforce *network* toward k-graceful-degradability.
+
+    Works on a copy; returns ``(patched_network, report)``.  The report's
+    ``success`` is backed by a full exhaustive verification of the final
+    graph.  Raises when the network is too large to verify exhaustively
+    in reasonable time (> 24 nodes) — repair is a small-instance design
+    aid.
+
+    >>> import networkx as nx
+    >>> from .model import PipelineNetwork
+    >>> g = nx.Graph([("i0", "p0"), ("i1", "p1"), ("p0", "p1"),
+    ...               ("p1", "p2"), ("p2", "o0"), ("p0", "o1")])
+    >>> net = PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=2, k=1)
+    >>> patched, report = repair_network(net)
+    >>> report.success
+    True
+    """
+    if len(network.graph) > 24:
+        raise InvalidParameterError(
+            "repair relies on exhaustive verification; limited to 24 nodes"
+        )
+    policy = policy or SolvePolicy()
+    patched = network.copy()
+    patched.meta.pop("construction", None)  # constructive shortcuts now invalid
+    report = RepairReport(
+        success=False,
+        degree_bound=degree_lower_bound(network.n, network.k),
+    )
+    for _ in range(max_edges):
+        counterexample = _find_counterexample(patched, policy)
+        if counterexample is None:
+            report.success = True
+            break
+        fixed = False
+        for u, v in _candidate_edges(patched, counterexample):
+            patched.graph.add_edge(u, v)
+            inst = SpanningPathInstance(patched.surviving(counterexample))
+            if solve(inst, policy).status is Status.FOUND:
+                report.steps.append(RepairStep((u, v), counterexample))
+                fixed = True
+                break
+            patched.graph.remove_edge(u, v)
+        if not fixed:
+            report.remaining_counterexample = counterexample
+            break
+    else:
+        report.remaining_counterexample = _find_counterexample(patched, policy)
+        report.success = report.remaining_counterexample is None
+    if not report.steps and report.remaining_counterexample is None:
+        report.success = True
+    if report.success:
+        # back the claim with a full sweep
+        cert = verify_exhaustive(patched, policy=policy)
+        report.success = cert.is_proof
+        if not report.success:
+            report.remaining_counterexample = cert.counterexample
+    report.final_max_degree = patched.max_processor_degree()
+    return patched, report

@@ -1,0 +1,273 @@
+"""Online reconfiguration sessions.
+
+A real system does not receive its fault set in one batch: nodes die one
+at a time, and after each death the runtime must re-embed the pipeline.
+:class:`ReconfigurationSession` maintains that evolving state and
+measures **embedding stability** — how much of the pipeline survives each
+re-embedding in place.  Stability matters operationally: a stage that
+keeps its position keeps its caches, channel setup and in-flight state,
+while a moved stage pays a migration cost.
+
+Churn metrics per fault event:
+
+* ``moved`` — processors whose *successor* in the pipeline changed
+  (their outbound channel must be re-established);
+* ``kept`` — processors whose local neighborhood is unchanged;
+* churn ratio — ``moved / healthy``.
+
+The session prefers minimally-disruptive embeddings by seeding the
+solver with the previous pipeline's order, then falls back to the
+construction's own reconfiguration algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from ..errors import ReconfigurationError
+from .hamilton import SolvePolicy, SpanningPathInstance, Status, solve_posa
+from .model import PipelineNetwork
+from .pipeline import Pipeline, is_pipeline
+from .reconfigure import reconfigure
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ChurnRecord:
+    """Stability accounting for one fault event."""
+
+    fault: Node
+    fault_index: int
+    healthy_processors: int
+    moved: int
+    kept: int
+    was_on_pipeline: bool
+
+    @property
+    def churn(self) -> float:
+        total = self.moved + self.kept
+        return self.moved / total if total else 0.0
+
+
+def pipeline_churn(old: Pipeline, new: Pipeline) -> tuple[int, int]:
+    """``(moved, kept)`` between two pipelines: a surviving processor is
+    *kept* when its successor node in the new pipeline equals its old
+    successor (or it stayed the terminal-adjacent endpoint)."""
+    old_next: dict[Node, Node] = {}
+    for a, b in zip(old.nodes, old.nodes[1:]):
+        old_next[a] = b
+    new_next: dict[Node, Node] = {}
+    for a, b in zip(new.nodes, new.nodes[1:]):
+        new_next[a] = b
+    moved = kept = 0
+    for p in new.stages:
+        if p in old_next and old_next[p] == new_next.get(p):
+            kept += 1
+        else:
+            moved += 1
+    return moved, kept
+
+
+class ReconfigurationSession:
+    """Incrementally degraded network with churn tracking.
+
+    >>> from .constructions import build
+    >>> s = ReconfigurationSession(build(9, 2))
+    >>> rec = s.fail("p3")
+    >>> s.pipeline.length == len(s.network.processors) - 1
+    True
+    >>> rec.churn <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        network: PipelineNetwork,
+        policy: SolvePolicy | None = None,
+        *,
+        minimize_churn: bool = True,
+    ) -> None:
+        self.network = network
+        self.policy = policy or SolvePolicy()
+        self.minimize_churn = minimize_churn
+        self.faults: set[Node] = set()
+        self.history: list[ChurnRecord] = []
+        self.pipeline: Pipeline = reconfigure(network, (), self.policy)
+
+    @property
+    def healthy_processors(self) -> frozenset:
+        return self.network.processors - self.faults
+
+    def _healthy_terminal_for(self, stage: Node, kind: str) -> Node | None:
+        terms = self.network.inputs if kind == "input" else self.network.outputs
+        for t in self.network.graph.neighbors(stage):
+            if t in terms and t not in self.faults:
+                return t
+        return None
+
+    def _local_repair(self, dead: Node) -> Pipeline | None:
+        """Splice the dead node out of the current pipeline with a
+        minimal-churn local repair.
+
+        After removing the dead stage the path is broken into a left and
+        a right half.  Repairs tried, cheapest first:
+
+        1. direct bridge: the halves' facing ends are adjacent;
+        2. 2-opt: reverse a prefix of the right half (or a suffix of the
+           left half) so a chord re-joins the halves — moves only the
+           reversed segment.
+
+        Dead terminals are handled by re-attaching the end stage to
+        another healthy terminal.  Returns ``None`` when no local repair
+        applies (caller falls back to heuristics / full reconfigure).
+        """
+        g = self.network.graph
+        nodes = list(self.pipeline.nodes)
+        if dead not in nodes:
+            return None
+        if dead == nodes[0] or dead == nodes[-1]:
+            # a terminal endpoint died: keep the stage order, swap the terminal
+            stages = list(self.pipeline.stages)
+            t_in = self._healthy_terminal_for(stages[0], "input")
+            t_out = self._healthy_terminal_for(stages[-1], "output")
+            if t_in is None or t_out is None:
+                return None
+            return Pipeline([t_in, *stages, t_out])
+        stages = [v for v in self.pipeline.stages if v != dead]
+        idx = self.pipeline.stages.index(dead)
+        left = list(self.pipeline.stages[:idx])
+        right = list(self.pipeline.stages[idx + 1:])
+
+        def finish(order: list[Node]) -> Pipeline | None:
+            if not order:
+                return None
+            t_in = self._healthy_terminal_for(order[0], "input")
+            t_out = self._healthy_terminal_for(order[-1], "output")
+            if t_in is None or t_out is None:
+                return None
+            if any(
+                not g.has_edge(a, b) for a, b in zip(order, order[1:])
+            ):
+                return None
+            return Pipeline([t_in, *order, t_out])
+
+        candidates: list[list[Node]] = []
+        if not left or not right:
+            candidates.append(stages)
+        elif g.has_edge(left[-1], right[0]):
+            candidates.append(left + right)
+        else:
+            # 2-opt on the right half: left ... left[-1] -- right[j] ...
+            # right[0] -- right[j+1] ... (reverse right[:j+1])
+            for j in range(1, len(right)):
+                if g.has_edge(left[-1], right[j]) and (
+                    j + 1 >= len(right) or g.has_edge(right[0], right[j + 1])
+                ):
+                    candidates.append(
+                        left + right[j::-1] + right[j + 1:]
+                    )
+                    break
+            # symmetric 2-opt on the left half
+            for j in range(len(left) - 1):
+                if g.has_edge(right[0], left[j]) and (
+                    j == 0 or g.has_edge(left[j - 1], left[-1])
+                ):
+                    candidates.append(
+                        left[:j] + left[:j-1:-1] + right
+                        if j > 0
+                        else left[::-1] + right
+                    )
+                    break
+        for order in candidates:
+            repaired = finish(order)
+            if repaired is not None:
+                return repaired
+        return None
+
+    def _stable_reembed(self, dead: Node) -> Pipeline | None:
+        """Minimal-churn re-embedding: local repair first, then a
+        previous-order-seeded heuristic."""
+        repaired = self._local_repair(dead)
+        if repaired is not None and is_pipeline(
+            self.network, repaired.nodes, self.faults
+        ):
+            return repaired
+        inst = SpanningPathInstance(self.network.surviving(self.faults))
+        if inst.trivial is not None:
+            if inst.trivial.status is Status.FOUND:
+                return Pipeline.oriented(inst.trivial.path, self.network)
+            return None
+        order = [
+            inst.index[p] for p in self.pipeline.stages if p in inst.index
+        ]
+        report = solve_posa(
+            inst,
+            restarts=8,
+            rotations=max(200, 4 * inst.h),
+            seed=self.policy.seed,
+            initial_order=order,
+        )
+        if report.status is Status.FOUND:
+            return Pipeline.oriented(report.path, self.network)
+        return None
+
+    def fail(self, node: Node) -> ChurnRecord:
+        """Inject one fault and re-embed if needed.
+
+        Raises :class:`~repro.errors.ReconfigurationError` when the
+        accumulated faults exceed what the network tolerates.
+        """
+        if node not in self.network.graph:
+            raise ReconfigurationError(f"{node!r} is not a node of the network")
+        idx = len(self.history)
+        already = node in self.faults
+        self.faults.add(node)
+        on_pipeline = node in set(self.pipeline.nodes)
+        if already or not on_pipeline:
+            record = ChurnRecord(
+                fault=node,
+                fault_index=idx,
+                healthy_processors=len(self.healthy_processors),
+                moved=0,
+                kept=self.pipeline.length,
+                was_on_pipeline=False,
+            )
+            self.history.append(record)
+            return record
+        old = self.pipeline
+        new: Pipeline | None = None
+        if self.minimize_churn:
+            new = self._stable_reembed(node)
+            if new is not None and not is_pipeline(
+                self.network, new.nodes, self.faults
+            ):
+                new = None
+        if new is None:
+            new = reconfigure(self.network, self.faults, self.policy)
+        moved, kept = pipeline_churn(old, new)
+        self.pipeline = new
+        record = ChurnRecord(
+            fault=node,
+            fault_index=idx,
+            healthy_processors=len(self.healthy_processors),
+            moved=moved,
+            kept=kept,
+            was_on_pipeline=True,
+        )
+        self.history.append(record)
+        return record
+
+    def fail_many(self, nodes: Iterable[Node]) -> list[ChurnRecord]:
+        """Inject faults one at a time, in order."""
+        return [self.fail(v) for v in nodes]
+
+    def total_moved(self) -> int:
+        return sum(r.moved for r in self.history)
+
+    def mean_churn(self) -> float:
+        relevant = [r for r in self.history if r.was_on_pipeline]
+        if not relevant:
+            return 0.0
+        return sum(r.churn for r in relevant) / len(relevant)

@@ -1,0 +1,42 @@
+"""k-graceful-degradability verification.
+
+* :mod:`repro.core.verify.certificates` — result objects;
+* :mod:`repro.core.verify.exhaustive` — check *every* fault set of size
+  ``<= k`` (a machine proof for the given instance; this is how the
+  paper's own "computer checking" of the special solutions worked);
+* :mod:`repro.core.verify.sampling` — randomized + adversarial fault
+  sampling for instances too large to exhaust;
+* :mod:`repro.core.verify.adversarial` — structure-aware fault-set
+  generators that target the constructions' weak spots.
+"""
+
+from .adversarial import (
+    ADVERSARIAL_GENERATORS,
+    attachment_attack,
+    neighborhood_attack,
+    segment_attack,
+    terminal_attack,
+    uniform_faults,
+)
+from .certificates import VerificationCertificate, VerificationMode
+from .exhaustive import verify_exhaustive
+from .parallel import verify_exhaustive_parallel
+from .regression import replay as replay_regression_vectors
+from .sampling import verify_sampled
+from .symmetry import verify_exhaustive_symmetry_reduced
+
+__all__ = [
+    "VerificationCertificate",
+    "VerificationMode",
+    "verify_exhaustive",
+    "verify_exhaustive_parallel",
+    "verify_exhaustive_symmetry_reduced",
+    "verify_sampled",
+    "replay_regression_vectors",
+    "ADVERSARIAL_GENERATORS",
+    "uniform_faults",
+    "terminal_attack",
+    "attachment_attack",
+    "neighborhood_attack",
+    "segment_attack",
+]

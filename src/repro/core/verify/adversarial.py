@@ -1,0 +1,150 @@
+"""Structure-aware fault-set generators.
+
+Uniform random fault sets rarely stress the tight spots of a
+construction; these generators aim at the configurations the paper's
+proofs sweat over:
+
+* wiping out terminals (forcing the Case-2 splice of Lemma 3.6);
+* attacking the attachment sets ``I`` / ``O`` (the only ways in and out);
+* carving consecutive segments out of the circulant core (the snake's
+  worst case);
+* saturating a single node's neighborhood (the Lemma 3.1 scenario).
+
+Each generator takes ``(network, k, rng)`` and returns a fault set of
+size ``<= k``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable
+
+from ..._util import as_rng
+from ..model import PipelineNetwork
+
+Node = Hashable
+FaultGenerator = Callable[[PipelineNetwork, int, random.Random], frozenset]
+
+
+def _sample(rng: random.Random, pool: list, count: int) -> list:
+    count = max(0, min(count, len(pool)))
+    return rng.sample(pool, count)
+
+
+def uniform_faults(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """A uniformly random fault set of uniformly random size ``0..k``."""
+    nodes = sorted(network.graph.nodes, key=repr)
+    return frozenset(_sample(rng, nodes, rng.randint(0, k)))
+
+
+def terminal_attack(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """Spend the whole budget on terminals — biased toward one side, so
+    that with ``|Ti| = k + 1`` exactly one input terminal survives."""
+    side = rng.choice(["in", "out", "mixed"])
+    ins = sorted(network.inputs, key=repr)
+    outs = sorted(network.outputs, key=repr)
+    if side == "in":
+        return frozenset(_sample(rng, ins, k))
+    if side == "out":
+        return frozenset(_sample(rng, outs, k))
+    split = rng.randint(0, k)
+    return frozenset(_sample(rng, ins, split) + _sample(rng, outs, k - split))
+
+
+def attachment_attack(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """Attack the attachment processors ``I`` / ``O`` (plus their
+    terminals), squeezing the pipeline's entry and exit points."""
+    side = rng.choice([network.I, network.O])
+    pool = sorted(side, key=repr)
+    picked = _sample(rng, pool, rng.randint(1, k))
+    rest = sorted(set(network.graph.nodes) - set(picked), key=repr)
+    picked += _sample(rng, rest, k - len(picked)) if rng.random() < 0.5 else []
+    return frozenset(picked[:k])
+
+
+def neighborhood_attack(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """Saturate the neighborhood of one processor — the scenario behind
+    the Lemma 3.1 degree bound (isolate or dead-end a node)."""
+    procs = sorted(network.processors, key=repr)
+    center = rng.choice(procs)
+    nbrs = sorted(network.graph.neighbors(center), key=repr)
+    return frozenset(_sample(rng, nbrs, k))
+
+
+def segment_attack(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """Remove a consecutive run of circulant nodes (asymptotic graphs) —
+    the hardest obstacle for snake routing.  Falls back to a random
+    connected blob for non-circulant constructions."""
+    meta = network.meta
+    if "m" in meta:
+        m = meta["m"]
+        start = rng.randrange(m)
+        length = rng.randint(1, k)
+        picked = [f"c{(start + j) % m}" for j in range(length)]
+        picked = [v for v in picked if v in network.graph]
+        rest = sorted(set(network.graph.nodes) - set(picked), key=repr)
+        return frozenset((picked + _sample(rng, rest, k - len(picked)))[:k])
+    # generic connected blob via BFS from a random processor
+    procs = sorted(network.processors, key=repr)
+    frontier = [rng.choice(procs)]
+    blob: list[Node] = []
+    seen = set(frontier)
+    while frontier and len(blob) < rng.randint(1, k):
+        v = frontier.pop(0)
+        blob.append(v)
+        for u in sorted(network.graph.neighbors(v), key=repr):
+            if u not in seen and u in network.processors:
+                seen.add(u)
+                frontier.append(u)
+    return frozenset(blob[:k])
+
+
+def matched_pair_attack(
+    network: PipelineNetwork, k: int, rng: random.Random
+) -> frozenset:
+    """For ``G(3,k)``-style graphs: kill nodes adjacent (in the clique)
+    to both endpoints of removed-matching pairs, thinning the ways around
+    the missing edges.  Generic fallback: low-degree processors first."""
+    matching = network.meta.get("removed_matching", ())
+    if matching:
+        pool = sorted({v for pair in matching for v in pair}, key=repr)
+    else:
+        pool = sorted(
+            network.processors, key=lambda v: (network.graph.degree(v), repr(v))
+        )
+    return frozenset(pool[: rng.randint(1, k)])
+
+
+#: The default adversarial battery used by sampled verification.
+ADVERSARIAL_GENERATORS: tuple[FaultGenerator, ...] = (
+    uniform_faults,
+    terminal_attack,
+    attachment_attack,
+    neighborhood_attack,
+    segment_attack,
+    matched_pair_attack,
+)
+
+
+def generate_fault_sets(
+    network: PipelineNetwork,
+    k: int,
+    count: int,
+    rng: random.Random | int | None = None,
+    generators: tuple[FaultGenerator, ...] = ADVERSARIAL_GENERATORS,
+):
+    """Yield *count* fault sets cycling through the generator battery."""
+    r = as_rng(rng)
+    for i in range(count):
+        gen = generators[i % len(generators)]
+        yield gen(network, k, r)

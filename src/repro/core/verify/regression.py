@@ -1,0 +1,88 @@
+"""Frozen regression vectors for the solver suite.
+
+A curated corpus of (construction, fault set, expected verdict) triples,
+chosen to pin down behaviours a future solver change could silently
+break: adversarial fault shapes on every construction family, verdicts
+on *both* sides of the tolerance boundary, and over-budget sets whose
+refutation requires a complete search (a heuristic-only solver would
+hang or lie on them).
+
+Replayed by ``tests/test_regression_vectors.py`` on every run.  Verdicts
+were computed with a 20M-node exact budget and are definitive for these
+finite instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..constructions import build
+from ..hamilton import SolvePolicy, find_pipeline
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class RegressionVector:
+    """One frozen case."""
+
+    n: int
+    k: int
+    faults: tuple[Node, ...]
+    tolerated: bool
+    note: str = ""
+
+
+#: The corpus.  Keep append-only: the point is that old verdicts stay
+#: pinned.
+VECTORS: tuple[RegressionVector, ...] = (
+    # --- within-budget tolerance on every family -----------------------
+    RegressionVector(6, 2, ("p0", "p1"), True, "special: two processors"),
+    RegressionVector(6, 2, ("p3", "o1", "i2"), True, "special: mixed kinds (|F|=3>k, still fine)"),
+    RegressionVector(8, 2, ("p4", "p8"), True, "special G(8,2)"),
+    RegressionVector(4, 3, ("p0", "p4", "i1"), True, "special G(4,3): both double-terminal processors"),
+    RegressionVector(3, 3, ("p0", "p2", "p4"), True, "G(3,3): alternating matched nodes"),
+    RegressionVector(9, 2, ("i0@1", "i1@1"), True, "extension: new terminals (Lemma 3.6 case 2)"),
+    RegressionVector(9, 2, ("p0", "i0"), True, "extension: relabeled node + base processor"),
+    RegressionVector(22, 4, ("c8", "c9", "c10", "c11"), True, "asymptotic: circulant segment of length k"),
+    RegressionVector(22, 4, ("ti1", "ti2", "ti3", "ti4"), True, "asymptotic: k input terminals dead"),
+    RegressionVector(22, 4, ("c0", "c5", "o0", "to3"), True, "asymptotic: S boundary + O attack"),
+    RegressionVector(26, 5, ("c0", "c9", "c10", "c18", "i3"), True, "bisector instance: spread attack"),
+    RegressionVector(14, 4, ("c4", "c5", "c6", "c7"), True, "floor instance: half the R set"),
+    RegressionVector(14, 4, ("i1", "i2", "i3", "i4"), True, "floor instance: k I-clique nodes"),
+    # --- hard negatives (exact refutation required) --------------------
+    RegressionVector(6, 2, ("i0", "i1", "i2"), False, "all input terminals dead (|F| = k+1)"),
+    RegressionVector(4, 3, ("p1", "p2", "p3", "p5"), False, "over budget: processor majority"),
+    RegressionVector(7, 3, ("p2", "p9", "p0", "p5"), False, "over budget on G(7,3)"),
+    RegressionVector(22, 4, ("i1", "i2", "i3", "i4", "i5"), False, "entire I clique dead (k+1 faults)"),
+    # --- beyond-budget positives (graceful slack) ------------------------
+    RegressionVector(14, 4, ("c4", "c5", "c6", "c7", "c0"), True, "k+1 faults, still survivable"),
+)
+
+
+@dataclass(frozen=True)
+class RegressionFailure:
+    """A vector whose replay disagreed with the frozen verdict."""
+
+    vector: RegressionVector
+    observed: bool
+
+
+def replay(
+    vectors: tuple[RegressionVector, ...] = VECTORS,
+    policy: SolvePolicy | None = None,
+) -> list[RegressionFailure]:
+    """Re-decide every vector; return the disagreements (empty = pass).
+
+    >>> replay()[:1]
+    []
+    """
+    policy = policy or SolvePolicy(budget=20_000_000)
+    failures: list[RegressionFailure] = []
+    for vec in vectors:
+        net = build(vec.n, vec.k)
+        observed = find_pipeline(net, vec.faults, policy) is not None
+        if observed != vec.tolerated:
+            failures.append(RegressionFailure(vec, observed))
+    return failures

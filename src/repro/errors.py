@@ -1,0 +1,65 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A construction or algorithm was called with out-of-range parameters.
+
+    The paper requires ``n >= 1`` and ``k >= 1`` throughout; individual
+    constructions impose further constraints (e.g. the asymptotic
+    construction of Section 3.4 needs ``k >= 4`` and ``n`` large enough for
+    the circulant core to exist).
+    """
+
+
+class ConstructionUnavailableError(ReproError, ValueError):
+    """No construction from the paper covers the requested ``(n, k)``.
+
+    The paper proves existence for ``n in {1, 2, 3}`` (any ``k``), for
+    ``k in {1, 2, 3}`` (any ``n``), for ``n = (k+1)*l + 1`` (Corollary 3.8),
+    and for ``k >= 4`` with ``n`` sufficiently large (Theorem 3.17).  The
+    remaining small-``n``/large-``k`` gap is not covered; the factory raises
+    this error in ``strict`` mode and falls back to the (degree-suboptimal)
+    clique-chain construction otherwise.
+    """
+
+
+class NotStandardError(ReproError, ValueError):
+    """An operation requiring a *standard* solution graph received a
+    network that is not standard (see Section 3 of the paper: node-optimal
+    and all terminals of degree 1)."""
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """An exact search exhausted its node budget without reaching a
+    definitive answer.  The caller may retry with a larger budget or treat
+    the instance as *undecided*."""
+
+
+class VerificationError(ReproError, RuntimeError):
+    """A verification pass found a fault set that the network does not
+    tolerate (used when the caller asked for an exception instead of a
+    certificate)."""
+
+
+class ReconfigurationError(ReproError, RuntimeError):
+    """No pipeline could be constructed for the given fault set.
+
+    For a correctly built ``k``-gracefully-degradable network and a fault
+    set of size at most ``k`` this should never happen; seeing it either
+    means the fault set was larger than ``k`` or indicates a bug (or an
+    exhausted search budget, see :class:`BudgetExceededError`).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""

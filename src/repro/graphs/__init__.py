@@ -1,0 +1,54 @@
+"""Graph-theory substrate used by the paper's constructions.
+
+This subpackage contains the generic (unlabeled) graph machinery the
+constructions of Cypher & Laing are built from:
+
+* :mod:`repro.graphs.circulant` — circulant graphs (Elspas & Turner [10]),
+  the core of the Section 3.4 asymptotic construction and of Hayes's
+  fault-tolerant cycles [13];
+* :mod:`repro.graphs.paths` — path/cycle helpers and spanning-path
+  predicates;
+* :mod:`repro.graphs.generators` — cliques-minus-matchings and other
+  structured generators used by ``G(n, k)`` for small ``n``;
+* :mod:`repro.graphs.isomorphism` — labeled-graph isomorphism used by the
+  uniqueness results (Lemmas 3.7 and 3.9);
+* :mod:`repro.graphs.degrees` — degree-profile utilities.
+"""
+
+from .circulant import (
+    circulant_graph,
+    circulant_offsets_for_degree,
+    is_circulant_edge,
+    normalize_offsets,
+)
+from .degrees import degree_histogram, degree_profile, max_degree, min_degree
+from .generators import clique, clique_minus_matching, consecutive_pair_matching
+from .isomorphism import labeled_isomorphic, processor_subgraph_isomorphic
+from .paths import (
+    graph_path,
+    graph_cycle,
+    is_path_in_graph,
+    is_spanning_path,
+    path_edges,
+)
+
+__all__ = [
+    "circulant_graph",
+    "circulant_offsets_for_degree",
+    "is_circulant_edge",
+    "normalize_offsets",
+    "degree_histogram",
+    "degree_profile",
+    "max_degree",
+    "min_degree",
+    "clique",
+    "clique_minus_matching",
+    "consecutive_pair_matching",
+    "labeled_isomorphic",
+    "processor_subgraph_isomorphic",
+    "graph_path",
+    "graph_cycle",
+    "is_path_in_graph",
+    "is_spanning_path",
+    "path_edges",
+]

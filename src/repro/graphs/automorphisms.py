@@ -1,0 +1,102 @@
+"""Label-respecting automorphisms of pipeline networks.
+
+The symmetry group of a construction explains much of its behaviour:
+``G(1,k)`` is invariant under any permutation of its ``k+1``
+(input, processor, output) triples — order ``(k+1)!`` — which is why its
+exhaustive verification could, in principle, be collapsed to orbit
+representatives.  This module counts (and optionally enumerates)
+automorphisms that preserve node kinds, and provides the orbit partition
+used by the symmetry-reduction analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nxiso
+
+from ..core.model import PipelineNetwork
+
+Node = Hashable
+
+
+def _kind_graph(network: PipelineNetwork) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(
+        (v, {"kind": network.kind(v).value}) for v in network.graph.nodes
+    )
+    g.add_edges_from(network.graph.edges)
+    return g
+
+
+def iter_automorphisms(network: PipelineNetwork) -> Iterator[dict]:
+    """Yield every kind-preserving automorphism as a node mapping."""
+    g = _kind_graph(network)
+    matcher = nxiso.GraphMatcher(
+        g, g, node_match=nxiso.categorical_node_match("kind", None)
+    )
+    yield from matcher.isomorphisms_iter()
+
+
+def automorphism_count(network: PipelineNetwork, limit: int | None = None) -> int:
+    """The order of the kind-preserving automorphism group.
+
+    *limit* caps the enumeration (returns ``limit`` when reached), since
+    highly symmetric graphs have factorially many automorphisms.
+
+    >>> from repro import build_g1k
+    >>> automorphism_count(build_g1k(2))
+    6
+    """
+    count = 0
+    for _ in iter_automorphisms(network):
+        count += 1
+        if limit is not None and count >= limit:
+            return count
+    return count
+
+
+def node_orbits(network: PipelineNetwork, max_autos: int = 50_000) -> list[frozenset]:
+    """The orbit partition of the nodes under the automorphism group
+    (nodes in the same orbit are structurally interchangeable — fault
+    sets related by an automorphism have identical tolerance).
+
+    Enumeration is capped at *max_autos* automorphisms; the partition is
+    still correct as long as the generators seen connect the orbits
+    (guaranteed when the full group is enumerated)."""
+    parent: dict[Node, Node] = {v: v for v in network.graph.nodes}
+
+    def find(v: Node) -> Node:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(a: Node, b: Node) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    seen = 0
+    for auto in iter_automorphisms(network):
+        for v, w in auto.items():
+            if v != w:
+                union(v, w)
+        seen += 1
+        if seen >= max_autos:
+            break
+    orbits: dict[Node, set] = {}
+    for v in network.graph.nodes:
+        orbits.setdefault(find(v), set()).add(v)
+    return sorted(
+        (frozenset(o) for o in orbits.values()),
+        key=lambda o: (len(o), sorted(map(repr, o))),
+    )
+
+
+def symmetry_reduction_factor(network: PipelineNetwork) -> float:
+    """How much a single-fault sweep shrinks under symmetry: total nodes
+    divided by orbit count (1.0 = no symmetry to exploit)."""
+    orbits = node_orbits(network)
+    return len(network.graph) / len(orbits)

@@ -1,0 +1,111 @@
+"""Circulant graphs (Elspas & Turner, *Graphs with circulant adjacency
+matrices*, J. Combinatorial Theory 1970 — reference [10] of the paper).
+
+A circulant graph is specified by a positive integer ``m`` (the number of
+nodes, labeled ``0 .. m-1``) and a set ``S`` of positive *offsets*: node
+``i`` is adjacent to node ``j`` iff ``j = (i + s) mod m`` for some
+``s in S`` (equivalently ``i = (j + s) mod m``, since the relation is
+symmetrized).
+
+The asymptotic construction of Section 3.4 uses a circulant core with
+offsets ``{1, .., p+1}`` (``p = floor(k/2)``), plus the *bisector* offset
+``floor(m/2)`` when ``k`` is odd.  Hayes's fault-tolerant cycle
+construction [13] is a circulant as well; the paper notes its circulant
+subgraph is a supergraph of Hayes's with the same maximum degree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from .._util import check_positive_int
+from ..errors import InvalidParameterError
+
+
+def normalize_offsets(m: int, offsets: Iterable[int]) -> frozenset[int]:
+    """Reduce *offsets* modulo ``m`` into canonical form.
+
+    Each offset ``s`` is mapped to ``min(s mod m, (-s) mod m)`` — the two
+    describe the same adjacency.  Offsets congruent to ``0 (mod m)`` are
+    rejected (they would be self-loops).
+
+    >>> sorted(normalize_offsets(10, [1, 9, 12]))
+    [1, 2]
+    """
+    check_positive_int(m, "m")
+    out: set[int] = set()
+    for s in offsets:
+        if isinstance(s, bool) or not isinstance(s, int):
+            raise InvalidParameterError(f"offset must be an int, got {s!r}")
+        r = s % m
+        if r == 0:
+            raise InvalidParameterError(f"offset {s} is 0 mod {m} (self-loop)")
+        out.add(min(r, m - r))
+    return frozenset(out)
+
+
+def circulant_graph(m: int, offsets: Iterable[int]) -> nx.Graph:
+    """Build the circulant graph on ``m`` nodes with the given offsets.
+
+    Nodes are the integers ``0 .. m-1``.  Equivalent to
+    :func:`networkx.circulant_graph` but with offset validation and
+    canonicalization, and it records the normalized offsets on the graph
+    (``G.graph["offsets"]``) so downstream code (e.g. the snake router in
+    :mod:`repro.core.reconfigure`) can reason about the structure.
+    """
+    check_positive_int(m, "m")
+    offs = normalize_offsets(m, offsets)
+    G = nx.Graph()
+    G.add_nodes_from(range(m))
+    for i in range(m):
+        for s in offs:
+            j = (i + s) % m
+            if i != j:
+                G.add_edge(i, j)
+    G.graph["offsets"] = offs
+    G.graph["m"] = m
+    return G
+
+
+def is_circulant_edge(m: int, offsets: Iterable[int], i: int, j: int) -> bool:
+    """Whether nodes ``i`` and ``j`` are adjacent in the circulant
+    ``(m, offsets)`` — without materializing the graph."""
+    offs = normalize_offsets(m, offsets)
+    d = (i - j) % m
+    return min(d, m - d) in offs
+
+
+def circulant_offsets_for_degree(m: int, degree: int) -> frozenset[int]:
+    """Smallest-offset set achieving a target *degree* on ``m`` nodes.
+
+    Uses consecutive offsets ``1, 2, ...``; when *degree* is odd, ``m`` must
+    be even and the half-offset ``m/2`` (which contributes exactly one
+    neighbor per node) is included.  This mirrors how both Hayes's cycles
+    and the paper's circulant core hit an exact degree budget.
+
+    >>> sorted(circulant_offsets_for_degree(10, 4))
+    [1, 2]
+    >>> sorted(circulant_offsets_for_degree(10, 5))
+    [1, 2, 5]
+    """
+    check_positive_int(m, "m")
+    check_positive_int(degree, "degree")
+    if degree > m - 1:
+        raise InvalidParameterError(
+            f"degree {degree} impossible on {m} nodes (max {m - 1})"
+        )
+    half, odd = divmod(degree, 2)
+    offs = set(range(1, half + 1))
+    if odd:
+        if m % 2 != 0:
+            raise InvalidParameterError(
+                f"odd degree {degree} requires even m, got m={m}"
+            )
+        if m // 2 <= half:
+            raise InvalidParameterError(
+                f"cannot reach degree {degree} on m={m}: half-offset collides"
+            )
+        offs.add(m // 2)
+    return normalize_offsets(m, offs)

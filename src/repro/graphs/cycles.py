@@ -1,0 +1,97 @@
+"""Exact fixed-length cycle search (for Hayes's k-FT cycles).
+
+Hayes's construction [13] guarantees an ``n``-cycle in the survivor
+graph; the heuristic in :mod:`repro.baselines.hayes` finds one quickly,
+but the *baseline verification benchmarks* need an exact decision
+procedure on small instances.  This module provides a pruned DFS that
+decides "does ``G`` contain a (not necessarily induced) cycle through
+exactly ``n`` nodes?" — i.e. an ``n``-cycle subgraph — and returns a
+witness.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from .._util import iter_bits
+from ..errors import BudgetExceededError
+
+Node = Hashable
+
+
+def find_cycle_of_length(
+    graph: nx.Graph, length: int, budget: int = 2_000_000
+) -> list[Node] | None:
+    """An ``length``-node cycle of *graph*, or ``None`` (exact).
+
+    DFS from each anchor node (smallest id on the cycle, to kill cyclic
+    symmetry), depth-limited to *length*, closing back to the anchor.
+    Prunes on remaining-depth reachability.
+
+    >>> import networkx as nx
+    >>> find_cycle_of_length(nx.cycle_graph(5), 5) is not None
+    True
+    >>> find_cycle_of_length(nx.path_graph(5), 3) is None
+    True
+    """
+    if length < 3 or len(graph) < length:
+        return None
+    nodes = sorted(graph.nodes, key=repr)
+    index = {v: i for i, v in enumerate(nodes)}
+    h = len(nodes)
+    adj = [0] * h
+    for v in nodes:
+        for u in graph.neighbors(v):
+            adj[index[v]] |= 1 << index[u]
+    expanded = 0
+
+    def dfs(anchor: int, cur: int, mask: int, depth: int, path: list[int]):
+        nonlocal expanded
+        expanded += 1
+        if expanded > budget:
+            raise BudgetExceededError(f"cycle search budget {budget} exhausted")
+        if depth == length:
+            return bool(adj[cur] & (1 << anchor))
+        ext = adj[cur] & ~mask
+        while ext:
+            low = ext & -ext
+            ext ^= low
+            j = low.bit_length() - 1
+            if j < anchor:
+                continue  # anchor is the smallest index on the cycle
+            path.append(j)
+            if dfs(anchor, j, mask | low, depth + 1, path):
+                return True
+            path.pop()
+        return False
+
+    for anchor in range(h):
+        path = [anchor]
+        if dfs(anchor, anchor, 1 << anchor, 1, path):
+            return [nodes[i] for i in path]
+    return None
+
+
+def has_cycle_of_length_at_least(
+    graph: nx.Graph, length: int, budget: int = 2_000_000
+) -> bool:
+    """Whether *graph* contains a cycle on at least *length* nodes
+    (exact, via fixed-length searches from the largest candidate down —
+    dense graphs hit immediately on the first try)."""
+    for target in range(len(graph), length - 1, -1):
+        if find_cycle_of_length(graph, target, budget) is not None:
+            return True
+    return False
+
+
+def is_cycle_in_graph(graph: nx.Graph, cycle: Sequence[Node]) -> bool:
+    """Validate a cycle witness: distinct nodes, consecutive edges, and
+    the wrap-around edge."""
+    if len(cycle) < 3 or len(set(cycle)) != len(cycle):
+        return False
+    if any(v not in graph for v in cycle):
+        return False
+    m = len(cycle)
+    return all(graph.has_edge(cycle[i], cycle[(i + 1) % m]) for i in range(m))

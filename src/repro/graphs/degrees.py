@@ -1,0 +1,51 @@
+"""Degree-profile utilities.
+
+The paper's optimality results are all stated in terms of the **maximum
+degree of the processor nodes** — terminals always have degree 1 in
+standard solutions — so most callers pass an explicit node subset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Node = Hashable
+
+
+def _nodes(G: nx.Graph, nodes: Iterable[Node] | None) -> list[Node]:
+    return list(G.nodes) if nodes is None else list(nodes)
+
+
+def max_degree(G: nx.Graph, nodes: Iterable[Node] | None = None) -> int:
+    """Maximum degree over *nodes* (default: all nodes of *G*)."""
+    ns = _nodes(G, nodes)
+    if not ns:
+        return 0
+    return max(G.degree(v) for v in ns)
+
+
+def min_degree(G: nx.Graph, nodes: Iterable[Node] | None = None) -> int:
+    """Minimum degree over *nodes* (default: all nodes of *G*)."""
+    ns = _nodes(G, nodes)
+    if not ns:
+        return 0
+    return min(G.degree(v) for v in ns)
+
+
+def degree_profile(G: nx.Graph, nodes: Iterable[Node] | None = None) -> dict[Node, int]:
+    """Mapping node -> degree over the chosen subset."""
+    return {v: G.degree(v) for v in _nodes(G, nodes)}
+
+
+def degree_histogram(G: nx.Graph, nodes: Iterable[Node] | None = None) -> dict[int, int]:
+    """Mapping degree -> how many of the chosen nodes have it (sorted keys).
+
+    >>> import networkx as nx
+    >>> degree_histogram(nx.path_graph(4))
+    {1: 2, 2: 2}
+    """
+    counts = Counter(G.degree(v) for v in _nodes(G, nodes))
+    return dict(sorted(counts.items()))

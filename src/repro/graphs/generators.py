@@ -1,0 +1,61 @@
+"""Structured graph generators used by the small-``n`` constructions.
+
+``G(1, k)`` and ``G(2, k)`` are cliques on their processor nodes;
+``G(3, k)`` is a clique **minus a matching on consecutive pairs** (the
+dotted ovals of Figures 2–3).  These shapes are provided here as plain
+unlabeled :class:`networkx.Graph` factories so they can be unit-tested in
+isolation and reused by the search and baseline modules.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidParameterError
+
+Node = Hashable
+
+
+def clique(nodes: Sequence[Node]) -> nx.Graph:
+    """Complete graph on the given distinct nodes."""
+    if len(set(nodes)) != len(nodes):
+        raise InvalidParameterError("clique nodes must be distinct")
+    G = nx.Graph()
+    G.add_nodes_from(nodes)
+    G.add_edges_from(combinations(nodes, 2))
+    return G
+
+
+def consecutive_pair_matching(count: int) -> list[tuple[int, int]]:
+    """The matching ``{(2q, 2q+1) : 0 <= q <= floor((count-2)/2)}`` on node
+    indices ``0 .. count-1``.
+
+    This is the edge set removed from the processor clique by the
+    ``G(3, k)`` construction (with ``count = k + 3`` processors); it is a
+    perfect matching when *count* is even and leaves the last node
+    unmatched when *count* is odd.
+
+    >>> consecutive_pair_matching(4)
+    [(0, 1), (2, 3)]
+    >>> consecutive_pair_matching(5)
+    [(0, 1), (2, 3)]
+    """
+    if count < 2:
+        return []
+    return [(2 * q, 2 * q + 1) for q in range((count - 2) // 2 + 1)]
+
+
+def clique_minus_matching(nodes: Sequence[Node]) -> nx.Graph:
+    """Clique on *nodes* minus the consecutive-pair matching.
+
+    Matched pairs are ``(nodes[2q], nodes[2q+1])``.  Every matched node has
+    degree ``len(nodes) - 2``; an unmatched trailing node (odd count) keeps
+    full degree ``len(nodes) - 1``.
+    """
+    G = clique(nodes)
+    for a, b in consecutive_pair_matching(len(nodes)):
+        G.remove_edge(nodes[a], nodes[b])
+    return G

@@ -1,0 +1,90 @@
+"""Labeled-graph isomorphism.
+
+The uniqueness results of the paper (Lemma 3.7: ``G(1,k)`` is *the only*
+standard solution; Lemma 3.9: likewise ``G(2,k)``) are statements about
+**node-labeled** graphs: an isomorphism must map input terminals to input
+terminals, output terminals to output terminals, and processors to
+processors.  This module wraps :mod:`networkx.algorithms.isomorphism` with
+that label discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nxiso
+
+Node = Hashable
+
+
+def _kind_map(
+    G: nx.Graph, inputs: Iterable[Node], outputs: Iterable[Node]
+) -> dict[Node, str]:
+    ins, outs = set(inputs), set(outputs)
+    kinds: dict[Node, str] = {}
+    for v in G.nodes:
+        if v in ins:
+            kinds[v] = "input"
+        elif v in outs:
+            kinds[v] = "output"
+        else:
+            kinds[v] = "processor"
+    return kinds
+
+
+def labeled_isomorphic(
+    G1: nx.Graph,
+    inputs1: Iterable[Node],
+    outputs1: Iterable[Node],
+    G2: nx.Graph,
+    inputs2: Iterable[Node],
+    outputs2: Iterable[Node],
+) -> bool:
+    """Whether two labeled networks are isomorphic *respecting node kinds*.
+
+    Input terminals may only map to input terminals, outputs to outputs,
+    processors to processors — exactly the notion under which Lemmas 3.7
+    and 3.9 claim uniqueness.
+    """
+    k1 = _kind_map(G1, inputs1, outputs1)
+    k2 = _kind_map(G2, inputs2, outputs2)
+    H1 = nx.Graph()
+    H1.add_nodes_from((v, {"kind": k1[v]}) for v in G1.nodes)
+    H1.add_edges_from(G1.edges)
+    H2 = nx.Graph()
+    H2.add_nodes_from((v, {"kind": k2[v]}) for v in G2.nodes)
+    H2.add_edges_from(G2.edges)
+    matcher = nxiso.GraphMatcher(
+        H1, H2, node_match=nxiso.categorical_node_match("kind", None)
+    )
+    return matcher.is_isomorphic()
+
+
+def processor_subgraph_isomorphic(
+    G1: nx.Graph,
+    processors1: Iterable[Node],
+    G2: nx.Graph,
+    processors2: Iterable[Node],
+) -> bool:
+    """Whether the two processor-induced subgraphs are isomorphic
+    (ignoring terminals entirely)."""
+    H1 = G1.subgraph(set(processors1))
+    H2 = G2.subgraph(set(processors2))
+    return nx.is_isomorphic(H1, H2)
+
+
+def canonical_certificate(G: nx.Graph, kinds: Mapping[Node, str]) -> str:
+    """A cheap isomorphism-*invariant* string for bucketing labeled graphs.
+
+    Two isomorphic labeled graphs always get the same certificate; distinct
+    certificates prove non-isomorphism.  Used by the enumeration search to
+    avoid re-verifying isomorphic candidates.  (This is an invariant, not a
+    complete canonical form — collisions are resolved with
+    :func:`labeled_isomorphic`.)
+    """
+    per_node = []
+    for v in G.nodes:
+        nbr_kinds = sorted(kinds[u] for u in G.neighbors(v))
+        per_node.append((kinds[v], G.degree(v), tuple(nbr_kinds)))
+    return repr(sorted(per_node))

@@ -1,0 +1,79 @@
+"""Path and cycle helpers.
+
+Implements the paper's Section 3 definitions::
+
+    path(a0, .., a_{q-1})   -- the graph with those nodes and the q-1
+                               consecutive edges (Definitions, Section 3)
+    cycle(a0, .., a_{q-1})  -- same plus the wrap-around edge
+
+plus predicates used throughout the library: *is this node sequence a path
+of graph G?* and *does this path span a given node set?* — the latter being
+the heart of the pipeline definition (a pipeline's internal nodes must be
+**all** the healthy processor nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+import networkx as nx
+
+from ..errors import InvalidParameterError
+
+Node = Hashable
+
+
+def graph_path(nodes: Sequence[Node]) -> nx.Graph:
+    """The path graph ``path(a0, ..., a_{q-1})`` on the given distinct nodes.
+
+    >>> sorted(graph_path(["a", "b", "c"]).edges())
+    [('a', 'b'), ('b', 'c')]
+    """
+    if len(set(nodes)) != len(nodes):
+        raise InvalidParameterError("path nodes must be distinct")
+    G = nx.Graph()
+    G.add_nodes_from(nodes)
+    G.add_edges_from(zip(nodes, nodes[1:]))
+    return G
+
+
+def graph_cycle(nodes: Sequence[Node]) -> nx.Graph:
+    """The cycle graph ``cycle(a0, ..., a_{q-1})`` on the given nodes."""
+    if len(nodes) < 3:
+        raise InvalidParameterError("a cycle needs at least 3 nodes")
+    G = graph_path(nodes)
+    G.add_edge(nodes[-1], nodes[0])
+    return G
+
+
+def path_edges(nodes: Sequence[Node]) -> Iterator[tuple[Node, Node]]:
+    """The consecutive edges of a node sequence."""
+    return zip(nodes, nodes[1:])
+
+
+def is_path_in_graph(G: nx.Graph, nodes: Sequence[Node]) -> bool:
+    """True iff *nodes* is a sequence of distinct nodes of *G* whose
+    consecutive pairs are all edges of *G*.
+
+    A single node (which is a degenerate path) returns True when the node
+    exists; the empty sequence returns False.
+    """
+    if len(nodes) == 0:
+        return False
+    if len(set(nodes)) != len(nodes):
+        return False
+    if any(v not in G for v in nodes):
+        return False
+    return all(G.has_edge(a, b) for a, b in path_edges(nodes))
+
+
+def is_spanning_path(
+    G: nx.Graph, nodes: Sequence[Node], required: Iterable[Node]
+) -> bool:
+    """True iff *nodes* is a path of *G* whose node set equals *required*.
+
+    This is the "uses all the healthy processor nodes" condition of the
+    pipeline definition, applied to the processor portion of a candidate
+    pipeline.
+    """
+    return is_path_in_graph(G, nodes) and set(nodes) == set(required)

@@ -1,0 +1,90 @@
+"""Discrete-event simulation of pipelined applications on gracefully
+degradable networks.
+
+The paper's motivation (Section 1) is communication-intensive real-time
+pipelines — video compression, FIR/IIR filtering, Hough/Radon transforms,
+textual-substitution compression.  This subpackage provides the substrate
+to *run* such applications on the constructed networks and measure what
+graceful degradation buys:
+
+* :mod:`repro.simulator.engine` — a minimal discrete-event core;
+* :mod:`repro.simulator.stages` — real (numpy) stage kernels for the
+  paper's motivating workloads;
+* :mod:`repro.simulator.assignment` — balanced contiguous stage-to-
+  processor assignment (linear-partition DP) with data-parallel splitting
+  of divisible stages;
+* :mod:`repro.simulator.workloads` — synthetic frame / CT-phantom / text
+  generators;
+* :mod:`repro.simulator.faults` — fault schedules (Poisson, scripted,
+  adversarial);
+* :mod:`repro.simulator.runtime` — the graceful runtime (reconfigure on
+  fault, keep every healthy processor busy) and the spare-pool baseline
+  runtime;
+* :mod:`repro.simulator.metrics` — throughput timelines and summaries.
+"""
+
+from .assignment import StageAssignment, assign_stages, linear_partition
+from .engine import Simulator
+from .events import Event, EventQueue
+from .faults import FaultEvent, poisson_fault_schedule, scheduled_faults
+from .metrics import RunResult, ThroughputSegment
+from .runtime import GracefulPipelineRuntime, SparePoolRuntime
+from .stages import (
+    FIRFilter,
+    HoughTransform,
+    IIRFilter,
+    LZ78Compressor,
+    Quantizer,
+    RadonTransform,
+    Rescale,
+    RunLengthEncoder,
+    StageChain,
+    StageKernel,
+    Subsample,
+    video_compression_chain,
+    ct_reconstruction_chain,
+    text_compression_chain,
+)
+from .itemflow import ItemFlowResult, simulate_item_flow, tandem_completion_times
+from .scenarios import ScenarioReport, available_scenarios, run_all, run_scenario
+from .workloads import ct_phantom, text_corpus, video_frames
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "StageKernel",
+    "StageChain",
+    "Subsample",
+    "Rescale",
+    "FIRFilter",
+    "IIRFilter",
+    "RadonTransform",
+    "HoughTransform",
+    "LZ78Compressor",
+    "RunLengthEncoder",
+    "Quantizer",
+    "video_compression_chain",
+    "ct_reconstruction_chain",
+    "text_compression_chain",
+    "StageAssignment",
+    "assign_stages",
+    "linear_partition",
+    "FaultEvent",
+    "poisson_fault_schedule",
+    "scheduled_faults",
+    "GracefulPipelineRuntime",
+    "SparePoolRuntime",
+    "RunResult",
+    "ThroughputSegment",
+    "video_frames",
+    "ct_phantom",
+    "text_corpus",
+    "simulate_item_flow",
+    "tandem_completion_times",
+    "ItemFlowResult",
+    "run_scenario",
+    "run_all",
+    "available_scenarios",
+    "ScenarioReport",
+]

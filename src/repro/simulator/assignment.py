@@ -1,0 +1,304 @@
+"""Stage-to-processor assignment.
+
+A pipeline application with ``s`` stages must be mapped onto the ``q``
+processors of the (current) embedded pipeline:
+
+* ``q <= s``: stages are grouped into ``q`` **contiguous** blocks (the
+  pipeline order must be preserved) minimizing the bottleneck block work —
+  the classic *linear partition* problem, solved exactly by dynamic
+  programming;
+* ``q > s``: extra processors data-parallelize the *divisible* stages:
+  the heaviest divisible stage is repeatedly split in half until every
+  processor has a share (or no divisible work remains — remaining
+  processors become zero-work pass-throughs, capturing the diminishing
+  returns of parallelizing sequential kernels like IIR/LZ78).
+
+The steady-state throughput of the mapped pipeline is
+``speed / bottleneck_work`` — so reconfiguring onto more healthy
+processors directly raises throughput until divisibility runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import InvalidParameterError
+from .stages import StageChain
+
+
+def linear_partition(works: Sequence[float], q: int) -> list[tuple[int, int]]:
+    """Partition ``works`` into ``q`` contiguous non-empty blocks
+    minimizing the maximum block sum.  Returns half-open index ranges
+    ``[(start, end), ...]``.
+
+    Classic DP over (prefix, blocks); O(s^2 q).
+
+    >>> linear_partition([1, 2, 3, 4, 5], 2)
+    [(0, 3), (3, 5)]
+    """
+    s = len(works)
+    if q < 1:
+        raise InvalidParameterError("q must be >= 1")
+    if q > s:
+        raise InvalidParameterError(f"cannot split {s} stages into {q} non-empty blocks")
+    prefix = [0.0]
+    for w in works:
+        prefix.append(prefix[-1] + float(w))
+
+    def block(i: int, j: int) -> float:
+        return prefix[j] - prefix[i]
+
+    INF = float("inf")
+    # dp[b][i] = min over partitions of works[:i] into b blocks of max sum
+    dp = [[INF] * (s + 1) for _ in range(q + 1)]
+    cut = [[0] * (s + 1) for _ in range(q + 1)]
+    dp[0][0] = 0.0
+    for b in range(1, q + 1):
+        for i in range(b, s + 1):
+            for j in range(b - 1, i):
+                cand = max(dp[b - 1][j], block(j, i))
+                if cand < dp[b][i]:
+                    dp[b][i] = cand
+                    cut[b][i] = j
+    # reconstruct
+    ranges: list[tuple[int, int]] = []
+    i = s
+    for b in range(q, 0, -1):
+        j = cut[b][i]
+        ranges.append((j, i))
+        i = j
+    ranges.reverse()
+    return ranges
+
+
+@dataclass(frozen=True)
+class StageShare:
+    """A processor's share of one stage: ``fraction`` of its work."""
+
+    stage_index: int
+    fraction: float
+
+    @property
+    def is_full(self) -> bool:
+        return self.fraction >= 1.0
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """A complete mapping of a chain onto ``q`` processors.
+
+    ``shares[p]`` lists the (stage, fraction) pairs processor ``p`` runs;
+    ``loads[p]`` is its total work.
+    """
+
+    chain_name: str
+    q: int
+    shares: tuple[tuple[StageShare, ...], ...]
+    loads: tuple[float, ...]
+
+    @property
+    def bottleneck(self) -> float:
+        """The heaviest processor load — the pipeline's cycle time in
+        work units."""
+        return max(self.loads) if self.loads else 0.0
+
+    @property
+    def idle_processors(self) -> int:
+        """Processors with (near-)zero work: pass-throughs created when
+        divisible work ran out."""
+        return sum(1 for load in self.loads if load < 1e-12)
+
+    def throughput(self, speed: float = 1.0) -> float:
+        """Items per time unit at the given processor speed."""
+        if self.bottleneck <= 0:
+            return 0.0
+        return speed / self.bottleneck
+
+
+def assign_stages(chain: StageChain, q: int) -> StageAssignment:
+    """Map *chain* onto ``q`` processors (see module docstring).
+
+    >>> from .stages import video_compression_chain
+    >>> a = assign_stages(video_compression_chain(), 3)
+    >>> a.q, len(a.shares)
+    (3, 3)
+    """
+    if q < 1:
+        raise InvalidParameterError("q must be >= 1")
+    works = chain.works
+    s = len(works)
+    if s == 0:
+        raise InvalidParameterError("empty stage chain")
+    if q <= s:
+        ranges = linear_partition(works, q)
+        shares: list[tuple[StageShare, ...]] = []
+        loads: list[float] = []
+        for start, end in ranges:
+            group = tuple(StageShare(i, 1.0) for i in range(start, end))
+            shares.append(group)
+            loads.append(sum(works[start:end]))
+        return StageAssignment(chain.name, q, tuple(shares), tuple(loads))
+
+    # q > s: give each stage one processor, then hand the q - s extra
+    # processors to divisible stages one at a time, always to the stage
+    # whose current per-share work is largest — greedy is optimal for
+    # minimizing max(w_i / c_i) because each step reduces the current
+    # maximum as much as any single assignment can.
+    return _assign_by_splitting(chain, q)
+
+
+def _assign_by_splitting(chain: StageChain, q: int) -> StageAssignment:
+    works = chain.works
+    s = len(works)
+    divisible = [chain.kernels[i].divisible for i in range(s)]
+    counts = [1] * s
+    extra = q - s
+    for _ in range(extra):
+        best_i = -1
+        best_share = 0.0
+        for i in range(s):
+            if not divisible[i]:
+                continue
+            share = works[i] / counts[i]
+            if share > best_share:
+                best_share = share
+                best_i = i
+        if best_i < 0:
+            break  # nothing divisible left; remaining processors idle
+        counts[best_i] += 1
+    shares2: list[tuple[StageShare, ...]] = []
+    for i in range(s):
+        frac = 1.0 / counts[i]
+        shares2.extend([(StageShare(i, frac),)] * counts[i])
+    while len(shares2) < q:
+        shares2.append(tuple())  # pass-through processors
+    loads2 = [
+        sum(works[sh.stage_index] * sh.fraction for sh in grp) for grp in shares2
+    ]
+    return StageAssignment(chain.name, q, tuple(shares2), tuple(loads2))
+
+
+@dataclass(frozen=True)
+class HeterogeneousAssignment:
+    """A mapping of a chain onto processors of *unequal speeds*.
+
+    ``times[p]`` is processor ``p``'s service time (work / speed); the
+    pipeline's cycle time is the bottleneck of those times.
+    """
+
+    chain_name: str
+    speeds: tuple[float, ...]
+    shares: tuple[tuple[StageShare, ...], ...]
+    loads: tuple[float, ...]
+
+    @property
+    def times(self) -> tuple[float, ...]:
+        return tuple(
+            load / speed if speed > 0 else float("inf")
+            for load, speed in zip(self.loads, self.speeds)
+        )
+
+    @property
+    def bottleneck_time(self) -> float:
+        return max(self.times) if self.times else 0.0
+
+    def throughput(self) -> float:
+        b = self.bottleneck_time
+        return 1.0 / b if b > 0 else 0.0
+
+
+def assign_stages_heterogeneous(
+    chain: StageChain, speeds: Sequence[float]
+) -> HeterogeneousAssignment:
+    """Map *chain* onto processors with the given per-position speeds
+    (pipeline order), minimizing the bottleneck *time*.
+
+    ``q <= s``: contiguous grouping by DP over
+    ``max(dp[b-1][j], block(j, i) / speed_b)`` — the weighted variant of
+    :func:`linear_partition`.  ``q > s``: stages get one processor each
+    (in order), then each extra processor joins the divisible stage with
+    the largest remaining per-processor *time*; within a stage, work is
+    split in proportion to the members' speeds (which equalizes their
+    times exactly).
+
+    >>> from .stages import FIRFilter
+    >>> a = assign_stages_heterogeneous(
+    ...     StageChain("x", [FIRFilter(work_units=6.0)]), [1.0, 2.0])
+    >>> a.times
+    (2.0, 2.0)
+    """
+    if any(sp <= 0 for sp in speeds):
+        raise InvalidParameterError("speeds must be > 0")
+    q = len(speeds)
+    if q < 1:
+        raise InvalidParameterError("need at least one processor")
+    works = chain.works
+    s = len(works)
+    if s == 0:
+        raise InvalidParameterError("empty stage chain")
+    if q <= s:
+        prefix = [0.0]
+        for w in works:
+            prefix.append(prefix[-1] + float(w))
+
+        def block(j: int, i: int) -> float:
+            return prefix[i] - prefix[j]
+
+        INF = float("inf")
+        dp = [[INF] * (s + 1) for _ in range(q + 1)]
+        cut = [[0] * (s + 1) for _ in range(q + 1)]
+        dp[0][0] = 0.0
+        for b in range(1, q + 1):
+            speed = speeds[b - 1]
+            for i in range(b, s + 1):
+                for j in range(b - 1, i):
+                    cand = max(dp[b - 1][j], block(j, i) / speed)
+                    if cand < dp[b][i]:
+                        dp[b][i] = cand
+                        cut[b][i] = j
+        ranges: list[tuple[int, int]] = []
+        i = s
+        for b in range(q, 0, -1):
+            j = cut[b][i]
+            ranges.append((j, i))
+            i = j
+        ranges.reverse()
+        shares = tuple(
+            tuple(StageShare(t, 1.0) for t in range(a, b)) for a, b in ranges
+        )
+        loads = tuple(sum(works[a:b]) for a, b in ranges)
+        return HeterogeneousAssignment(chain.name, tuple(speeds), shares, loads)
+
+    # q > s: per-stage member lists, greedy on remaining time
+    divisible = [k.divisible for k in chain.kernels]
+    members: list[list[int]] = [[i] for i in range(s)]  # processor slots per stage
+    next_slot = s
+    slots_speed = list(speeds)
+
+    def stage_time(i: int) -> float:
+        total_speed = sum(slots_speed[m] for m in members[i])
+        return works[i] / total_speed
+
+    for _ in range(q - s):
+        candidates = [i for i in range(s) if divisible[i]]
+        if not candidates:
+            break
+        target = max(candidates, key=stage_time)
+        members[target].append(next_slot)
+        next_slot += 1
+    # build per-slot shares: within a stage, fraction proportional to speed
+    slot_share: dict[int, tuple[StageShare, ...]] = {}
+    for i in range(s):
+        total_speed = sum(slots_speed[m] for m in members[i])
+        for m in members[i]:
+            slot_share[m] = (StageShare(i, slots_speed[m] / total_speed),)
+    shares2 = []
+    loads2 = []
+    for slot in range(q):
+        grp = slot_share.get(slot, tuple())
+        shares2.append(grp)
+        loads2.append(sum(works[sh.stage_index] * sh.fraction for sh in grp))
+    return HeterogeneousAssignment(
+        chain.name, tuple(speeds), tuple(shares2), tuple(loads2)
+    )

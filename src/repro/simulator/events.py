@@ -1,0 +1,54 @@
+"""Event primitives for the discrete-event core."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event.
+
+    Ordered by ``(time, seq)``; *seq* is a monotonically increasing
+    tiebreaker so simultaneous events fire in scheduling order
+    (deterministic replay).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        if time != time or time == float("inf"):  # NaN / inf guard
+            raise SimulationError(f"cannot schedule event at time {time!r}")
+        ev = Event(time, next(self._counter), action, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,109 @@
+"""Fault schedules for the simulation runtime.
+
+A fault schedule is a time-ordered list of :class:`FaultEvent` — "node X
+dies at time t".  Generators:
+
+* :func:`poisson_fault_schedule` — memoryless arrivals at a given rate,
+  uniformly random victims (the classic reliability model);
+* :func:`burst_fault_schedule` — correlated bursts (e.g. a power event
+  taking out a neighborhood);
+* :func:`scheduled_faults` — explicit scripting for tests and examples.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from .._util import as_rng
+from ..errors import InvalidParameterError
+
+Node = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """A node failure at an absolute simulation time."""
+
+    time: float
+    node: Node = None  # type: ignore[assignment]
+
+
+def scheduled_faults(pairs: Iterable[tuple[float, Node]]) -> list[FaultEvent]:
+    """Build a schedule from explicit ``(time, node)`` pairs.
+
+    >>> scheduled_faults([(2.0, "p1"), (1.0, "p0")])[0].node
+    'p0'
+    """
+    events = [FaultEvent(float(t), node) for t, node in pairs]
+    events.sort()
+    return events
+
+
+def poisson_fault_schedule(
+    nodes: Sequence[Node],
+    rate: float,
+    horizon: float,
+    rng: random.Random | int | None = 0,
+    max_faults: int | None = None,
+) -> list[FaultEvent]:
+    """Poisson-process failures over *nodes* (without replacement).
+
+    *rate* is the expected number of failures per time unit across the
+    whole system; each failure strikes a uniformly random not-yet-failed
+    node.  Capped at *max_faults* (default: ``len(nodes)``).
+
+    >>> evs = poisson_fault_schedule(["a", "b", "c"], rate=1.0, horizon=10, rng=1)
+    >>> len(evs) <= 3
+    True
+    """
+    if rate < 0:
+        raise InvalidParameterError("rate must be >= 0")
+    if horizon < 0:
+        raise InvalidParameterError("horizon must be >= 0")
+    r = as_rng(rng)
+    pool = list(nodes)
+    cap = len(pool) if max_faults is None else min(max_faults, len(pool))
+    events: list[FaultEvent] = []
+    t = 0.0
+    while pool and len(events) < cap and rate > 0:
+        t += r.expovariate(rate)
+        if t > horizon:
+            break
+        victim = pool.pop(r.randrange(len(pool)))
+        events.append(FaultEvent(t, victim))
+    return events
+
+
+def burst_fault_schedule(
+    nodes: Sequence[Node],
+    burst_times: Sequence[float],
+    burst_size: int,
+    rng: random.Random | int | None = 0,
+    spread: float = 0.01,
+) -> list[FaultEvent]:
+    """Correlated failures: at each burst time, ``burst_size`` random
+    not-yet-failed nodes die within a *spread*-wide window."""
+    if burst_size < 1:
+        raise InvalidParameterError("burst_size must be >= 1")
+    r = as_rng(rng)
+    pool = list(nodes)
+    events: list[FaultEvent] = []
+    for bt in sorted(float(t) for t in burst_times):
+        for j in range(min(burst_size, len(pool))):
+            victim = pool.pop(r.randrange(len(pool)))
+            events.append(FaultEvent(bt + j * spread / max(burst_size, 1), victim))
+        if not pool:
+            break
+    events.sort()
+    return events
+
+
+def mttf(rate: float) -> float:
+    """Mean time to (next) failure for a Poisson process of the given
+    system-wide rate."""
+    if rate <= 0:
+        return math.inf
+    return 1.0 / rate

@@ -1,0 +1,77 @@
+"""Run metrics: throughput timelines and summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ThroughputSegment:
+    """A maximal interval of constant configuration.
+
+    ``stages`` is the number of active processors; ``throughput`` the
+    steady-state items/time in that interval (0 during downtime).
+    """
+
+    start: float
+    end: float
+    stages: int
+    throughput: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def items(self) -> float:
+        return self.duration * self.throughput
+
+
+@dataclass
+class RunResult:
+    """Full accounting of one simulated run."""
+
+    label: str
+    horizon: float
+    items_completed: float = 0.0
+    downtime: float = 0.0
+    reconfigurations: int = 0
+    faults_injected: int = 0
+    died_at: float | None = None
+    segments: list[ThroughputSegment] = field(default_factory=list)
+
+    @property
+    def survived(self) -> bool:
+        return self.died_at is None
+
+    @property
+    def mean_throughput(self) -> float:
+        if self.horizon <= 0:
+            return 0.0
+        return self.items_completed / self.horizon
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the horizon the pipeline was processing."""
+        if self.horizon <= 0:
+            return 0.0
+        alive_until = self.died_at if self.died_at is not None else self.horizon
+        return max(0.0, (alive_until - self.downtime) / self.horizon)
+
+    def throughput_at(self, t: float) -> float:
+        for seg in self.segments:
+            if seg.start <= t < seg.end:
+                return seg.throughput
+        return 0.0
+
+    def summary(self) -> str:
+        state = "survived" if self.survived else f"DIED at t={self.died_at:.2f}"
+        return (
+            f"{self.label}: {self.items_completed:.1f} items over "
+            f"t={self.horizon:g} ({self.mean_throughput:.3f}/t), "
+            f"{self.faults_injected} faults, {self.reconfigurations} "
+            f"reconfigs, downtime {self.downtime:.2f}, {state}"
+        )

@@ -1,0 +1,272 @@
+"""Fault-reacting pipeline runtimes.
+
+Two runtimes with the same interface, for head-to-head benchmarks:
+
+* :class:`GracefulPipelineRuntime` — runs the application on a
+  gracefully degradable network: after each fault it re-embeds the
+  pipeline with :func:`repro.core.reconfigure.reconfigure`, so **every**
+  healthy processor keeps a stage share; throughput recovers to the
+  maximum the surviving hardware supports.
+* :class:`SparePoolRuntime` — the classic non-graceful design: ``n``
+  active stages, ``k`` spares swapped in on demand; throughput is pinned
+  to the ``n``-processor level no matter how much healthy hardware is
+  idle.
+
+Both use the discrete-event core for fault arrivals and account for
+processing fluidly within maximal constant-configuration segments (the
+stage-level steady state: ``throughput = speed / bottleneck_work``).
+Reconfiguration/swap costs are charged as downtime.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..baselines.spare_pool import SparePoolPipeline
+from ..core.hamilton import SolvePolicy
+from ..core.model import PipelineNetwork
+from ..core.reconfigure import reconfigure
+from ..errors import ReconfigurationError, SimulationError
+from .assignment import (
+    StageAssignment,
+    assign_stages,
+    assign_stages_heterogeneous,
+)
+from .engine import Simulator
+from .faults import FaultEvent
+from .metrics import RunResult, ThroughputSegment
+from .stages import StageChain
+
+Node = Hashable
+
+
+class _SegmentRecorder:
+    """Accumulates maximal constant-throughput segments."""
+
+    def __init__(self, result: RunResult) -> None:
+        self.result = result
+        self.segment_start = 0.0
+        self.current_throughput = 0.0
+        self.current_stages = 0
+
+    def switch(self, now: float, throughput: float, stages: int) -> None:
+        if now > self.segment_start:
+            self.result.segments.append(
+                ThroughputSegment(
+                    self.segment_start, now, self.current_stages, self.current_throughput
+                )
+            )
+            self.result.items_completed += (
+                now - self.segment_start
+            ) * self.current_throughput
+        self.segment_start = now
+        self.current_throughput = throughput
+        self.current_stages = stages
+
+    def finish(self, horizon: float) -> None:
+        self.switch(horizon, 0.0, 0)
+
+
+class GracefulPipelineRuntime:
+    """Run *chain* on a gracefully degradable *network* under faults.
+
+    >>> from repro import build
+    >>> from .stages import video_compression_chain
+    >>> from .faults import scheduled_faults
+    >>> rt = GracefulPipelineRuntime(build(6, 2), video_compression_chain())
+    >>> res = rt.run(scheduled_faults([(3.0, "p0")]), horizon=10.0)
+    >>> res.survived and res.reconfigurations == 1
+    True
+    """
+
+    def __init__(
+        self,
+        network: PipelineNetwork,
+        chain: StageChain,
+        *,
+        speed: float = 1.0,
+        speed_map: "dict | None" = None,
+        reconfigure_time: float = 0.5,
+        charge_refill: bool = False,
+        policy: SolvePolicy | None = None,
+    ) -> None:
+        if speed <= 0:
+            raise SimulationError("speed must be > 0")
+        self.network = network
+        self.chain = chain
+        self.speed = speed
+        #: optional per-processor speed overrides (heterogeneous
+        #: hardware); missing processors default to ``speed``.  When set,
+        #: stage assignment uses the speed-aware partitioner over the
+        #: current pipeline's processors in order.
+        self.speed_map = dict(speed_map) if speed_map else None
+        self.reconfigure_time = reconfigure_time
+        #: when set, each re-embedding additionally pays the pipeline
+        #: *refill latency* (the in-flight items are lost and the new
+        #: pipeline must fill before the first completion): the sum of
+        #: per-stage service times of the new assignment.
+        self.charge_refill = charge_refill
+        self.policy = policy or SolvePolicy()
+        self.faults: set[Node] = set()
+        self.pipeline = reconfigure(network, (), self.policy)
+        self.assignment = self._assign()
+
+    def _assign(self):
+        """(Re)compute the stage assignment for the current pipeline,
+        speed-aware when a speed map is set."""
+        if self.speed_map is None:
+            return assign_stages(self.chain, self.pipeline.length)
+        speeds = [
+            self.speed_map.get(p, self.speed) for p in self.pipeline.stages
+        ]
+        return assign_stages_heterogeneous(self.chain, speeds)
+
+    def refill_latency(self) -> float:
+        """Time for the current pipeline to fill end to end."""
+        if self.speed_map is None:
+            return sum(self.assignment.loads) / self.speed
+        return sum(self.assignment.times)
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """Processor nodes, for building fault schedules."""
+        return tuple(sorted(self.network.processors, key=repr))
+
+    def throughput(self) -> float:
+        if self.speed_map is None:
+            return self.assignment.throughput(self.speed)
+        return self.assignment.throughput()
+
+    def process_sample(self, data):
+        """Apply the real stage kernels to *data* (used by examples to
+        demonstrate output-preserving reconfiguration)."""
+        return self.chain.apply(data)
+
+    def run(self, schedule: Sequence[FaultEvent], horizon: float) -> RunResult:
+        result = RunResult(
+            label=f"graceful({self.network.meta.get('construction', '?')})",
+            horizon=horizon,
+        )
+        sim = Simulator()
+        rec = _SegmentRecorder(result)
+        rec.switch(0.0, self.throughput(), self.pipeline.length)
+        state = {"dead": False}
+
+        def on_fault(event: FaultEvent):
+            def fire() -> None:
+                if state["dead"] or event.node in self.faults:
+                    return
+                self.faults.add(event.node)
+                result.faults_injected += 1
+                on_current = event.node in set(self.pipeline.nodes)
+                if not on_current:
+                    # an unused terminal died; the embedding still stands
+                    return
+                rec.switch(sim.now, 0.0, 0)
+                try:
+                    self.pipeline = reconfigure(
+                        self.network, self.faults, self.policy
+                    )
+                except ReconfigurationError:
+                    state["dead"] = True
+                    result.died_at = sim.now
+                    return
+                self.assignment = self._assign()
+                result.reconfigurations += 1
+                outage = self.reconfigure_time
+                if self.charge_refill:
+                    outage += self.refill_latency()
+                result.downtime += outage
+                resume_at = sim.now + outage
+                sim.schedule_at(
+                    min(resume_at, horizon),
+                    lambda: rec.switch(
+                        sim.now, self.throughput(), self.pipeline.length
+                    )
+                    if not state["dead"]
+                    else None,
+                    label="resume",
+                )
+            return fire
+
+        for event in schedule:
+            if event.time <= horizon:
+                sim.schedule_at(event.time, on_fault(event), label=f"fault:{event.node!r}")
+        sim.run(until=horizon)
+        rec.finish(horizon)
+        return result
+
+
+class SparePoolRuntime:
+    """Run *chain* on the non-graceful spare-pool baseline."""
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        chain: StageChain,
+        *,
+        speed: float = 1.0,
+        swap_time: float = 0.5,
+    ) -> None:
+        if speed <= 0:
+            raise SimulationError("speed must be > 0")
+        self.pool = SparePoolPipeline(n, k, swap_downtime=swap_time)
+        self.chain = chain
+        self.speed = speed
+        self.swap_time = swap_time
+        self.assignment = assign_stages(chain, n)
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self.pool.active) + tuple(
+            f"spare{j}" for j in range(self.pool.k)
+        )
+
+    def throughput(self) -> float:
+        if not self.pool.operational():
+            return 0.0
+        return self.assignment.throughput(self.speed)
+
+    def run(self, schedule: Sequence[FaultEvent], horizon: float) -> RunResult:
+        result = RunResult(label="spare-pool", horizon=horizon)
+        sim = Simulator()
+        rec = _SegmentRecorder(result)
+        rec.switch(0.0, self.throughput(), self.pool.active_count)
+        state = {"dead": False}
+
+        def on_fault(event: FaultEvent):
+            def fire() -> None:
+                if state["dead"]:
+                    return
+                was_active = event.node in self.pool.active
+                result.faults_injected += 1
+                ok = self.pool.fail(event.node)
+                if not ok:
+                    state["dead"] = True
+                    result.died_at = sim.now
+                    rec.switch(sim.now, 0.0, 0)
+                    return
+                if was_active:
+                    # swap: downtime then resume at the same n-stage level
+                    rec.switch(sim.now, 0.0, 0)
+                    result.reconfigurations += 1
+                    result.downtime += self.swap_time
+                    resume_at = min(sim.now + self.swap_time, horizon)
+                    sim.schedule_at(
+                        resume_at,
+                        lambda: rec.switch(
+                            sim.now, self.throughput(), self.pool.active_count
+                        )
+                        if not state["dead"]
+                        else None,
+                        label="resume",
+                    )
+            return fire
+
+        for event in schedule:
+            if event.time <= horizon:
+                sim.schedule_at(event.time, on_fault(event), label=f"fault:{event.node!r}")
+        sim.run(until=horizon)
+        rec.finish(horizon)
+        return result

@@ -1,0 +1,462 @@
+"""Stage kernels for the paper's motivating workloads.
+
+Section 1 of the paper lists the applications that have pipeline
+communication structure: "subsampling, rescaling, and finite impulse
+response (FIR) or infinite impulse response (IIR) filtering" [20],
+textual-substitution compression [19, 22], and "the Hough and Radon
+transforms, which are useful in image and computed tomography (CT)
+processing" [1].  Every one of those is implemented here as a real numpy
+kernel, so the examples can demonstrate *output-preserving*
+reconfiguration (same results before and after a fault), while the
+discrete-event runtime uses the kernels' declared ``work_units`` for
+timing.
+
+``work_units`` are relative costs in an abstract unit (1.0 ≈ one simple
+pass over a size-1 item); :meth:`StageKernel.calibrate` measures a real
+kernel on a sample input and overwrites the declared value with observed
+milliseconds, for users who want wall-clock-faithful simulations.
+
+``divisible`` marks kernels that can be data-parallelized across several
+pipeline processors (splitting rows/blocks); inherently sequential
+kernels (IIR state, LZ78 dictionary, RLE) are not divisible — this drives
+the diminishing-returns behaviour the utilization benchmarks show.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+
+
+class StageKernel:
+    """Base class for pipeline stages.
+
+    Subclasses set ``name``, ``work_units`` and ``divisible`` and
+    implement :meth:`apply`.
+    """
+
+    name: str = "stage"
+    work_units: float = 1.0
+    divisible: bool = True
+
+    def apply(self, data: Any) -> Any:
+        raise NotImplementedError
+
+    def calibrate(self, sample: Any, repeats: int = 3) -> float:
+        """Measure :meth:`apply` on *sample* and set ``work_units`` to the
+        best observed wall-clock milliseconds.  Returns the new value."""
+        if repeats < 1:
+            raise InvalidParameterError("repeats must be >= 1")
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            self.apply(sample)
+            best = min(best, (time.perf_counter() - t0) * 1e3)
+        self.work_units = max(best, 1e-6)
+        return self.work_units
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} work={self.work_units}>"
+
+
+class Subsample(StageKernel):
+    """Keep every ``factor``-th sample (per axis for 2-D input)."""
+
+    def __init__(self, factor: int = 2, work_units: float = 1.0) -> None:
+        if factor < 1:
+            raise InvalidParameterError(f"factor must be >= 1, got {factor}")
+        self.factor = factor
+        self.name = f"subsample/{factor}"
+        self.work_units = work_units
+        self.divisible = True
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data)
+        if arr.ndim == 1:
+            return arr[:: self.factor]
+        if arr.ndim == 2:
+            return arr[:: self.factor, :: self.factor]
+        raise InvalidParameterError(f"subsample expects 1-D or 2-D, got {arr.ndim}-D")
+
+
+class Rescale(StageKernel):
+    """Linear-interpolation resampling to ``scale`` times the length
+    (rows for 2-D input)."""
+
+    def __init__(self, scale: float = 0.5, work_units: float = 2.0) -> None:
+        if scale <= 0:
+            raise InvalidParameterError(f"scale must be > 0, got {scale}")
+        self.scale = scale
+        self.name = f"rescale/{scale}"
+        self.work_units = work_units
+        self.divisible = True
+
+    def _rescale_1d(self, x: np.ndarray) -> np.ndarray:
+        n = len(x)
+        m = max(1, int(round(n * self.scale)))
+        if n == 1:
+            return np.repeat(x, m)
+        src = np.linspace(0.0, n - 1, m)
+        return np.interp(src, np.arange(n), x)
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim == 1:
+            return self._rescale_1d(arr)
+        if arr.ndim == 2:
+            return np.stack([self._rescale_1d(row) for row in arr])
+        raise InvalidParameterError(f"rescale expects 1-D or 2-D, got {arr.ndim}-D")
+
+
+class FIRFilter(StageKernel):
+    """Finite impulse response filter (``same``-mode convolution; applied
+    row-wise to 2-D input)."""
+
+    def __init__(self, taps: Sequence[float] | None = None, work_units: float = 4.0) -> None:
+        self.taps = np.asarray(
+            taps if taps is not None else [0.25, 0.5, 0.25], dtype=float
+        )
+        if self.taps.ndim != 1 or len(self.taps) == 0:
+            raise InvalidParameterError("taps must be a non-empty 1-D sequence")
+        self.name = f"fir/{len(self.taps)}"
+        self.work_units = work_units
+        self.divisible = True
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim == 1:
+            return np.convolve(arr, self.taps, mode="same")
+        if arr.ndim == 2:
+            return np.stack([np.convolve(r, self.taps, mode="same") for r in arr])
+        raise InvalidParameterError(f"fir expects 1-D or 2-D, got {arr.ndim}-D")
+
+
+class IIRFilter(StageKernel):
+    """Infinite impulse response filter ``y[t] = b·x[t..] - a·y[t-1..]``
+    (direct form, normalized ``a[0] = 1``).  Sequential state makes it
+    non-divisible."""
+
+    def __init__(
+        self,
+        b: Sequence[float] = (0.2,),
+        a: Sequence[float] = (1.0, -0.8),
+        work_units: float = 6.0,
+    ) -> None:
+        self.b = np.asarray(b, dtype=float)
+        self.a = np.asarray(a, dtype=float)
+        if len(self.a) == 0 or self.a[0] == 0:
+            raise InvalidParameterError("a[0] must be nonzero")
+        self.name = f"iir/{len(self.b)},{len(self.a)}"
+        self.work_units = work_units
+        self.divisible = False
+
+    def _filter_1d(self, x: np.ndarray) -> np.ndarray:
+        b, a = self.b / self.a[0], self.a / self.a[0]
+        y = np.zeros_like(x, dtype=float)
+        for t in range(len(x)):
+            acc = 0.0
+            for i, bi in enumerate(b):
+                if t - i >= 0:
+                    acc += bi * x[t - i]
+            for j in range(1, len(a)):
+                if t - j >= 0:
+                    acc -= a[j] * y[t - j]
+            y[t] = acc
+        return y
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=float)
+        if arr.ndim == 1:
+            return self._filter_1d(arr)
+        if arr.ndim == 2:
+            return np.stack([self._filter_1d(r) for r in arr])
+        raise InvalidParameterError(f"iir expects 1-D or 2-D, got {arr.ndim}-D")
+
+
+class RadonTransform(StageKernel):
+    """Discrete Radon transform: parallel-beam projections at ``n_angles``
+    angles (rotation by nearest-neighbor coordinate mapping + column sum).
+    Returns a sinogram of shape ``(n_angles, side)``."""
+
+    def __init__(self, n_angles: int = 36, work_units: float = 24.0) -> None:
+        if n_angles < 1:
+            raise InvalidParameterError("n_angles must be >= 1")
+        self.n_angles = n_angles
+        self.name = f"radon/{n_angles}"
+        self.work_units = work_units
+        self.divisible = True  # angles split across processors
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        img = np.asarray(data, dtype=float)
+        if img.ndim != 2:
+            raise InvalidParameterError("radon expects a 2-D image")
+        side = min(img.shape)
+        img = img[:side, :side]
+        center = (side - 1) / 2.0
+        ys, xs = np.mgrid[0:side, 0:side]
+        xs = xs - center
+        ys = ys - center
+        sino = np.zeros((self.n_angles, side), dtype=float)
+        for ai in range(self.n_angles):
+            theta = np.pi * ai / self.n_angles
+            c, s = np.cos(theta), np.sin(theta)
+            # rotate sample coordinates by -theta (nearest neighbor)
+            xr = np.clip(np.round(c * xs + s * ys + center).astype(int), 0, side - 1)
+            yr = np.clip(np.round(-s * xs + c * ys + center).astype(int), 0, side - 1)
+            sino[ai] = img[yr, xr].sum(axis=0)
+        return sino
+
+
+class HoughTransform(StageKernel):
+    """Line Hough transform on a binary edge image.  Returns the
+    ``(n_theta, n_rho)`` accumulator."""
+
+    def __init__(
+        self, n_theta: int = 90, n_rho: int = 64, threshold: float = 0.5,
+        work_units: float = 16.0,
+    ) -> None:
+        self.n_theta = n_theta
+        self.n_rho = n_rho
+        self.threshold = threshold
+        self.name = f"hough/{n_theta}x{n_rho}"
+        self.work_units = work_units
+        self.divisible = True
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        img = np.asarray(data, dtype=float)
+        if img.ndim != 2:
+            raise InvalidParameterError("hough expects a 2-D image")
+        ys, xs = np.nonzero(img > self.threshold)
+        acc = np.zeros((self.n_theta, self.n_rho), dtype=np.int64)
+        if len(xs) == 0:
+            return acc
+        diag = float(np.hypot(*img.shape))
+        thetas = np.linspace(0.0, np.pi, self.n_theta, endpoint=False)
+        cos_t, sin_t = np.cos(thetas), np.sin(thetas)
+        # rho in [-diag, diag] binned to n_rho
+        rho = np.outer(cos_t, xs) + np.outer(sin_t, ys)  # (n_theta, npts)
+        bins = np.clip(
+            ((rho + diag) / (2 * diag) * (self.n_rho - 1)).astype(int),
+            0,
+            self.n_rho - 1,
+        )
+        for ti in range(self.n_theta):
+            np.add.at(acc[ti], bins[ti], 1)
+        return acc
+
+
+class BlockDCT(StageKernel):
+    """Blockwise 2-D type-II DCT — the transform stage of DCT-based
+    video/image codecs (the "asymmetrical video compression" of the
+    paper's introduction).  Pads to a multiple of the block size and
+    returns the coefficient image; :meth:`invert` applies the inverse
+    transform (round-trip exact up to float error)."""
+
+    def __init__(self, block: int = 8, work_units: float = 10.0) -> None:
+        if block < 2:
+            raise InvalidParameterError("block must be >= 2")
+        self.block = block
+        self.name = f"dct/{block}"
+        self.work_units = work_units
+        self.divisible = True  # blocks are independent
+
+    def _blocks(self, img: np.ndarray):
+        b = self.block
+        h = (img.shape[0] + b - 1) // b * b
+        w = (img.shape[1] + b - 1) // b * b
+        padded = np.zeros((h, w), dtype=float)
+        padded[: img.shape[0], : img.shape[1]] = img
+        return padded, img.shape
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        from scipy.fft import dctn
+
+        img = np.asarray(data, dtype=float)
+        if img.ndim != 2:
+            raise InvalidParameterError("dct expects a 2-D image")
+        padded, _ = self._blocks(img)
+        b = self.block
+        out = np.empty_like(padded)
+        for i in range(0, padded.shape[0], b):
+            for j in range(0, padded.shape[1], b):
+                out[i : i + b, j : j + b] = dctn(
+                    padded[i : i + b, j : j + b], norm="ortho"
+                )
+        return out
+
+    def invert(self, coeffs: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+        from scipy.fft import idctn
+
+        b = self.block
+        out = np.empty_like(np.asarray(coeffs, dtype=float))
+        for i in range(0, coeffs.shape[0], b):
+            for j in range(0, coeffs.shape[1], b):
+                out[i : i + b, j : j + b] = idctn(
+                    coeffs[i : i + b, j : j + b], norm="ortho"
+                )
+        return out[: shape[0], : shape[1]]
+
+
+class Quantizer(StageKernel):
+    """Uniform quantization to ``levels`` levels over the data range."""
+
+    def __init__(self, levels: int = 16, work_units: float = 1.0) -> None:
+        if levels < 2:
+            raise InvalidParameterError("levels must be >= 2")
+        self.levels = levels
+        self.name = f"quantize/{levels}"
+        self.work_units = work_units
+        self.divisible = True
+
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        arr = np.asarray(data, dtype=float)
+        if arr.size == 0:
+            return np.zeros_like(arr, dtype=int)
+        lo, hi = float(arr.min()), float(arr.max())
+        if hi == lo:
+            return np.zeros_like(arr, dtype=int)
+        q = np.round((arr - lo) / (hi - lo) * (self.levels - 1)).astype(int)
+        return q
+
+
+class RunLengthEncoder(StageKernel):
+    """Run-length encoding of an integer array (flattened); inherently
+    sequential."""
+
+    def __init__(self, work_units: float = 2.0) -> None:
+        self.name = "rle"
+        self.work_units = work_units
+        self.divisible = False
+
+    def apply(self, data: np.ndarray) -> list[tuple[int, int]]:
+        flat = np.asarray(data).ravel()
+        out: list[tuple[int, int]] = []
+        if len(flat) == 0:
+            return out
+        cur = int(flat[0])
+        count = 1
+        for v in flat[1:]:
+            v = int(v)
+            if v == cur:
+                count += 1
+            else:
+                out.append((cur, count))
+                cur, count = v, 1
+        out.append((cur, count))
+        return out
+
+    @staticmethod
+    def decode(pairs: list[tuple[int, int]]) -> np.ndarray:
+        if not pairs:
+            return np.zeros(0, dtype=int)
+        return np.concatenate([np.full(c, v, dtype=int) for v, c in pairs])
+
+
+class LZ78Compressor(StageKernel):
+    """LZ78 textual-substitution compression (references [19, 22]):
+    emits ``(dict_index, next_char)`` tokens.  Sequential dictionary
+    state makes it non-divisible."""
+
+    def __init__(self, work_units: float = 8.0) -> None:
+        self.name = "lz78"
+        self.work_units = work_units
+        self.divisible = False
+
+    def apply(self, data: str) -> list[tuple[int, str]]:
+        if not isinstance(data, str):
+            raise InvalidParameterError("lz78 expects a str")
+        dictionary: dict[str, int] = {}
+        out: list[tuple[int, str]] = []
+        phrase = ""
+        for ch in data:
+            candidate = phrase + ch
+            if candidate in dictionary:
+                phrase = candidate
+            else:
+                out.append((dictionary.get(phrase, 0), ch))
+                dictionary[candidate] = len(dictionary) + 1
+                phrase = ""
+        if phrase:
+            # emit the trailing phrase: strip its last char into a token
+            out.append((dictionary.get(phrase[:-1], 0), phrase[-1]))
+        return out
+
+    @staticmethod
+    def decode(tokens: list[tuple[int, str]]) -> str:
+        phrases: list[str] = [""]
+        out: list[str] = []
+        for idx, ch in tokens:
+            phrase = phrases[idx] + ch
+            phrases.append(phrase)
+            out.append(phrase)
+        return "".join(out)
+
+
+@dataclass
+class StageChain:
+    """An ordered application pipeline.
+
+    >>> chain = StageChain("demo", [Subsample(2), Quantizer(4)])
+    >>> chain.total_work
+    2.0
+    """
+
+    name: str
+    kernels: list[StageKernel] = field(default_factory=list)
+
+    @property
+    def total_work(self) -> float:
+        return float(sum(k.work_units for k in self.kernels))
+
+    @property
+    def works(self) -> list[float]:
+        return [k.work_units for k in self.kernels]
+
+    def apply(self, data: Any) -> Any:
+        for kernel in self.kernels:
+            data = kernel.apply(data)
+        return data
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self):
+        return iter(self.kernels)
+
+
+def video_compression_chain() -> StageChain:
+    """The asymmetric video-compression pipeline the paper's introduction
+    describes: subsample, smooth, rescale, quantize, entropy-code."""
+    return StageChain(
+        "video-compression",
+        [
+            Subsample(2),
+            FIRFilter([0.25, 0.5, 0.25]),
+            Rescale(0.5),
+            Quantizer(16),
+            RunLengthEncoder(),
+        ],
+    )
+
+
+def ct_reconstruction_chain(n_angles: int = 36) -> StageChain:
+    """The CT processing pipeline (Radon projections + ramp-ish FIR on the
+    sinogram), per the paper's reference [1]."""
+    return StageChain(
+        "ct-radon",
+        [
+            Rescale(0.5),
+            RadonTransform(n_angles),
+            FIRFilter([-0.25, 0.5, -0.25]),
+        ],
+    )
+
+
+def text_compression_chain() -> StageChain:
+    """The textual-substitution compression pipeline [19, 22]."""
+    return StageChain("text-compression", [LZ78Compressor()])

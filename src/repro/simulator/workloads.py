@@ -1,0 +1,108 @@
+"""Synthetic workload generators for the motivating applications.
+
+The paper's application domains need input data; these generators produce
+deterministic (seeded) synthetic stand-ins:
+
+* :func:`video_frames` — a moving-pattern frame sequence (video
+  compression / filtering pipelines);
+* :func:`ct_phantom` — an ellipse phantom in the spirit of Shepp–Logan
+  (Radon/CT pipelines);
+* :func:`text_corpus` — Markov-chain text with realistic repetitiveness
+  (textual-substitution compression).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+import numpy as np
+
+from .._util import as_rng, check_positive_int
+
+
+def video_frames(
+    count: int = 8,
+    shape: tuple[int, int] = (32, 32),
+    seed: int = 0,
+) -> Iterator[np.ndarray]:
+    """Yield *count* frames of a drifting sinusoidal pattern plus noise —
+    enough temporal structure for subsample/filter/quantize pipelines to
+    act on meaningfully.
+
+    >>> frames = list(video_frames(2, (8, 8)))
+    >>> frames[0].shape
+    (8, 8)
+    """
+    check_positive_int(count, "count")
+    h, w = shape
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:h, 0:w]
+    for t in range(count):
+        phase = 2 * np.pi * t / max(count, 1)
+        frame = (
+            np.sin(xs / 4.0 + phase)
+            + np.cos(ys / 5.0 - phase / 2)
+            + 0.1 * rng.standard_normal((h, w))
+        )
+        yield frame.astype(float)
+
+
+def ct_phantom(side: int = 32, seed: int = 0) -> np.ndarray:
+    """A deterministic ellipse phantom: a few nested ellipses of
+    different densities on a ``side x side`` grid.
+
+    >>> ct_phantom(16).shape
+    (16, 16)
+    """
+    check_positive_int(side, "side")
+    rng = np.random.default_rng(seed)
+    ys, xs = np.mgrid[0:side, 0:side]
+    cx = cy = (side - 1) / 2.0
+    img = np.zeros((side, side), dtype=float)
+    ellipses = [
+        (0.45, 0.40, 0.0, 1.0),
+        (0.30, 0.25, 0.4, -0.4),
+        (0.12, 0.20, -0.3, 0.6),
+        (0.08, 0.08, 0.9, 0.8),
+    ]
+    for a_frac, b_frac, offset, density in ellipses:
+        a = a_frac * side
+        b = b_frac * side
+        ox = cx + offset * side / 6.0
+        oy = cy - offset * side / 8.0
+        mask = ((xs - ox) / a) ** 2 + ((ys - oy) / b) ** 2 <= 1.0
+        img[mask] += density
+    img += 0.02 * rng.standard_normal((side, side))
+    return img
+
+
+_WORDS = (
+    "pipeline processor fault graceful degrade network node terminal "
+    "input output graph degree circulant clique matching spare stage "
+    "stream filter transform compress video signal image data real time"
+).split()
+
+
+def text_corpus(length: int = 2000, seed: int = 0, order: int = 1) -> str:
+    """Markov-chain word salad over a small vocabulary — repetitive the
+    way real text is, so LZ78 achieves real compression on it.
+
+    >>> t = text_corpus(100, seed=1)
+    >>> len(t) >= 100
+    True
+    """
+    check_positive_int(length, "length")
+    rng: random.Random = as_rng(seed)
+    # build a sparse first-order transition structure over the vocabulary
+    transitions = {
+        w: rng.sample(_WORDS, k=min(4, len(_WORDS))) for w in _WORDS
+    }
+    out: list[str] = []
+    word = rng.choice(_WORDS)
+    total = 0
+    while total < length:
+        out.append(word)
+        total += len(word) + 1
+        word = rng.choice(transitions[word])
+    return " ".join(out)

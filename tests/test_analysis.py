@@ -1,0 +1,132 @@
+"""Tests for repro.analysis (optimality audit, tables, ASCII art,
+reporting)."""
+
+import pytest
+
+from repro import build, reconfigure
+from repro.analysis import (
+    format_markdown_table,
+    format_table,
+    network_summary,
+    optimality_audit,
+    pipeline_ascii,
+)
+from repro.analysis.tables import degree_table, theorem_degree_claims
+from repro.core.pipeline import Pipeline
+from repro.errors import InvalidParameterError
+
+
+class TestOptimalityAudit:
+    def test_small_grid_all_optimal(self):
+        rows = optimality_audit(range(1, 13), [1, 2, 3])
+        assert rows and all(r.optimal for r in rows)
+
+    def test_row_fields(self):
+        (row,) = optimality_audit([6], [2])
+        assert row.base == "special"
+        assert row.max_degree == 4 and row.lower_bound == 4
+        assert row.overhead == 0
+
+    def test_fallback_overhead_positive(self):
+        (row,) = optimality_audit([5], [6])
+        assert row.base == "clique-chain"
+        assert row.overhead > 0
+
+    def test_strict_skips_gaps(self):
+        rows = optimality_audit([5], [6], strict=True)
+        assert rows == []
+
+    def test_k4_coverage_mix(self):
+        rows = optimality_audit(range(1, 25), [4])
+        bases = {r.base for r in rows}
+        assert {"g1k", "g2k", "g3k", "asymptotic"} <= bases
+
+
+class TestTheoremClaims:
+    def test_k1(self):
+        assert theorem_degree_claims(7, 1) == 3
+        assert theorem_degree_claims(8, 1) == 4
+
+    def test_k2_exceptions(self):
+        assert theorem_degree_claims(5, 2) == 5
+        assert theorem_degree_claims(7, 2) == 4
+
+    def test_k3_parity_and_n3(self):
+        assert theorem_degree_claims(5, 3) == 5
+        assert theorem_degree_claims(4, 3) == 6
+        assert theorem_degree_claims(3, 3) == 6  # Lemma 3.11 exception
+
+    def test_k4_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            theorem_degree_claims(10, 4)
+
+    def test_claims_match_builds(self):
+        for k in (1, 2, 3):
+            for n in range(1, 15):
+                assert build(n, k).max_processor_degree() == theorem_degree_claims(n, k)
+
+
+class TestDegreeTable:
+    def test_rows_and_render(self):
+        rows, rendered = degree_table(2, range(1, 7))
+        assert len(rows) == 6
+        assert "construction" in rendered
+        assert "special" in rendered
+
+
+class TestPipelineAscii:
+    def test_basic(self):
+        art = pipeline_ascii(Pipeline(["i0", "p0", "p1", "o0"]))
+        assert art == "[i0]==(p0)--(p1)==[o0]"
+
+    def test_wraps_long(self):
+        pl = Pipeline(["i"] + [f"p{j}" for j in range(40)] + ["o"])
+        art = pipeline_ascii(pl, max_width=60)
+        assert "\n" in art
+        assert all(len(line) <= 64 for line in art.splitlines())
+
+    def test_real_pipeline(self):
+        net = build(6, 2)
+        art = pipeline_ascii(reconfigure(net, ["p0"]))
+        assert "(p0)" not in art
+        assert art.count("(") == 7
+
+
+class TestNetworkSummary:
+    def test_mentions_sets(self):
+        s = network_summary(build(6, 2))
+        assert "input terminals" in s and "processors" in s
+
+    def test_asymptotic_mentions_circulant(self):
+        s = network_summary(build(22, 4))
+        assert "circulant core" in s and "m=16" in s
+
+    def test_g3k_mentions_matching(self):
+        from repro.core.constructions import build_g3k
+
+        s = network_summary(build_g3k(2))
+        assert "removed matching" in s
+
+    def test_clique_chain_mentions_blocks(self):
+        from repro.core.constructions import build_clique_chain
+
+        s = network_summary(build_clique_chain(10, 2))
+        assert "blocks" in s
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("---")
+        assert len(lines) == 4
+
+    def test_format_table_floats(self):
+        out = format_table(["x"], [[1.23456789]])
+        assert "1.235" in out
+
+    def test_markdown_table(self):
+        out = format_markdown_table(["h1", "h2"], [["a", "b"]])
+        assert out.splitlines()[1] == "|---|---|"
+        assert "| a | b |" in out

@@ -1,0 +1,145 @@
+"""Tests for repro.simulator.assignment (linear partition + splitting)."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulator.assignment import (
+    StageShare,
+    assign_stages,
+    linear_partition,
+)
+from repro.simulator.stages import (
+    IIRFilter,
+    LZ78Compressor,
+    FIRFilter,
+    StageChain,
+    Subsample,
+    ct_reconstruction_chain,
+)
+
+
+class TestLinearPartition:
+    def test_example(self):
+        assert linear_partition([1, 2, 3, 4, 5], 2) == [(0, 3), (3, 5)]
+
+    def test_single_block(self):
+        assert linear_partition([3, 1, 4], 1) == [(0, 3)]
+
+    def test_each_its_own(self):
+        assert linear_partition([3, 1, 4], 3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_optimal_bottleneck(self):
+        works = [5, 1, 1, 1, 5]
+        ranges = linear_partition(works, 3)
+        bottleneck = max(sum(works[a:b]) for a, b in ranges)
+        assert bottleneck == 5
+
+    def test_exhaustive_optimality_check(self):
+        # compare against brute force over all cut placements
+        import itertools
+
+        works = [4, 2, 7, 1, 3, 6]
+        for q in range(1, 7):
+            ranges = linear_partition(works, q)
+            got = max(sum(works[a:b]) for a, b in ranges)
+            best = min(
+                max(
+                    sum(works[c[i]:c[i + 1]]) for i in range(q)
+                )
+                for cuts in itertools.combinations(range(1, 6), q - 1)
+                for c in [(0, *cuts, 6)]
+            )
+            assert got == best, q
+
+    def test_contiguity_and_coverage(self):
+        ranges = linear_partition([1] * 7, 3)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 7
+        for (a1, b1), (a2, b2) in zip(ranges, ranges[1:]):
+            assert b1 == a2
+
+    def test_too_many_blocks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            linear_partition([1, 2], 3)
+
+    def test_zero_blocks_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            linear_partition([1, 2], 0)
+
+
+class TestAssignGrouping:
+    def setup_method(self):
+        self.chain = ct_reconstruction_chain()  # works [2, 24, 4]
+
+    def test_q_equals_s(self):
+        a = assign_stages(self.chain, 3)
+        assert a.loads == (2.0, 24.0, 4.0)
+        assert a.bottleneck == 24.0
+
+    def test_q_one(self):
+        a = assign_stages(self.chain, 1)
+        assert a.loads == (30.0,)
+
+    def test_q_two_groups_optimally(self):
+        a = assign_stages(self.chain, 2)
+        assert a.bottleneck == 26.0  # (2+24 | 4)
+
+    def test_full_stage_shares(self):
+        a = assign_stages(self.chain, 2)
+        assert all(sh.is_full for grp in a.shares for sh in grp)
+
+
+class TestAssignSplitting:
+    def setup_method(self):
+        self.chain = ct_reconstruction_chain()  # all divisible
+
+    def test_more_processors_lower_bottleneck(self):
+        prev = float("inf")
+        for q in (3, 4, 6, 8, 12):
+            b = assign_stages(self.chain, q).bottleneck
+            assert b <= prev
+            prev = b
+
+    def test_shares_conserve_work(self):
+        a = assign_stages(self.chain, 10)
+        assert sum(a.loads) == pytest.approx(self.chain.total_work)
+
+    def test_greedy_is_proportional(self):
+        a = assign_stages(self.chain, 8)
+        # radon (24) gets most of the extra processors
+        radon_shares = [
+            sh for grp in a.shares for sh in grp if sh.stage_index == 1
+        ]
+        assert len(radon_shares) >= 5
+
+    def test_nondivisible_blocks_splitting(self):
+        chain = StageChain("seq", [LZ78Compressor(work_units=8.0)])
+        a = assign_stages(chain, 4)
+        assert a.bottleneck == 8.0
+        assert a.idle_processors == 3  # pass-throughs
+
+    def test_amdahl_plateau(self):
+        chain = StageChain(
+            "mixed",
+            [FIRFilter(work_units=12.0), IIRFilter(work_units=6.0)],
+        )
+        a = assign_stages(chain, 12)
+        # IIR can't split: bottleneck floors at 6
+        assert a.bottleneck == 6.0
+
+    def test_throughput(self):
+        a = assign_stages(self.chain, 3)
+        assert a.throughput(speed=2.0) == pytest.approx(2.0 / 24.0)
+
+    def test_zero_q_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            assign_stages(self.chain, 0)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            assign_stages(StageChain("empty", []), 1)
+
+
+class TestStageShare:
+    def test_is_full(self):
+        assert StageShare(0, 1.0).is_full
+        assert not StageShare(0, 0.5).is_full

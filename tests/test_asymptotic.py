@@ -1,0 +1,146 @@
+"""Tests for the Section 3.4 asymptotic construction (Theorem 3.17,
+Figures 14-15)."""
+
+import pytest
+
+from repro.core.bounds import check_necessary_conditions, degree_lower_bound
+from repro.core.constructions import (
+    build_asymptotic,
+    build_extended_asymptotic,
+    minimum_asymptotic_n,
+)
+from repro.core.constructions.asymptotic import asymptotic_offsets
+from repro.core.verify import verify_exhaustive, verify_sampled
+from repro.errors import InvalidParameterError
+from repro.graphs.degrees import degree_histogram
+
+
+class TestOffsets:
+    def test_fig14_g22_4(self):
+        small, bis = asymptotic_offsets(22, 4)
+        assert sorted(small) == [1, 2, 3]
+        assert bis is None
+
+    def test_fig15_g26_5(self):
+        small, bis = asymptotic_offsets(26, 5)
+        assert sorted(small) == [1, 2, 3]
+        assert bis == 9  # floor(19 / 2)
+
+    def test_p_is_floor_k_half(self):
+        for k in range(4, 10):
+            small, _ = asymptotic_offsets(4 * k, k)
+            assert max(small) == k // 2 + 1
+
+
+class TestValidation:
+    def test_small_k_rejected_by_default(self):
+        with pytest.raises(InvalidParameterError):
+            build_asymptotic(30, 3)
+
+    def test_small_k_opt_in(self):
+        net = build_asymptotic(30, 3, allow_small_k=True)
+        assert net.is_standard()
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_asymptotic(minimum_asymptotic_n(4) - 1, 4)
+
+    @pytest.mark.parametrize("k", [4, 5, 6, 7])
+    def test_floor_builds(self, k):
+        net = build_asymptotic(minimum_asymptotic_n(k), k)
+        assert net.is_standard()
+
+    def test_minimum_values(self):
+        assert minimum_asymptotic_n(4) == 14
+        assert minimum_asymptotic_n(5) == 15
+        assert minimum_asymptotic_n(6) == 18
+
+
+class TestExtendedGraph:
+    def test_node_count(self):
+        ext = build_extended_asymptotic(22, 4)
+        assert len(ext) == 22 + 3 * 4 + 6
+
+    def test_six_set_sizes(self):
+        ext = build_extended_asymptotic(22, 4)
+        # Ti', To' are the terminals; I', O', S' have k+2 nodes each
+        assert len(ext.inputs) == 6
+        assert len(ext.outputs) == 6
+        i_nodes = [v for v in ext.graph if str(v).startswith("i")]
+        assert len(i_nodes) == 6
+
+    def test_circulant_meta(self):
+        ext = build_extended_asymptotic(22, 4)
+        assert ext.meta["m"] == 16
+
+
+class TestSolutionGraphStructure:
+    def test_fig14_node_count(self):
+        net = build_asymptotic(22, 4)
+        assert len(net) == 22 + 3 * 4 + 2 == 36
+
+    def test_fig14_degrees_uniform(self):
+        net = build_asymptotic(22, 4)
+        assert degree_histogram(net.graph, net.processors) == {6: 26}
+
+    def test_fig15_max_degree_k_plus_3(self):
+        # n = 26 even, k = 5 odd: Lemma 3.5 forces k+3, bisector delivers it
+        net = build_asymptotic(26, 5)
+        assert net.max_processor_degree() == 8 == degree_lower_bound(26, 5)
+
+    def test_odd_n_odd_k_stays_k_plus_2(self):
+        net = build_asymptotic(25, 5)
+        assert net.max_processor_degree() == 7 == degree_lower_bound(25, 5)
+
+    @pytest.mark.parametrize("n,k", [(14, 4), (22, 4), (15, 5), (18, 6), (40, 4)])
+    def test_standard_and_optimal(self, n, k):
+        net = build_asymptotic(n, k)
+        assert net.is_standard()
+        assert net.max_processor_degree() == degree_lower_bound(n, k)
+        assert check_necessary_conditions(net).ok
+
+    def test_deleted_nodes_absent(self):
+        net = build_asymptotic(22, 4)
+        for gone in ["ti0", "i0", "to5", "o5"]:
+            assert gone not in net.graph
+
+    def test_s_internal_offset1_edges_removed(self):
+        net = build_asymptotic(22, 4)
+        for j in range(0, 5):  # S labels 0..5 (k+2 = 6 nodes)
+            assert not net.graph.has_edge(f"c{j}", f"c{j+1}"), j
+
+    def test_s_boundary_offset1_edges_kept(self):
+        net = build_asymptotic(22, 4)
+        m = net.meta["m"]
+        # c5 (last S) - c6 (first R) and c15 (last R) - c0 survive
+        assert net.graph.has_edge("c5", "c6")
+        assert net.graph.has_edge(f"c{m-1}", "c0")
+
+    def test_io_cliques(self):
+        net = build_asymptotic(22, 4)
+        i_nodes = net.meta["I"]
+        o_nodes = net.meta["O"]
+        for group in (i_nodes, o_nodes):
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    assert net.graph.has_edge(a, b)
+
+    def test_attachment_sets(self):
+        net = build_asymptotic(22, 4)
+        assert net.I == set(net.meta["I"])
+        assert net.O == set(net.meta["O"])
+
+
+class TestGracefulDegradability:
+    def test_exhaustive_small_sizes(self):
+        # full exhaustion at k=4 is ~67k solves; sizes 0..2 (667 sets) is
+        # a solid regression layer, the benchmark covers more
+        net = build_asymptotic(14, 4)
+        cert = verify_exhaustive(net, sizes=[0, 1, 2])
+        assert cert.ok and not cert.undecided
+
+    @pytest.mark.parametrize("n,k", [(14, 4), (22, 4), (15, 5), (26, 5), (18, 6)])
+    def test_sampled_adversarial(self, n, k):
+        net = build_asymptotic(n, k)
+        cert = verify_sampled(net, trials=150, rng=9)
+        assert cert.ok, cert.summary()

@@ -1,0 +1,104 @@
+"""Rule-by-rule audit of the Section 3.4 edge set.
+
+The paper defines ``E'`` with eight bullet rules.  This test rebuilds the
+edge set of ``G'(n,k)`` (and the deletions defining ``G(n,k)``) from the
+rules verbatim and asserts the implementation produces *exactly* that
+set — no missing edges, no extras.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.constructions import build_asymptotic, build_extended_asymptotic
+
+CASES = [(22, 4), (14, 4), (26, 5), (25, 5), (18, 6), (23, 7)]
+
+
+def paper_edge_set_extended(n, k):
+    """E' per the paper's bullets, as frozensets of node-name pairs."""
+    m = n - k - 2
+    p = k // 2
+    edges = set()
+
+    def add(a, b):
+        edges.add(frozenset((a, b)))
+
+    # bullets 1-4: same-label ladder Ti'-I'-S'-O'-To'
+    for j in range(k + 2):
+        add(f"ti{j}", f"i{j}")
+        add(f"i{j}", f"c{j}")
+        add(f"c{j}", f"o{j}")
+        add(f"o{j}", f"to{j}")
+    # bullets 5-6: I' and O' cliques
+    for a, b in itertools.combinations(range(k + 2), 2):
+        add(f"i{a}", f"i{b}")
+        add(f"o{a}", f"o{b}")
+    # bullet 7: circulant offsets 1..p+1
+    for x in range(m):
+        for z in range(1, p + 2):
+            add(f"c{x}", f"c{(x + z) % m}")
+    # bullet 8: bisectors for odd k
+    if k % 2 == 1:
+        for x in range(m):
+            add(f"c{x}", f"c{(x + m // 2) % m}")
+    return edges
+
+
+def paper_edge_set_solution(n, k):
+    """E of G(n,k): E' restricted to V, minus S-internal offset-1 edges."""
+    edges = paper_edge_set_extended(n, k)
+    deleted_nodes = {"ti0", "i0", f"to{k + 1}", f"o{k + 1}"}
+    edges = {
+        e for e in edges if not (e & deleted_nodes)
+    }
+    for j in range(k + 1):
+        edges.discard(frozenset((f"c{j}", f"c{j + 1}")))
+    return edges
+
+
+class TestExtendedGraphEdgeRules:
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_exact_edge_set(self, n, k):
+        net = build_extended_asymptotic(n, k)
+        want = paper_edge_set_extended(n, k)
+        got = {frozenset(e) for e in net.graph.edges}
+        assert got == want, (
+            f"missing: {sorted(map(sorted, want - got))[:5]}, "
+            f"extra: {sorted(map(sorted, got - want))[:5]}"
+        )
+
+
+class TestSolutionGraphEdgeRules:
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_exact_edge_set(self, n, k):
+        net = build_asymptotic(n, k)
+        want = paper_edge_set_solution(n, k)
+        got = {frozenset(e) for e in net.graph.edges}
+        assert got == want
+
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_node_set(self, n, k):
+        net = build_asymptotic(n, k)
+        m = n - k - 2
+        want_nodes = (
+            {f"ti{j}" for j in range(1, k + 2)}
+            | {f"i{j}" for j in range(1, k + 2)}
+            | {f"to{j}" for j in range(0, k + 1)}
+            | {f"o{j}" for j in range(0, k + 1)}
+            | {f"c{j}" for j in range(m)}
+        )
+        assert set(net.graph.nodes) == want_nodes
+
+    @pytest.mark.parametrize("n,k", CASES)
+    def test_edge_count_formula(self, n, k):
+        # |E| = sum(deg)/2; every processor has degree k+2 (k+3 with
+        # bisector doubling when m odd), terminals degree 1
+        net = build_asymptotic(n, k)
+        total_degree = sum(d for _, d in net.graph.degree())
+        assert net.graph.number_of_edges() * 2 == total_degree
+        per_proc = {net.graph.degree(v) for v in net.processors}
+        if n % 2 == 0 and k % 2 == 1:
+            assert per_proc <= {k + 2, k + 3}
+        else:
+            assert per_proc == {k + 2}

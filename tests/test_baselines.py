@@ -1,0 +1,185 @@
+"""Tests for repro.baselines (Hayes cycles, bypass line, Diogenes,
+spare pool, utilization)."""
+
+import itertools
+
+import pytest
+
+from repro.baselines import (
+    DiogenesArray,
+    SparePoolPipeline,
+    build_bypass_line,
+    build_hayes_cycle,
+    bypass_line_spanning_path,
+    hayes_surviving_cycle,
+    utilization_profile,
+)
+from repro.baselines.bypass_line import bypass_line_max_degree
+from repro.baselines.hayes import hayes_offsets, hayes_utilization
+from repro.errors import InvalidParameterError, SimulationError
+
+
+class TestHayes:
+    def test_offsets_even_k(self):
+        assert sorted(hayes_offsets(10, 4)) == [1, 2, 3]
+
+    def test_offsets_odd_k_half(self):
+        assert sorted(hayes_offsets(9, 3)) == [1, 2, 6]
+
+    def test_odd_k_odd_total_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            hayes_offsets(10, 3)
+
+    def test_degree_k_plus_2(self):
+        # Hayes's construction has the same max degree as the paper's
+        for n, k in [(10, 2), (10, 4), (9, 3), (12, 6)]:
+            g = build_hayes_cycle(n, k)
+            assert max(d for _, d in g.degree()) == k + 2, (n, k)
+
+    def test_survives_all_small_fault_sets(self):
+        n, k = 8, 2
+        g = build_hayes_cycle(n, k)
+        for size in range(k + 1):
+            for faults in itertools.combinations(sorted(g.nodes), size):
+                cyc = hayes_surviving_cycle(g, n, faults)
+                assert cyc is not None, faults
+                assert len(cyc) == n
+                assert all(
+                    g.has_edge(cyc[i], cyc[(i + 1) % n]) for i in range(n)
+                )
+
+    def test_utilization_flatline(self):
+        assert hayes_utilization(10, 4, 0) == 10 / 14
+        assert hayes_utilization(10, 4, 4) == 1.0
+
+    def test_too_many_faults(self):
+        g = build_hayes_cycle(6, 2)
+        assert hayes_surviving_cycle(g, 6, faults=[0, 1, 2]) is None
+
+
+class TestBypassLine:
+    def test_degree(self):
+        g = build_bypass_line(10, 2)
+        assert max(d for _, d in g.degree()) == 6 == bypass_line_max_degree(10, 2)
+
+    def test_degree_nearly_double_papers(self):
+        # the whole point: 2(k+1) vs the paper's k+2
+        for k in (2, 3, 4):
+            assert bypass_line_max_degree(50, k) == 2 * (k + 1)
+
+    def test_spanning_path_all_fault_sets(self):
+        n, k = 6, 2
+        g = build_bypass_line(n, k)
+        for size in range(k + 1):
+            for faults in itertools.combinations(range(n + k), size):
+                path = bypass_line_spanning_path(g, faults)
+                assert path is not None, faults
+                assert len(path) == n + k - size  # graceful: all healthy
+
+    def test_clustered_faults_beyond_k_break_it(self):
+        g = build_bypass_line(6, 2)
+        # a run of k+1 = 3 consecutive faults exceeds the bypass span
+        assert bypass_line_spanning_path(g, [3, 4, 5]) is None
+
+    def test_all_faulty(self):
+        g = build_bypass_line(1, 1)
+        assert bypass_line_spanning_path(g, [0, 1]) is None
+
+
+class TestDiogenes:
+    def test_processor_faults_tolerated(self):
+        d = DiogenesArray(8, 3)
+        for i in (0, 4, 7):
+            d.fail_processor(i)
+        assert d.operational()
+
+    def test_too_many_processor_faults(self):
+        d = DiogenesArray(4, 1)
+        d.fail_processor(0)
+        d.fail_processor(1)
+        assert not d.operational()
+
+    def test_bus_fault_fatal(self):
+        # the paper's Section 2 critique
+        d = DiogenesArray(8, 3)
+        d.fail_bus(0)
+        assert not d.operational()
+
+    def test_survives_what_if(self):
+        d = DiogenesArray(8, 3)
+        assert d.survives(processor_faults=[1, 2, 3])
+        assert not d.survives(processor_faults=[1, 2, 3, 4])
+        assert not d.survives(bus_faults=[2])
+
+    def test_costs(self):
+        d = DiogenesArray(8, 3)
+        assert d.bus_width == 4
+        assert d.switches_per_processor == 2
+
+    def test_utilization_flatline(self):
+        d = DiogenesArray(8, 3)
+        assert d.utilization() == 8 / 11
+        d.fail_processor(0)
+        assert d.utilization() == 8 / 10
+
+    def test_index_bounds(self):
+        d = DiogenesArray(4, 2)
+        with pytest.raises(IndexError):
+            d.fail_processor(6)
+        with pytest.raises(IndexError):
+            d.fail_bus(3)
+
+
+class TestSparePool:
+    def test_swap_keeps_n_active(self):
+        p = SparePoolPipeline(4, 2)
+        assert p.fail(p.active[0])
+        assert p.active_count == 4
+        assert p.spares_left == 1
+
+    def test_spare_fault_costs_nothing(self):
+        p = SparePoolPipeline(4, 2)
+        assert p.fail("spare0")
+        assert p.total_downtime == 0.0
+
+    def test_death_after_k_plus_1_active_faults(self):
+        p = SparePoolPipeline(4, 2)
+        assert p.fail("s0")
+        assert p.fail("s1")
+        assert not p.fail("s2")
+        assert not p.operational()
+
+    def test_utilization_decreases_then_hits_zero(self):
+        p = SparePoolPipeline(4, 2)
+        assert p.utilization() == pytest.approx(4 / 6)
+        p.fail("s0")
+        assert p.utilization() == pytest.approx(4 / 5)
+
+    def test_double_fault_same_node_idempotent(self):
+        p = SparePoolPipeline(4, 2)
+        p.fail("s0")
+        assert p.fail("s0")
+        assert p.spares_left == 1
+
+    def test_unknown_node_rejected(self):
+        p = SparePoolPipeline(4, 2)
+        with pytest.raises(SimulationError):
+            p.fail("nope")
+
+
+class TestUtilizationProfile:
+    def test_rows(self):
+        rows = utilization_profile(10, 4)
+        assert len(rows) == 5
+        assert rows[0].graceful_stages == 14
+        assert rows[0].baseline_stages == 10
+        assert rows[0].advantage == 4
+
+    def test_advantage_shrinks_to_zero(self):
+        rows = utilization_profile(10, 4)
+        assert [r.advantage for r in rows] == [4, 3, 2, 1, 0]
+
+    def test_graceful_always_full_utilization(self):
+        for row in utilization_profile(7, 3):
+            assert row.graceful_utilization == 1.0
+            assert row.baseline_utilization <= 1.0

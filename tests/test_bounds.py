@@ -1,0 +1,123 @@
+"""Tests for repro.core.bounds (Lemmas 3.1-3.5, 3.11, 3.14 as code)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.bounds import (
+    check_lemma_3_1,
+    check_lemma_3_4,
+    check_lemma_3_5,
+    check_necessary_conditions,
+    degree_lower_bound,
+    is_degree_optimal,
+    lemma_3_5_applies,
+    merged_terminal_degree_bound,
+    min_processor_count,
+    min_terminal_count,
+)
+from repro.core.constructions import build, build_g1k, build_g2k, build_g3k
+from repro.core.model import PipelineNetwork
+from repro.errors import InvalidParameterError
+
+
+class TestDegreeLowerBound:
+    def test_base_case(self):
+        assert degree_lower_bound(7, 4) == 6  # k + 2
+
+    def test_parity_case(self):
+        # n even, k odd -> k + 3 (Lemma 3.5)
+        assert degree_lower_bound(4, 1) == 4
+        assert degree_lower_bound(10, 3) == 6
+
+    def test_n2(self):
+        assert degree_lower_bound(2, 2) == 5  # Corollary 3.10
+
+    def test_n3_small_k(self):
+        assert degree_lower_bound(3, 1) == 3  # k=1 exception
+        assert degree_lower_bound(3, 2) == 5  # Lemma 3.11
+
+    def test_lemma_3_14_case(self):
+        assert degree_lower_bound(5, 2) == 5
+
+    def test_other_n5(self):
+        assert degree_lower_bound(5, 4) == 6  # only (5,2) is special
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            degree_lower_bound(0, 1)
+
+
+class TestLemma35Applies:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [(2, 1, True), (4, 3, True), (3, 1, False), (4, 2, False), (5, 3, False)],
+    )
+    def test_parity(self, n, k, expected):
+        assert lemma_3_5_applies(n, k) is expected
+
+
+class TestNecessaryConditionCheckers:
+    def test_constructions_pass(self):
+        for net in [build_g1k(2), build_g2k(3), build_g3k(2), build(9, 2)]:
+            report = check_necessary_conditions(net)
+            assert report.ok, report.violations
+
+    def test_lemma_3_1_violation_detected(self):
+        # a path-shaped "network" has processors of degree 2 < k+2
+        g = nx.Graph([("i0", "p0"), ("p0", "p1"), ("p1", "p2"), ("p2", "o0"),
+                      ("i1", "p0"), ("o1", "p2")])
+        net = PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=2, k=1)
+        violations = check_lemma_3_1(net)
+        assert violations and "Lemma 3.1" in violations[0].lemma
+
+    def test_lemma_3_4_violation_detected(self):
+        # a processor whose degree comes mostly from terminals
+        g = nx.Graph()
+        for j in range(3):
+            g.add_edge(f"i{j}", "p0")
+            g.add_edge(f"o{j}", "p1")
+        g.add_edge("p0", "p1")
+        g.add_edge("p0", "p2")
+        g.add_edge("p1", "p2")
+        g.add_edge("p2", "i0")
+        net = PipelineNetwork(
+            g, ["i0", "i1", "i2"], ["o0", "o1", "o2"], n=2, k=2
+        )
+        assert check_lemma_3_4(net)
+
+    def test_lemma_3_4_skipped_for_n1(self):
+        net = build_g1k(2)
+        assert net.n == 1
+        assert check_lemma_3_4(net) == []
+
+    def test_lemma_3_5_on_standard_network(self):
+        # build(4,1) is standard with n even, k odd: max degree must be 4
+        net = build(4, 1)
+        assert check_lemma_3_5(net) == []
+
+    def test_report_boolean(self):
+        assert bool(check_necessary_conditions(build_g1k(1)))
+
+
+class TestOptimalityPredicate:
+    @pytest.mark.parametrize("n,k", [(1, 1), (2, 2), (3, 3), (6, 2), (8, 2), (4, 3), (7, 3)])
+    def test_paper_constructions_optimal(self, n, k):
+        assert is_degree_optimal(build(n, k))
+
+    def test_fallback_not_optimal(self):
+        # clique-chain for an uncovered (n, k) exceeds the bound
+        from repro.core.constructions import build_clique_chain
+
+        net = build_clique_chain(20, 4)
+        assert not is_degree_optimal(net)
+
+
+class TestCountBounds:
+    def test_terminal_count(self):
+        assert min_terminal_count(4) == 5
+
+    def test_processor_count(self):
+        assert min_processor_count(10, 3) == 13
+
+    def test_merged_terminal_degree(self):
+        assert merged_terminal_degree_bound(3) == 4

@@ -1,0 +1,76 @@
+"""Tests for the construction catalog and its CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.constructions.catalog import (
+    CATALOG,
+    catalog_entries,
+    describe,
+    supporting_entries,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestCatalog:
+    def test_all_families_present(self):
+        names = {e.name for e in catalog_entries()}
+        assert names == {
+            "g1k", "g2k", "g3k", "special", "asymptotic", "clique-chain"
+        }
+
+    def test_supporting_small_n(self):
+        assert [e.name for e in supporting_entries(1, 5)] == ["g1k", "clique-chain"]
+        assert [e.name for e in supporting_entries(2, 5)] == ["g2k", "clique-chain"]
+        assert [e.name for e in supporting_entries(3, 5)] == ["g3k", "clique-chain"]
+
+    def test_supporting_specials(self):
+        assert "special" in [e.name for e in supporting_entries(6, 2)]
+        assert "special" not in [e.name for e in supporting_entries(6, 3)]
+
+    def test_supporting_asymptotic(self):
+        names = [e.name for e in supporting_entries(22, 4)]
+        assert "asymptotic" in names
+        names_small = [e.name for e in supporting_entries(10, 4)]
+        assert "asymptotic" not in names_small
+
+    def test_clique_chain_universal(self):
+        for n, k in [(1, 1), (9, 7), (100, 3)]:
+            assert "clique-chain" in [e.name for e in supporting_entries(n, k)]
+
+    def test_entry_build_dispatch(self):
+        entry = next(e for e in CATALOG if e.name == "special")
+        net = entry.build(6, 2)
+        assert net.meta["construction"] == "special"
+
+    def test_entry_build_rejects_unsupported(self):
+        entry = next(e for e in CATALOG if e.name == "g1k")
+        with pytest.raises(InvalidParameterError):
+            entry.build(5, 2)
+
+    def test_builds_declare_consistent_nk(self):
+        for entry in CATALOG:
+            for n, k in [(1, 2), (2, 2), (3, 3), (6, 2), (22, 4), (9, 3)]:
+                if entry.supports(n, k):
+                    net = entry.build(n, k)
+                    assert net.n == n and net.k == k, (entry.name, n, k)
+
+    def test_describe_includes_bound(self):
+        rows = describe(6, 2)
+        assert all(r["lower_bound"] == 4 for r in rows)
+
+
+class TestCatalogCli:
+    def test_full_listing(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "g1k" in out and "asymptotic" in out
+
+    def test_filtered(self, capsys):
+        assert main(["catalog", "--n", "6", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "special" in out
+        assert "g1k" not in out
+
+    def test_half_filter_rejected(self, capsys):
+        assert main(["catalog", "--n", "6"]) == 2

@@ -1,0 +1,27 @@
+"""Tests for the CLI report subcommand."""
+
+from repro.cli import main
+
+
+class TestReport:
+    def test_stdout_quick(self, capsys):
+        assert main(["report", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "PROOF" in out
+        assert "PASS" in out
+        assert "NO" not in out.split("optimal")[-1].splitlines()[0]
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "REPORT.md"
+        assert main(["report", "--quick", "--out", str(target)]) == 0
+        assert target.exists()
+        body = target.read_text()
+        assert "Solver regression corpus" in body
+        assert "wrote" in capsys.readouterr().out
+
+    def test_markdown_tables_well_formed(self, capsys):
+        main(["report", "--quick"])
+        out = capsys.readouterr().out
+        header_rows = [l for l in out.splitlines() if l.startswith("|---")]
+        assert len(header_rows) >= 2

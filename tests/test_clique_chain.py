@@ -1,0 +1,76 @@
+"""Tests for the clique-chain fallback construction."""
+
+import pytest
+
+from repro.core.constructions import build_clique_chain
+from repro.core.constructions.clique_chain import chain_blocks
+from repro.core.verify import verify_exhaustive, verify_sampled
+
+
+class TestChainBlocks:
+    def test_exact_division(self):
+        assert chain_blocks(10, 2) == [3, 3, 3, 3]
+
+    def test_remainder_distributed(self):
+        assert chain_blocks(11, 2) == [4, 3, 3, 3]
+        assert chain_blocks(12, 2) == [4, 4, 3, 3]
+
+    def test_single_block_when_small(self):
+        assert chain_blocks(1, 3) == [4]
+        assert chain_blocks(3, 3) == [6]
+
+    def test_every_block_at_least_k_plus_1(self):
+        for n in range(1, 30):
+            for k in range(1, 6):
+                assert all(b >= k + 1 for b in chain_blocks(n, k)), (n, k)
+
+    def test_total(self):
+        for n in range(1, 30):
+            for k in range(1, 6):
+                assert sum(chain_blocks(n, k)) == n + k
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n,k", [(1, 1), (4, 2), (10, 3), (5, 6), (20, 4)])
+    def test_standard(self, n, k):
+        assert build_clique_chain(n, k).is_standard()
+
+    def test_blocks_are_cliques(self):
+        net = build_clique_chain(10, 2)
+        for block in net.meta["blocks"]:
+            for i, a in enumerate(block):
+                for b in block[i + 1 :]:
+                    assert net.graph.has_edge(a, b)
+
+    def test_consecutive_blocks_fully_joined(self):
+        net = build_clique_chain(10, 2)
+        blocks = net.meta["blocks"]
+        for b1, b2 in zip(blocks, blocks[1:]):
+            for u in b1:
+                for v in b2:
+                    assert net.graph.has_edge(u, v)
+
+    def test_nonadjacent_blocks_disconnected(self):
+        net = build_clique_chain(10, 2)
+        blocks = net.meta["blocks"]
+        assert not any(
+            net.graph.has_edge(u, v) for u in blocks[0] for v in blocks[2]
+        )
+
+    def test_terminals_at_ends(self):
+        net = build_clique_chain(10, 2)
+        blocks = net.meta["blocks"]
+        assert net.I <= set(blocks[0])
+        assert net.O <= set(blocks[-1])
+
+
+class TestGracefulDegradability:
+    @pytest.mark.parametrize("n,k", [(1, 2), (2, 2), (4, 2), (3, 3), (7, 2)])
+    def test_exhaustive(self, n, k):
+        cert = verify_exhaustive(build_clique_chain(n, k))
+        assert cert.is_proof, (n, k, cert.summary())
+
+    @pytest.mark.parametrize("n,k", [(12, 3), (20, 4), (5, 6)])
+    def test_sampled(self, n, k):
+        cert = verify_sampled(build_clique_chain(n, k), trials=120, rng=6)
+        assert cert.ok, cert.summary()

@@ -1,0 +1,125 @@
+"""Tests for the exact cycle solver and the Diogenes stack algorithm."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.baselines.diogenes import DiogenesArray
+from repro.baselines.hayes import build_hayes_cycle
+from repro.errors import BudgetExceededError, SimulationError
+from repro.graphs.cycles import (
+    find_cycle_of_length,
+    has_cycle_of_length_at_least,
+    is_cycle_in_graph,
+)
+
+
+class TestFindCycle:
+    def test_cycle_graph_exact(self):
+        cyc = find_cycle_of_length(nx.cycle_graph(6), 6)
+        assert cyc is not None and is_cycle_in_graph(nx.cycle_graph(6), cyc)
+
+    def test_cycle_graph_no_shorter(self):
+        assert find_cycle_of_length(nx.cycle_graph(6), 4) is None
+
+    def test_complete_graph_all_lengths(self):
+        g = nx.complete_graph(7)
+        for length in range(3, 8):
+            cyc = find_cycle_of_length(g, length)
+            assert cyc is not None and len(cyc) == length
+            assert is_cycle_in_graph(g, cyc)
+
+    def test_tree_has_no_cycles(self):
+        g = nx.balanced_tree(2, 3)
+        for length in range(3, 8):
+            assert find_cycle_of_length(g, length) is None
+
+    def test_too_long_rejected(self):
+        assert find_cycle_of_length(nx.complete_graph(4), 5) is None
+
+    def test_below_three_rejected(self):
+        assert find_cycle_of_length(nx.complete_graph(4), 2) is None
+
+    def test_budget(self):
+        g = nx.circulant_graph(24, [1, 2, 3])
+        with pytest.raises(BudgetExceededError):
+            # impossible length on a biggish graph with tiny budget
+            find_cycle_of_length(nx.complement(g), 24, budget=10)
+
+    def test_agrees_with_networkx_cycle_basis_smoke(self):
+        g = nx.petersen_graph()
+        # Petersen: girth 5, no 3- or 4-cycles; Hamiltonian path but no
+        # Hamiltonian cycle; has cycles of lengths 5, 6, 8, 9
+        assert find_cycle_of_length(g, 3) is None
+        assert find_cycle_of_length(g, 4) is None
+        assert find_cycle_of_length(g, 5) is not None
+        assert find_cycle_of_length(g, 10) is None  # famously non-Hamiltonian
+
+    def test_at_least(self):
+        assert has_cycle_of_length_at_least(nx.cycle_graph(8), 8)
+        assert not has_cycle_of_length_at_least(nx.path_graph(8), 3)
+
+
+class TestIsCycleInGraph:
+    def test_valid(self):
+        assert is_cycle_in_graph(nx.cycle_graph(5), [0, 1, 2, 3, 4])
+
+    def test_missing_wraparound(self):
+        assert not is_cycle_in_graph(nx.path_graph(5), [0, 1, 2, 3, 4])
+
+    def test_repeat(self):
+        assert not is_cycle_in_graph(nx.complete_graph(4), [0, 1, 0])
+
+
+class TestHayesExactVerification:
+    def test_hayes_guarantee_exact_small(self):
+        """Every <= k fault set leaves an n-cycle — exact solver."""
+        n, k = 6, 2
+        g = build_hayes_cycle(n, k)
+        for size in range(k + 1):
+            for faults in itertools.combinations(sorted(g.nodes), size):
+                h = g.subgraph(set(g.nodes) - set(faults))
+                assert find_cycle_of_length(h, n) is not None, faults
+
+
+class TestDiogenesStack:
+    def test_fault_free_configuration(self):
+        cfg = DiogenesArray(5, 2).configure()
+        assert cfg.array == (0, 1, 2, 3, 4)
+        assert cfg.idle == (5, 6)
+        assert cfg.max_wire_depth == 1
+
+    def test_faulty_processors_bypassed(self):
+        d = DiogenesArray(5, 2)
+        d.fail_processor(1)
+        d.fail_processor(3)
+        cfg = d.configure()
+        assert cfg.array == (0, 2, 4, 5, 6)
+        assert cfg.switch_settings[1] == "bypass"
+        assert cfg.switch_settings[3] == "bypass"
+        assert cfg.switch_settings[0] == "connect"
+
+    def test_physical_order_preserved(self):
+        d = DiogenesArray(6, 3)
+        for i in (0, 4, 8):
+            d.fail_processor(i)
+        assert d.configure().in_physical_order()
+
+    def test_bus_fault_blocks_configuration(self):
+        d = DiogenesArray(5, 2)
+        d.fail_bus(1)
+        with pytest.raises(SimulationError, match="single point of failure"):
+            d.configure()
+
+    def test_insufficient_processors(self):
+        d = DiogenesArray(3, 1)
+        d.fail_processor(0)
+        d.fail_processor(1)
+        with pytest.raises(SimulationError, match="healthy"):
+            d.configure()
+
+    def test_single_stage_depth_zero(self):
+        cfg = DiogenesArray(1, 1).configure()
+        assert cfg.max_wire_depth == 0
+        assert cfg.length == 1

@@ -1,0 +1,38 @@
+"""Run every docstring example in the package as part of the suite.
+
+The docstrings are the library's primary documentation; their examples
+must stay executable.  (Equivalent to ``pytest --doctest-modules
+src/repro`` but wired into the default run.)
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(set(_iter_module_names()))
+
+
+def test_package_is_walkable():
+    assert len(MODULES) > 40
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{name}: {results.failed} doctest failures"

@@ -1,0 +1,113 @@
+"""Tests for the edge-fault models (repro.core.edge_faults)."""
+
+import pytest
+
+from repro import build, build_g1k, is_pipeline
+from repro.core.edge_faults import (
+    compare_models_exhaustive,
+    edge_fault_to_node_fault,
+    find_pipeline_with_edge_faults,
+    reduce_mixed_faults,
+    verify_edge_faults_exhaustive,
+    verify_reduced_edge_model_exhaustive,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestReduction:
+    def test_processor_terminal_edge_retires_terminal(self):
+        net = build_g1k(2)
+        assert edge_fault_to_node_fault(net, ("i0", "p0")) == "i0"
+        assert edge_fault_to_node_fault(net, ("p0", "i0")) == "i0"
+
+    def test_processor_processor_edge_retires_higher_degree(self):
+        net = build(6, 2)  # 4-regular processors: ties broken to first arg
+        u, v = next(iter(net.processor_subgraph().edges))
+        victim = edge_fault_to_node_fault(net, (u, v))
+        assert victim in (u, v)
+
+    def test_non_edge_rejected(self):
+        net = build_g1k(1)
+        with pytest.raises(InvalidParameterError):
+            edge_fault_to_node_fault(net, ("p0", "o1"))
+
+    def test_reduce_covers_all(self):
+        net = build_g1k(2)
+        f = reduce_mixed_faults(net, ["p0"], [("p1", "p2"), ("i1", "p1")])
+        assert "p0" in f
+        # each edge lost an endpoint
+        assert f & {"p1", "p2"}
+        assert f & {"i1", "p1"}
+
+    def test_reduce_free_when_node_already_faulty(self):
+        net = build_g1k(2)
+        f = reduce_mixed_faults(net, ["p1"], [("p1", "p2")])
+        assert f == frozenset({"p1"})
+
+    def test_reduce_budget(self):
+        # |reduced| <= |nodes| + |edges|
+        net = build(8, 2)
+        edges = list(net.processor_subgraph().edges)[:2]
+        f = reduce_mixed_faults(net, ["p0"], edges)
+        assert len(f) <= 3
+
+
+class TestExactModel:
+    def test_pipeline_avoids_faulty_edge(self):
+        net = build(8, 2)
+        edge = next(iter(net.processor_subgraph().edges))
+        pl = find_pipeline_with_edge_faults(net, [], [edge])
+        assert pl is not None
+        consecutive = set(
+            frozenset(p) for p in zip(pl.nodes, pl.nodes[1:])
+        )
+        assert frozenset(edge) not in consecutive
+        assert is_pipeline(net, pl.nodes)  # still a pipeline of the full graph
+
+    def test_spans_all_node_healthy(self):
+        net = build(8, 2)
+        edge = next(iter(net.processor_subgraph().edges))
+        pl = find_pipeline_with_edge_faults(net, ["p0"], [edge])
+        assert pl is not None
+        assert pl.length == len(net.processors) - 1
+
+    def test_exact_model_counterexample_exists(self):
+        # the documented G(1,2) example: kill p2 and the p0-p1 link
+        net = build_g1k(2)
+        assert find_pipeline_with_edge_faults(net, ["p2"], [("p0", "p1")]) is None
+
+    def test_exact_exhaustive_reports_informative_counterexample(self):
+        cert = verify_edge_faults_exhaustive(build_g1k(2), 1, 1)
+        assert not cert.ok
+        assert cert.counterexample is not None
+
+
+class TestReducedModelGuarantee:
+    @pytest.mark.parametrize("n,k", [(1, 1), (1, 2), (2, 1), (2, 2), (3, 2), (6, 2)])
+    def test_guaranteed_property_holds(self, n, k):
+        net = build(n, k)
+        cert = verify_reduced_edge_model_exhaustive(net, node_budget=k, edge_budget=k)
+        assert cert.is_proof, (n, k, cert.summary())
+
+    def test_budget_cap_respected(self):
+        # with k=1, mixed sets of total size 2 are skipped
+        net = build_g1k(1)
+        cert = verify_reduced_edge_model_exhaustive(net, node_budget=1, edge_budget=1)
+        n_nodes, n_edges = len(net), net.graph.number_of_edges()
+        assert cert.checked == 1 + n_nodes + n_edges
+
+
+class TestModelComparison:
+    def test_reduced_at_least_exact_tolerance_conceptually(self):
+        # the reduced model asks for a shorter pipeline, so it tolerates
+        # at least the sets whose exact version is tolerable minus...
+        # empirically on G(1,1): reduced >= exact
+        cmp_ = compare_models_exhaustive(build_g1k(1), 1, 1)
+        assert cmp_.tolerated_reduced >= cmp_.tolerated_exact
+        # G(1,1): 6 nodes, 5 edges -> 1 + 6 + 5 + 30 mixed sets
+        assert cmp_.checked == 1 + 6 + 5 + 6 * 5
+
+    def test_gap_is_real(self):
+        cmp_ = compare_models_exhaustive(build_g1k(2), 1, 1)
+        assert cmp_.tolerated_reduced > cmp_.tolerated_exact
+        assert 0 < cmp_.reduction_conservatism

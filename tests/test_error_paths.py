@@ -1,0 +1,96 @@
+"""Negative-path coverage: every library exception is reachable and
+carries a useful message."""
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.errors import (
+    BudgetExceededError,
+    ConstructionUnavailableError,
+    InvalidParameterError,
+    NotStandardError,
+    ReconfigurationError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in [
+            InvalidParameterError,
+            ConstructionUnavailableError,
+            NotStandardError,
+            BudgetExceededError,
+            ReconfigurationError,
+            SimulationError,
+        ]:
+            assert issubclass(exc, ReproError)
+
+    def test_value_error_compatibility(self):
+        # parameter errors double as ValueError for idiomatic catching
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(NotStandardError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(BudgetExceededError, RuntimeError)
+        assert issubclass(ReconfigurationError, RuntimeError)
+
+
+class TestReachability:
+    def test_invalid_parameter(self):
+        with pytest.raises(InvalidParameterError, match="must be >="):
+            repro.build(0, 1)
+
+    def test_construction_unavailable(self):
+        with pytest.raises(ConstructionUnavailableError, match="no construction"):
+            repro.construction_plan(5, 6, strict=True)
+
+    def test_not_standard(self):
+        net = repro.build_g1k(1)
+        net.graph.add_edge("i0", "p1")
+        with pytest.raises(NotStandardError):
+            repro.extend(net)
+
+    def test_budget_exceeded(self):
+        net = repro.build(22, 4)
+        policy = repro.SolvePolicy(posa_restarts=0, budget=3, allow_undecided=False)
+        with pytest.raises(BudgetExceededError):
+            repro.find_pipeline(net, (), policy)
+
+    def test_reconfiguration_error(self):
+        net = repro.build_g1k(1)
+        with pytest.raises(ReconfigurationError, match="no pipeline"):
+            repro.reconfigure(net, ["p0", "p1"])
+
+    def test_simulation_error(self):
+        from repro.simulator.engine import Simulator
+
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_catch_all_umbrella(self):
+        with pytest.raises(ReproError):
+            repro.build(0, 0)
+
+
+class TestMessagesAreActionable:
+    def test_gap_error_names_alternatives(self):
+        with pytest.raises(ConstructionUnavailableError, match="strict=False"):
+            repro.construction_plan(5, 6, strict=True)
+
+    def test_budget_error_mentions_budget(self):
+        net = repro.build(22, 4)
+        policy = repro.SolvePolicy(posa_restarts=0, budget=3, allow_undecided=False)
+        with pytest.raises(BudgetExceededError, match="budget"):
+            repro.find_pipeline(net, (), policy)
+
+    def test_standardness_error_is_diagnostic(self):
+        g = nx.Graph([("i0", "p0"), ("p0", "o0")])
+        net = repro.PipelineNetwork(g, ["i0"], ["o0"], n=2, k=2)
+        with pytest.raises(NotStandardError) as exc_info:
+            net.assert_standard()
+        message = str(exc_info.value)
+        assert "|Ti|" in message and "|P|" in message

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs to completion (their internal
+assertions are the real checks)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+@pytest.mark.slow
+def test_example_runs(script):
+    path = Path(__file__).parent.parent / "examples" / script
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "examples narrate what they do"

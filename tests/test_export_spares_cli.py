@@ -1,0 +1,176 @@
+"""Tests for analysis.export, analysis.spares, and the CLI."""
+
+import json
+
+import pytest
+
+from repro import build, reconfigure
+from repro.analysis.export import (
+    from_adjacency_json,
+    to_adjacency_json,
+    to_dot,
+    to_edge_list,
+)
+from repro.analysis.spares import (
+    bypass_line_cost,
+    cost_table,
+    diogenes_cost,
+    hayes_cost,
+    node_optimality_check,
+    paper_cost,
+)
+from repro.cli import main, make_parser
+
+
+class TestDotExport:
+    def test_valid_structure(self):
+        dot = to_dot(build(6, 2))
+        assert dot.startswith("graph pipeline_network {")
+        assert dot.rstrip().endswith("}")
+        assert '"p0"' in dot and '"i0"' in dot
+
+    def test_node_styles_by_kind(self):
+        dot = to_dot(build(1, 1))
+        assert "shape=box" in dot  # terminals
+        assert "shape=circle" in dot  # processors
+
+    def test_pipeline_highlight(self):
+        net = build(6, 2)
+        pl = reconfigure(net, ["p0"])
+        dot = to_dot(net, pipeline=pl, faults={"p0"})
+        assert "color=red" in dot
+        assert "dashed" in dot  # the faulty node
+
+    def test_edge_count(self):
+        net = build(1, 2)
+        dot = to_dot(net)
+        assert dot.count(" -- ") == net.graph.number_of_edges()
+
+
+class TestJsonExport:
+    def test_roundtrip(self):
+        net = build(8, 2)
+        doc = to_adjacency_json(net)
+        back = from_adjacency_json(doc)
+        assert back.is_standard()
+        assert len(back) == len(net)
+        assert back.graph.number_of_edges() == net.graph.number_of_edges()
+        assert {str(v) for v in net.inputs} == set(back.inputs)
+
+    def test_valid_json(self):
+        doc = json.loads(to_adjacency_json(build(1, 1)))
+        assert doc["n"] == 1 and doc["k"] == 1
+        assert doc["construction"] == "g1k"
+
+    def test_adjacency_symmetric(self):
+        doc = json.loads(to_adjacency_json(build(3, 2)))
+        adj = doc["adjacency"]
+        for v, nbrs in adj.items():
+            for u in nbrs:
+                assert v in adj[u]
+
+
+class TestEdgeListExport:
+    def test_count_and_sorted(self):
+        net = build(1, 1)
+        lines = to_edge_list(net).splitlines()
+        assert len(lines) == net.graph.number_of_edges()
+        assert lines == sorted(lines)
+
+
+class TestSpares:
+    def test_cost_table_designs(self):
+        rows = cost_table(11, 4)
+        names = [r.design for r in rows]
+        assert any("paper" in s for s in names)
+        assert any("Hayes" in s for s in names)
+        assert any("bypass" in s for s in names)
+        assert any("Diogenes" in s for s in names)
+
+    def test_hayes_skipped_when_invalid(self):
+        # odd k with odd n+k: Hayes's half-offset needs even n+k
+        rows = cost_table(4, 3)  # n+k = 7 odd
+        assert not any("Hayes" in r.design for r in rows)
+
+    def test_paper_is_node_minimal(self):
+        row = paper_cost(9, 2)
+        assert row.nodes == 9 + 2 + 2 * 3
+        assert row.spare_processors == 2
+
+    def test_ports_total(self):
+        row = paper_cost(6, 2)
+        assert row.ports_total == 2 * row.edges
+
+    def test_degree_ordering(self):
+        # the paper's degree is minimal among graph designs
+        paper = paper_cost(11, 4)
+        assert paper.max_degree <= hayes_cost(11, 4).max_degree
+        assert paper.max_degree <= bypass_line_cost(11, 4).max_degree
+
+    def test_diogenes_constant_switches(self):
+        assert diogenes_cost(11, 4).max_degree == 2
+
+    def test_node_optimality_identity(self):
+        for n, k in [(1, 1), (6, 2), (22, 4)]:
+            check = node_optimality_check(n, k)
+            assert check["inputs"] == check["inputs_minimum"]
+            assert check["outputs"] == check["outputs_minimum"]
+            assert check["processors"] == check["processors_minimum"]
+
+
+class TestCli:
+    def test_build(self, capsys):
+        assert main(["build", "6", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "special" in out and "degree-optimal: yes" in out
+
+    def test_verify_exhaustive(self, capsys):
+        assert main(["verify", "3", "1"]) == 0
+        assert "PROOF" in capsys.readouterr().out
+
+    def test_verify_sampled(self, capsys):
+        assert main(["verify", "22", "4", "--mode", "sampled", "--trials", "30"]) == 0
+        assert "sampled" in capsys.readouterr().out
+
+    def test_reconfigure(self, capsys):
+        assert main(["reconfigure", "6", "2", "--fault", "p0"]) == 0
+        out = capsys.readouterr().out
+        assert "7 stages" in out
+        assert "(p0)" not in out
+
+    def test_audit(self, capsys):
+        assert main(["audit", "--n", "1-4", "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "g1k" in out and "yes" in out
+
+    def test_export_formats(self, capsys):
+        assert main(["export", "1", "1", "--format", "dot"]) == 0
+        assert "graph" in capsys.readouterr().out
+        assert main(["export", "1", "1", "--format", "json"]) == 0
+        json.loads(capsys.readouterr().out)
+        assert main(["export", "1", "1", "--format", "edges"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_search(self, capsys):
+        assert main(
+            ["search", "6", "2", "--max-degree", "4", "--trials", "5000",
+             "--seed", "42"]
+        ) == 0
+        assert "found" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        # strict build on an uncovered pair
+        assert main(["build", "5", "6", "--strict"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["frobnicate"])
+
+    def test_range_parsing(self):
+        from repro.cli import _parse_range
+
+        assert _parse_range("3") == [3]
+        assert _parse_range("1-4") == [1, 2, 3, 4]
+        assert _parse_range("1,3,5") == [1, 3, 5]
+        assert _parse_range("1-2,9") == [1, 2, 9]

@@ -1,0 +1,129 @@
+"""Tests for the Lemma 3.6 extension operator."""
+
+import pytest
+
+from repro.core.constructions import (
+    build_g1k,
+    build_g2k,
+    build_g3k,
+    extend,
+    extend_iterated,
+)
+from repro.core.constructions.extension import extension_chain, extensions_needed
+from repro.core.verify import verify_exhaustive
+from repro.errors import NotStandardError
+from repro.graphs.isomorphism import labeled_isomorphic
+
+
+class TestExtendStructure:
+    def test_n_grows_by_k_plus_1(self):
+        g = extend(build_g1k(2))
+        assert g.n == 1 + 3 and g.k == 2
+
+    def test_standard_preserved(self):
+        for base in [build_g1k(2), build_g2k(2), build_g3k(2)]:
+            assert extend(base).is_standard()
+
+    def test_max_degree_preserved(self):
+        for base in [build_g1k(1), build_g1k(3), build_g2k(2), build_g3k(3)]:
+            assert extend(base).max_processor_degree() == base.max_processor_degree()
+
+    def test_old_inputs_become_clique_processors(self):
+        base = build_g1k(2)
+        ext = extend(base)
+        old = sorted(base.inputs)
+        for v in old:
+            assert v in ext.processors
+        for i, a in enumerate(old):
+            for b in old[i + 1 :]:
+                assert ext.graph.has_edge(a, b)
+
+    def test_new_terminals_fresh_and_degree_one(self):
+        base = build_g2k(2)
+        ext = extend(base)
+        assert len(ext.inputs) == 3
+        assert ext.inputs.isdisjoint(base.graph.nodes)
+        for t in ext.inputs:
+            assert ext.graph.degree(t) == 1
+
+    def test_outputs_unchanged(self):
+        base = build_g3k(2)
+        assert extend(base).outputs == base.outputs
+
+    def test_phi_is_bijection_onto_old_inputs(self):
+        base = build_g1k(2)
+        ext = extend(base)
+        phi = ext.meta["phi"]
+        assert set(phi.keys()) == set(ext.inputs)
+        assert set(phi.values()) == set(base.inputs)
+
+    def test_relabeled_node_degree_is_k_plus_2(self):
+        base = build_g1k(3)
+        ext = extend(base)
+        for v in base.inputs:
+            assert ext.graph.degree(v) == 3 + 2
+
+    def test_non_standard_base_rejected(self):
+        base = build_g1k(2)
+        base.graph.add_edge("i0", "p1")  # terminal degree 2
+        with pytest.raises(NotStandardError):
+            extend(base)
+
+
+class TestExtendIterated:
+    def test_depth(self):
+        g = extend_iterated(build_g1k(2), 3)
+        assert g.n == 1 + 3 * 3
+        assert g.meta["extension_depth"] == 3
+
+    def test_zero_is_identity_object(self):
+        base = build_g1k(1)
+        assert extend_iterated(base, 0) is base
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            extend_iterated(build_g1k(1), -1)
+
+    def test_chain_lineage(self):
+        g = extend_iterated(build_g2k(1), 2)
+        chain = extension_chain(g)
+        assert len(chain) == 3
+        assert chain[0].meta["construction"] == "g2k"
+        assert chain[-1] is g
+
+
+class TestExtensionsNeeded:
+    def test_exact(self):
+        assert extensions_needed(1, 7, 2) == 2
+
+    def test_zero(self):
+        assert extensions_needed(5, 5, 3) == 0
+
+    def test_residue_mismatch(self):
+        with pytest.raises(ValueError):
+            extensions_needed(1, 6, 2)
+
+
+class TestLemma36Correctness:
+    """The lemma's claim: extension preserves k-graceful-degradability."""
+
+    @pytest.mark.parametrize(
+        "base_builder,k",
+        [(build_g1k, 1), (build_g1k, 2), (build_g2k, 1), (build_g2k, 2), (build_g3k, 1), (build_g3k, 2)],
+    )
+    def test_one_extension_exhaustive(self, base_builder, k):
+        cert = verify_exhaustive(extend(base_builder(k)))
+        assert cert.is_proof, cert.summary()
+
+    def test_two_extensions_exhaustive(self):
+        cert = verify_exhaustive(extend_iterated(build_g1k(2), 2))
+        assert cert.is_proof
+
+    def test_g31_equals_extension_of_g11(self):
+        # the paper notes extend(G(1,1)) gives a graph isomorphic to G(3,1)
+        via_ext = extend(build_g1k(1))
+        direct = build_g3k(1)
+        assert labeled_isomorphic(
+            via_ext.graph, via_ext.inputs, via_ext.outputs,
+            direct.graph, direct.inputs, direct.outputs,
+        )

@@ -1,0 +1,153 @@
+"""Tests for the construction factory (Theorems 3.13/3.15/3.16 dispatch,
+Corollary 3.8, Theorem 3.17, fallback)."""
+
+import pytest
+
+from repro.analysis.tables import theorem_degree_claims
+from repro.core.bounds import degree_lower_bound
+from repro.core.constructions import build, construction_plan
+from repro.core.constructions.asymptotic import minimum_asymptotic_n
+from repro.errors import ConstructionUnavailableError, InvalidParameterError
+
+
+class TestPlanSmallN:
+    def test_n1(self):
+        assert construction_plan(1, 5).base == "g1k"
+
+    def test_n2(self):
+        assert construction_plan(2, 5).base == "g2k"
+
+    def test_n3(self):
+        assert construction_plan(3, 5).base == "g3k"
+
+
+class TestTheorem313:
+    @pytest.mark.parametrize("n", range(1, 25))
+    def test_degree_matches_theorem(self, n):
+        net = build(n, 1)
+        assert net.max_processor_degree() == theorem_degree_claims(n, 1)
+
+    @pytest.mark.parametrize("n", range(1, 25))
+    def test_always_optimal(self, n):
+        net = build(n, 1)
+        assert net.max_processor_degree() == degree_lower_bound(n, 1)
+
+    def test_odd_uses_g1k_chain(self):
+        plan = construction_plan(9, 1)
+        assert plan.base == "g1k" and plan.extensions == 4
+
+    def test_even_uses_g2k_chain(self):
+        plan = construction_plan(10, 1)
+        assert plan.base == "g2k" and plan.extensions == 4
+
+
+class TestTheorem315:
+    @pytest.mark.parametrize("n", range(1, 25))
+    def test_degree_matches_theorem(self, n):
+        net = build(n, 2)
+        assert net.max_processor_degree() == theorem_degree_claims(n, 2)
+
+    def test_exception_set(self):
+        # degree k+3 exactly for n in {2, 3, 5}
+        for n in (2, 3, 5):
+            assert build(n, 2).max_processor_degree() == 5
+        for n in (1, 4, 6, 7, 8, 9):
+            assert build(n, 2).max_processor_degree() == 4
+
+    def test_residues(self):
+        assert construction_plan(12, 2).base == "special"   # 12 = 6 + 2*3
+        assert construction_plan(13, 2).base == "g1k"       # 13 = 1 + 4*3
+        assert construction_plan(14, 2).base == "special"   # 14 = 8 + 2*3
+
+    def test_specials_used_directly(self):
+        assert construction_plan(6, 2).extensions == 0
+        assert construction_plan(8, 2).extensions == 0
+
+
+class TestTheorem316:
+    @pytest.mark.parametrize("n", range(1, 25))
+    def test_degree_matches_theorem(self, n):
+        net = build(n, 3)
+        assert net.max_processor_degree() == theorem_degree_claims(n, 3)
+
+    def test_parity(self):
+        for n in range(1, 20):
+            # n = 3 is the Lemma 3.11 exception: k+3 despite odd n
+            want = 5 if (n % 2 == 1 and n != 3) else 6
+            assert build(n, 3).max_processor_degree() == want, n
+
+    def test_residues(self):
+        assert construction_plan(8, 3).base == "special"    # 8 = 4 + 4
+        assert construction_plan(9, 3).base == "g1k"
+        assert construction_plan(10, 3).base == "g2k"
+        assert construction_plan(11, 3).base == "special"   # 11 = 7 + 4
+
+
+class TestCorollary38:
+    @pytest.mark.parametrize("k", [4, 5, 6, 9])
+    @pytest.mark.parametrize("l", [1, 2, 3])
+    def test_family_degree_k_plus_2(self, k, l):
+        n = (k + 1) * l + 1
+        plan = construction_plan(n, k)
+        assert plan.base == "g1k" and plan.extensions == l
+        net = build(n, k)
+        assert net.max_processor_degree() == k + 2
+
+
+class TestTheorem317Dispatch:
+    def test_above_floor_uses_asymptotic(self):
+        k = 4
+        n = minimum_asymptotic_n(k)
+        if (n - 1) % (k + 1) == 0:
+            n += 1
+        plan = construction_plan(n, k)
+        assert plan.base == "asymptotic"
+
+    def test_corollary38_preferred_over_asymptotic(self):
+        # n = (k+1)l + 1 in the asymptotic range still uses the chain
+        # (degree k+2 always, vs k+3 in the even-n odd-k case)
+        k = 5
+        n = (k + 1) * 4 + 1  # 25 >= minimum
+        assert n >= minimum_asymptotic_n(k)
+        assert construction_plan(n, k).base == "g1k"
+
+
+class TestGapsAndFallback:
+    def test_gap_strict_raises(self):
+        # k = 6, n = 5: below asymptotic floor (18), residues 5-1=4,
+        # 5-2=3, 5-3=2 not multiples of 7
+        with pytest.raises(ConstructionUnavailableError):
+            construction_plan(5, 6, strict=True)
+
+    def test_gap_fallback_builds(self):
+        net = build(5, 6)
+        assert net.meta["plan"].base == "clique-chain"
+        assert net.is_standard()
+
+    def test_fallback_flagged_not_optimal(self):
+        plan = construction_plan(5, 6)
+        assert not plan.degree_optimal
+
+
+class TestPlanMetadata:
+    def test_expected_degree_matches_build(self):
+        for n in range(1, 16):
+            for k in range(1, 5):
+                plan = construction_plan(n, k)
+                net = build(n, k)
+                assert net.max_processor_degree() == plan.expected_max_degree, (n, k)
+
+    def test_all_builds_standard(self):
+        for n in range(1, 16):
+            for k in range(1, 5):
+                assert build(n, k).is_standard(), (n, k)
+
+    def test_plan_attached_to_network(self):
+        net = build(7, 2)
+        assert net.meta["plan"].source == "Theorem 3.15"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            build(0, 1)
+        with pytest.raises(InvalidParameterError):
+            build(1, 0)

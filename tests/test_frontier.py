@@ -1,0 +1,73 @@
+"""Tests for the tolerance-frontier analysis."""
+
+import pytest
+
+from repro import build, build_g1k, build_g2k
+from repro.analysis.frontier import co_failure_blacklist, tolerance_frontier
+from repro.errors import InvalidParameterError
+
+
+class TestFrontier:
+    def test_g11_frontier(self):
+        # G(1,1): killing both processors, or a processor plus the other's
+        # terminals appropriately, breaks it at size 2
+        rep = tolerance_frontier(build_g1k(1))
+        assert rep.fault_size == 2
+        assert ("p0", "p1") in rep.breaking_sets
+
+    def test_every_breaking_set_is_beyond_budget(self):
+        net = build_g2k(1)
+        rep = tolerance_frontier(net)
+        assert all(len(fs) == net.k + 1 for fs in rep.breaking_sets)
+
+    def test_breaking_fraction_small_for_good_designs(self):
+        # most (k+1)-sets still survive (graceful slack)
+        rep = tolerance_frontier(build(6, 2))
+        assert 0 < rep.breaking_fraction < 0.25
+
+    def test_kind_profile_totals(self):
+        rep = tolerance_frontier(build_g1k(2))
+        total_members = sum(rep.kind_profile.values())
+        assert total_members == rep.breaking_count * rep.fault_size
+
+    def test_terminal_starvation_visible_in_profile(self):
+        # on G(1,1), input-terminal pairs are part of the frontier
+        rep = tolerance_frontier(build_g1k(1))
+        assert rep.kind_profile["input"] > 0
+        assert rep.kind_profile["processor"] > 0
+
+    def test_max_breaking_early_stop(self):
+        rep = tolerance_frontier(build(6, 2), max_breaking=3)
+        assert rep.breaking_count == 3
+
+    def test_size_limit(self):
+        with pytest.raises(InvalidParameterError):
+            tolerance_frontier(build(22, 4))
+
+    def test_consistent_with_survivability(self):
+        from repro.analysis.survivability import survival_probability
+
+        net = build_g2k(2)
+        rep = tolerance_frontier(net)
+        point = survival_probability(net, net.k + 1)
+        assert point.exact
+        assert 1.0 - point.probability == pytest.approx(rep.breaking_fraction)
+
+
+class TestBlacklist:
+    def test_pairs_ranked(self):
+        rep = tolerance_frontier(build_g1k(2))
+        ranked = co_failure_blacklist(rep, top=3)
+        assert len(ranked) <= 3
+        counts = [c for _, c in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_pairs_come_from_breaking_sets(self):
+        rep = tolerance_frontier(build_g2k(1))
+        members = {v for fs in rep.breaking_sets for v in fs}
+        for (a, b), _count in co_failure_blacklist(rep):
+            assert a in members and b in members
+
+    def test_empty_frontier_empty_blacklist(self):
+        rep = tolerance_frontier(build_g1k(1), max_breaking=0)
+        assert co_failure_blacklist(rep) == []

@@ -1,0 +1,109 @@
+"""Tests for repro.graphs.circulant."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.circulant import (
+    circulant_graph,
+    circulant_offsets_for_degree,
+    is_circulant_edge,
+    normalize_offsets,
+)
+
+
+class TestNormalizeOffsets:
+    def test_identity_small_offsets(self):
+        assert normalize_offsets(10, [1, 2, 3]) == frozenset({1, 2, 3})
+
+    def test_reflection(self):
+        # offset 9 on 10 nodes is the same adjacency as offset 1
+        assert normalize_offsets(10, [9]) == frozenset({1})
+
+    def test_modular_reduction(self):
+        assert normalize_offsets(10, [12]) == frozenset({2})
+
+    def test_half_offset_fixed_point(self):
+        assert normalize_offsets(10, [5]) == frozenset({5})
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_offsets(10, [10])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_offsets(10, [1.5])
+
+    def test_duplicates_collapse(self):
+        assert normalize_offsets(10, [1, 9, 11]) == frozenset({1})
+
+
+class TestCirculantGraph:
+    def test_cycle_is_offset_one(self):
+        g = circulant_graph(7, [1])
+        assert nx.is_isomorphic(g, nx.cycle_graph(7))
+
+    def test_node_count(self):
+        assert len(circulant_graph(12, [1, 3])) == 12
+
+    def test_regular_degree_two_offsets(self):
+        g = circulant_graph(11, [1, 2])
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_half_offset_contributes_one(self):
+        g = circulant_graph(10, [5])
+        assert all(d == 1 for _, d in g.degree())
+
+    def test_offsets_recorded(self):
+        g = circulant_graph(10, [1, 9, 3])
+        assert g.graph["offsets"] == frozenset({1, 3})
+
+    def test_vertex_transitive_adjacency(self):
+        g = circulant_graph(9, [2])
+        for i in range(9):
+            assert g.has_edge(i, (i + 2) % 9)
+
+    def test_matches_networkx(self):
+        g = circulant_graph(13, [1, 4])
+        assert nx.is_isomorphic(g, nx.circulant_graph(13, [1, 4]))
+
+    def test_complete_graph(self):
+        g = circulant_graph(5, [1, 2])
+        assert nx.is_isomorphic(g, nx.complete_graph(5))
+
+
+class TestIsCirculantEdge:
+    def test_positive(self):
+        assert is_circulant_edge(10, [2], 3, 5)
+        assert is_circulant_edge(10, [2], 9, 1)
+
+    def test_negative(self):
+        assert not is_circulant_edge(10, [2], 3, 6)
+
+    def test_agrees_with_graph(self):
+        m, offs = 14, [1, 3, 5]
+        g = circulant_graph(m, offs)
+        for i in range(m):
+            for j in range(i + 1, m):
+                assert g.has_edge(i, j) == is_circulant_edge(m, offs, i, j)
+
+
+class TestOffsetsForDegree:
+    def test_even_degree(self):
+        assert circulant_offsets_for_degree(10, 4) == frozenset({1, 2})
+
+    def test_odd_degree_uses_half(self):
+        assert circulant_offsets_for_degree(10, 5) == frozenset({1, 2, 5})
+
+    def test_odd_degree_odd_m_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            circulant_offsets_for_degree(9, 5)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            circulant_offsets_for_degree(5, 5)
+
+    def test_achieves_degree(self):
+        for m, d in [(12, 4), (12, 6), (12, 7), (15, 6)]:
+            g = circulant_graph(m, circulant_offsets_for_degree(m, d))
+            assert all(deg == d for _, deg in g.degree()), (m, d)

@@ -1,0 +1,162 @@
+"""Tests for repro.graphs.paths, .generators and .degrees."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graphs.degrees import (
+    degree_histogram,
+    degree_profile,
+    max_degree,
+    min_degree,
+)
+from repro.graphs.generators import (
+    clique,
+    clique_minus_matching,
+    consecutive_pair_matching,
+)
+from repro.graphs.paths import (
+    graph_cycle,
+    graph_path,
+    is_path_in_graph,
+    is_spanning_path,
+    path_edges,
+)
+
+
+class TestGraphPath:
+    def test_edges(self):
+        g = graph_path(["a", "b", "c", "d"])
+        assert sorted(g.edges) == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_single_node(self):
+        g = graph_path(["x"])
+        assert list(g.nodes) == ["x"] and g.number_of_edges() == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            graph_path(["a", "b", "a"])
+
+
+class TestGraphCycle:
+    def test_wraparound_edge(self):
+        g = graph_cycle([0, 1, 2, 3])
+        assert g.has_edge(3, 0)
+        assert g.number_of_edges() == 4
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            graph_cycle([0, 1])
+
+
+class TestIsPathInGraph:
+    def setup_method(self):
+        self.g = nx.path_graph(5)
+
+    def test_valid_path(self):
+        assert is_path_in_graph(self.g, [0, 1, 2])
+
+    def test_non_edge(self):
+        assert not is_path_in_graph(self.g, [0, 2])
+
+    def test_repeat_node(self):
+        assert not is_path_in_graph(self.g, [0, 1, 0])
+
+    def test_missing_node(self):
+        assert not is_path_in_graph(self.g, [0, 1, 99])
+
+    def test_empty(self):
+        assert not is_path_in_graph(self.g, [])
+
+    def test_single_existing(self):
+        assert is_path_in_graph(self.g, [3])
+
+
+class TestIsSpanningPath:
+    def test_spans(self):
+        g = nx.cycle_graph(4)
+        assert is_spanning_path(g, [0, 1, 2, 3], {0, 1, 2, 3})
+
+    def test_misses_required(self):
+        g = nx.cycle_graph(4)
+        assert not is_spanning_path(g, [0, 1, 2], {0, 1, 2, 3})
+
+    def test_extra_node(self):
+        g = nx.cycle_graph(4)
+        assert not is_spanning_path(g, [0, 1, 2, 3], {0, 1, 2})
+
+
+class TestPathEdges:
+    def test_pairs(self):
+        assert list(path_edges([1, 2, 3])) == [(1, 2), (2, 3)]
+
+
+class TestClique:
+    def test_complete(self):
+        g = clique(list(range(5)))
+        assert g.number_of_edges() == 10
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            clique([1, 1])
+
+
+class TestConsecutivePairMatching:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [
+            (2, [(0, 1)]),
+            (3, [(0, 1)]),
+            (4, [(0, 1), (2, 3)]),
+            (5, [(0, 1), (2, 3)]),
+            (6, [(0, 1), (2, 3), (4, 5)]),
+            (1, []),
+            (0, []),
+        ],
+    )
+    def test_values(self, count, expected):
+        assert consecutive_pair_matching(count) == expected
+
+    def test_is_a_matching(self):
+        pairs = consecutive_pair_matching(9)
+        nodes = [v for p in pairs for v in p]
+        assert len(nodes) == len(set(nodes))
+
+
+class TestCliqueMinusMatching:
+    def test_even_count_degrees(self):
+        g = clique_minus_matching(list(range(6)))
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_odd_count_last_node_full_degree(self):
+        g = clique_minus_matching(list(range(7)))
+        hist = degree_histogram(g)
+        assert hist == {5: 6, 6: 1}
+
+    def test_removed_edges_absent(self):
+        g = clique_minus_matching(list(range(6)))
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(2, 3)
+        assert g.has_edge(0, 2)
+
+
+class TestDegrees:
+    def setup_method(self):
+        self.g = nx.star_graph(4)  # center 0 degree 4, leaves degree 1
+
+    def test_max_min(self):
+        assert max_degree(self.g) == 4
+        assert min_degree(self.g) == 1
+
+    def test_subset(self):
+        assert max_degree(self.g, [1, 2]) == 1
+
+    def test_profile(self):
+        assert degree_profile(self.g)[0] == 4
+
+    def test_histogram_sorted(self):
+        assert list(degree_histogram(self.g).keys()) == [1, 4]
+
+    def test_empty_subset(self):
+        assert max_degree(self.g, []) == 0
+        assert min_degree(self.g, []) == 0

@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full story end-to-end."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import (
+    build,
+    degree_lower_bound,
+    is_pipeline,
+    merge_terminals,
+    reconfigure,
+    verify_exhaustive,
+    verify_sampled,
+)
+from repro.analysis import optimality_audit
+from repro.baselines import SparePoolPipeline, utilization_profile
+from repro.simulator import (
+    GracefulPipelineRuntime,
+    SparePoolRuntime,
+    ct_reconstruction_chain,
+)
+from repro.simulator.faults import FaultEvent, poisson_fault_schedule
+from repro.simulator.workloads import ct_phantom
+
+
+class TestPaperPipeline:
+    """Build -> verify -> degrade -> reconfigure -> validate, for a
+    representative slice of each construction family."""
+
+    @pytest.mark.parametrize(
+        "n,k",
+        [(1, 2), (2, 3), (3, 2), (5, 1), (6, 2), (8, 2), (4, 3), (7, 3),
+         (9, 2), (11, 3), (11, 4), (14, 4), (22, 4)],
+    )
+    def test_full_cycle(self, n, k):
+        net = build(n, k)
+        assert net.is_standard()
+        assert net.max_processor_degree() >= degree_lower_bound(n, k)
+        rng = random.Random(n * 100 + k)
+        nodes = sorted(net.graph.nodes, key=repr)
+        for _ in range(10):
+            faults = rng.sample(nodes, rng.randint(0, k))
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults)
+            healthy = len(net.processors - set(faults))
+            assert pl.length == healthy
+
+    def test_small_families_exhaustively_gd(self):
+        for n, k in [(4, 1), (5, 2), (4, 2), (5, 3)]:
+            cert = verify_exhaustive(build(n, k))
+            assert cert.is_proof, (n, k)
+
+
+class TestMergedModelIntegration:
+    def test_merge_then_simulate(self):
+        merged = merge_terminals(build(6, 2))
+        rt = GracefulPipelineRuntime(merged, ct_reconstruction_chain())
+        schedule = poisson_fault_schedule(rt.nodes, 0.05, 50, rng=3, max_faults=2)
+        res = rt.run(schedule, horizon=50.0)
+        assert res.survived
+
+    def test_merged_verification(self):
+        merged = merge_terminals(build(8, 2))
+        cert = verify_exhaustive(merged, fault_universe=merged.processors)
+        assert cert.is_proof
+
+
+class TestUtilizationStory:
+    """The paper's core quantitative claim, cross-checked between the
+    analytic profile and the simulated runtimes."""
+
+    def test_profile_matches_simulation(self):
+        n, k = 6, 2
+        net = build(n, k)
+        chain = ct_reconstruction_chain()
+        profile = utilization_profile(n, k)
+        # inject f faults far apart, check the stage counts realized
+        for f in range(k + 1):
+            rt = GracefulPipelineRuntime(net.copy(), chain)
+            schedule = [
+                FaultEvent(float(5 * (i + 1)), f"p{i}") for i in range(f)
+            ]
+            res = rt.run(schedule, horizon=100.0)
+            assert res.survived
+            assert rt.pipeline.length == profile[f].graceful_stages
+
+    def test_spare_pool_matches_baseline_column(self):
+        n, k = 6, 2
+        profile = utilization_profile(n, k)
+        pool = SparePoolPipeline(n, k)
+        assert pool.active_count == profile[0].baseline_stages
+        pool.fail("s0")
+        assert pool.active_count == profile[1].baseline_stages
+
+
+class TestOutputTransparency:
+    def test_results_identical_across_embeddings(self):
+        """Reconfiguration must not change computed results."""
+        net = build(8, 2)
+        chain = ct_reconstruction_chain(16)
+        img = ct_phantom(32, seed=1)
+        before = chain.apply(img)
+        reconfigure(net, ["p1", "p4"])  # re-embed (state-free kernels)
+        after = chain.apply(img)
+        assert np.array_equal(before, after)
+
+
+class TestAuditConsistency:
+    def test_audit_agrees_with_verification_sample(self):
+        rows = optimality_audit(range(1, 9), [1, 2])
+        for row in rows:
+            net = build(row.n, row.k)
+            cert = verify_sampled(net, trials=30, rng=1)
+            assert cert.ok, (row.n, row.k)
+
+
+class TestHeadToHeadConsistency:
+    def test_same_schedule_same_faults_graceful_never_worse(self):
+        n, k = 8, 2
+        chain = ct_reconstruction_chain()
+        for seed in range(4):
+            g = GracefulPipelineRuntime(build(n, k), chain)
+            schedule = poisson_fault_schedule(
+                g.nodes, 0.03, 80, rng=seed, max_faults=k
+            )
+            g_res = g.run(schedule, horizon=80.0)
+            sp = SparePoolRuntime(n, k, chain)
+            mapping = dict(zip(g.nodes, sp.nodes))
+            sp_res = sp.run(
+                [FaultEvent(e.time, mapping[e.node]) for e in schedule],
+                horizon=80.0,
+            )
+            assert g_res.items_completed >= sp_res.items_completed - 1e-9

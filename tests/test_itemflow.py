@@ -1,0 +1,117 @@
+"""Tests for the item-level flow simulation (DES vs recurrence)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InvalidParameterError, SimulationError
+from repro.simulator.itemflow import (
+    ItemFlowResult,
+    ItemTrace,
+    simulate_item_flow,
+    tandem_completion_times,
+)
+
+
+class TestRecurrence:
+    def test_single_stage(self):
+        c = tandem_completion_times([2.0], [0.0, 0.0])
+        assert c == [[2.0], [4.0]]
+
+    def test_pipeline_fill(self):
+        # stages 1,1: item0 done at 2; item1 overlaps: done at 3
+        c = tandem_completion_times([1.0, 1.0], [0.0, 0.0])
+        assert c[0] == [1.0, 2.0]
+        assert c[1] == [2.0, 3.0]
+
+    def test_bottleneck_governs_steady_state(self):
+        c = tandem_completion_times([1.0, 3.0], [0.0] * 10)
+        finals = [row[-1] for row in c]
+        gaps = [b - a for a, b in zip(finals, finals[1:])]
+        assert all(g == pytest.approx(3.0) for g in gaps)
+
+    def test_sparse_arrivals_no_queueing(self):
+        c = tandem_completion_times([1.0, 1.0], [0.0, 10.0])
+        assert c[1] == [11.0, 12.0]
+
+    def test_link_latency(self):
+        c = tandem_completion_times([1.0, 1.0], [0.0], link_latency=0.5)
+        assert c[0] == [1.0, 2.5]
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tandem_completion_times([1.0], [2.0, 1.0])
+
+    def test_negative_service_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tandem_completion_times([-1.0], [0.0])
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tandem_completion_times([], [0.0])
+
+
+class TestDES:
+    def test_matches_docstring(self):
+        r = simulate_item_flow([1.0, 2.0], [0.0, 0.0, 0.0])
+        assert r.traces[0].latency == 3.0
+        assert r.makespan == pytest.approx(7.0)
+
+    def test_throughput(self):
+        r = simulate_item_flow([1.0], [float(i) for i in range(5)])
+        assert r.throughput == pytest.approx(5 / r.makespan)
+
+    def test_stage_utilization_bottleneck_near_one(self):
+        r = simulate_item_flow([0.5, 2.0], [0.0] * 20)
+        util = r.stage_utilization()
+        assert util[1] > 0.95
+        assert util[0] < util[1]
+
+    def test_latency_percentiles(self):
+        r = simulate_item_flow([1.0, 1.0], [0.0] * 10)
+        assert r.latency_percentile(0) <= r.latency_percentile(100)
+        with pytest.raises(InvalidParameterError):
+            r.latency_percentile(101)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ItemFlowResult().latency_percentile(50)
+
+    def test_trace_fields(self):
+        t = ItemTrace(0, 1.0, (2.0, 5.0))
+        assert t.finished_at == 5.0 and t.latency == 4.0
+
+
+class TestCrossValidation:
+    """The DES and the closed-form recurrence must agree exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        q = rng.randint(1, 5)
+        services = [round(rng.uniform(0.1, 3.0), 3) for _ in range(q)]
+        arrivals = sorted(round(rng.uniform(0, 10), 3) for _ in range(8))
+        link = rng.choice([0.0, 0.25])
+        des = simulate_item_flow(services, arrivals, link_latency=link)
+        rec = tandem_completion_times(services, arrivals, link_latency=link)
+        for trace, row in zip(des.traces, rec):
+            assert trace.completions == pytest.approx(tuple(row)), (
+                services,
+                arrivals,
+                link,
+            )
+
+    def test_exhaustive_tiny(self):
+        for services in itertools.product([0.5, 1.0, 2.0], repeat=2):
+            des = simulate_item_flow(list(services), [0.0, 0.0, 1.0])
+            rec = tandem_completion_times(list(services), [0.0, 0.0, 1.0])
+            for trace, row in zip(des.traces, rec):
+                assert trace.completions == pytest.approx(tuple(row))
+
+    def test_makespan_equals_last_completion(self):
+        services = [1.0, 0.5, 2.0]
+        arrivals = [0.0, 0.1, 0.2, 3.0]
+        des = simulate_item_flow(services, arrivals)
+        rec = tandem_completion_times(services, arrivals)
+        assert des.makespan == pytest.approx(max(row[-1] for row in rec))

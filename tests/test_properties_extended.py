@@ -1,0 +1,142 @@
+"""Property-based tests, batch 2: edge faults, sessions, export,
+item flow, cycles."""
+
+import json
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import build, is_pipeline
+from repro.analysis.export import from_adjacency_json, to_adjacency_json, to_dot
+from repro.core.edge_faults import reduce_mixed_faults
+from repro.core.hamilton import SpanningPathInstance, Status, solve
+from repro.core.session import ReconfigurationSession, pipeline_churn
+from repro.core.pipeline import Pipeline
+from repro.graphs.cycles import find_cycle_of_length, is_cycle_in_graph
+from repro.simulator.itemflow import simulate_item_flow, tandem_completion_times
+
+common = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+nk_small = st.sampled_from([(1, 1), (1, 2), (2, 2), (3, 2), (6, 2), (4, 3)])
+
+
+@common
+@given(nk=nk_small, data=st.data())
+def test_reduced_mixed_fault_sets_always_tolerated(nk, data):
+    """The module invariant: any |Fn| + |Fe| <= k mixed set, reduced,
+    is tolerated by a k-GD construction."""
+    n, k = nk
+    net = build(n, k)
+    nodes = sorted(net.graph.nodes, key=repr)
+    edges = sorted((tuple(sorted(e, key=repr)) for e in net.graph.edges), key=repr)
+    fn = data.draw(st.integers(0, k))
+    fe = k - fn
+    node_set = data.draw(
+        st.lists(st.sampled_from(nodes), max_size=fn, unique=True)
+    )
+    edge_set = data.draw(
+        st.lists(st.sampled_from(edges), max_size=fe, unique=True)
+    )
+    reduced = reduce_mixed_faults(net, node_set, edge_set)
+    assert len(reduced) <= k
+    inst = SpanningPathInstance(net.surviving(reduced))
+    assert solve(inst).status is Status.FOUND
+
+
+@common
+@given(nk=nk_small, data=st.data())
+def test_session_equivalent_to_batch(nk, data):
+    """Incremental fault injection ends at a valid pipeline identical in
+    coverage to batch reconfiguration."""
+    n, k = nk
+    net = build(n, k)
+    nodes = sorted(net.graph.nodes, key=repr)
+    faults = data.draw(st.lists(st.sampled_from(nodes), max_size=k, unique=True))
+    session = ReconfigurationSession(net)
+    session.fail_many(faults)
+    assert is_pipeline(net, session.pipeline.nodes, faults)
+    assert set(session.pipeline.stages) == net.processors - set(faults)
+
+
+@common
+@given(
+    stages=st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8, unique=True),
+    data=st.data(),
+)
+def test_churn_conservation(stages, data):
+    """moved + kept always equals the new pipeline's stage count."""
+    old = Pipeline(["I", *stages, "O"])
+    perm = data.draw(st.permutations(stages))
+    new = Pipeline(["I", *perm, "O"])
+    moved, kept = pipeline_churn(old, new)
+    assert moved + kept == len(stages)
+    if list(perm) == list(stages):
+        assert moved == 0
+
+
+@common
+@given(nk=st.sampled_from([(1, 1), (2, 1), (3, 2), (8, 2)]))
+def test_json_export_roundtrip_preserves_structure(nk):
+    n, k = nk
+    net = build(n, k)
+    back = from_adjacency_json(to_adjacency_json(net))
+    assert back.is_standard() == net.is_standard()
+    assert len(back) == len(net)
+    assert back.graph.number_of_edges() == net.graph.number_of_edges()
+    # degree multiset invariant
+    assert sorted(d for _, d in back.graph.degree()) == sorted(
+        d for _, d in net.graph.degree()
+    )
+
+
+@common
+@given(nk=st.sampled_from([(1, 1), (3, 1), (6, 2)]))
+def test_dot_export_mentions_every_node(nk):
+    n, k = nk
+    net = build(n, k)
+    dot = to_dot(net)
+    for v in net.graph.nodes:
+        assert f'"{v}"' in dot
+
+
+@common
+@given(
+    services=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=4),
+    count=st.integers(1, 8),
+    gap=st.floats(0.0, 3.0),
+)
+def test_itemflow_des_equals_recurrence(services, count, gap):
+    arrivals = [round(i * gap, 6) for i in range(count)]
+    des = simulate_item_flow(services, arrivals)
+    rec = tandem_completion_times(services, arrivals)
+    for trace, row in zip(des.traces, rec):
+        for a, b in zip(trace.completions, row):
+            assert abs(a - b) < 1e-9
+
+
+@common
+@given(
+    services=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=4),
+    count=st.integers(1, 8),
+)
+def test_itemflow_latency_at_least_total_service(services, count):
+    arrivals = [float(i) for i in range(count)]
+    des = simulate_item_flow(services, arrivals)
+    floor = sum(services)
+    for trace in des.traces:
+        assert trace.latency >= floor - 1e-9
+
+
+@common
+@given(m=st.integers(4, 12), offsets=st.lists(st.integers(1, 5), min_size=1, max_size=3))
+def test_circulant_cycles_found_and_valid(m, offsets):
+    from repro.graphs.circulant import circulant_graph, normalize_offsets
+
+    offs = normalize_offsets(m, [o for o in offsets if o % m != 0] or [1])
+    g = circulant_graph(m, offs)
+    if 1 in offs:
+        cyc = find_cycle_of_length(g, m)
+        assert cyc is not None and is_cycle_in_graph(g, cyc)

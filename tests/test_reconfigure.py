@@ -1,0 +1,156 @@
+"""Tests for repro.core.reconfigure (constructive reconfiguration)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.constructions import (
+    build,
+    build_clique_chain,
+    build_g1k,
+    build_g2k,
+    build_g3k,
+    extend_iterated,
+)
+from repro.core.pipeline import is_pipeline
+from repro.core.reconfigure import reconfigure
+from repro.errors import ReconfigurationError
+
+
+def exhaustively_reconfigurable(net, k=None):
+    """Reconfigure against EVERY fault set of size <= k and validate."""
+    k = net.k if k is None else k
+    nodes = sorted(net.graph.nodes, key=repr)
+    for size in range(k + 1):
+        for faults in itertools.combinations(nodes, size):
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults), (faults, pl.nodes)
+
+
+class TestCliqueConstructions:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_g1k_exhaustive(self, k):
+        exhaustively_reconfigurable(build_g1k(k))
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_g2k_exhaustive(self, k):
+        exhaustively_reconfigurable(build_g2k(k))
+
+    def test_degenerate_single_processor(self):
+        net = build_g1k(1)
+        pl = reconfigure(net, ["p1"])
+        assert pl.length == 1 and pl.stages == ("p0",)
+
+
+class TestG3k:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_exhaustive(self, k):
+        exhaustively_reconfigurable(build_g3k(k))
+
+    def test_matching_edges_never_used(self):
+        net = build_g3k(3)
+        removed = {frozenset(e) for e in net.meta["removed_matching"]}
+        for faults in [(), ("p0",), ("i0", "o0"), ("p4", "p2", "i3")]:
+            pl = reconfigure(net, faults)
+            for a, b in zip(pl.nodes, pl.nodes[1:]):
+                assert frozenset((a, b)) not in removed
+
+
+class TestExtensionSplice:
+    @pytest.mark.parametrize("base,k,times", [("g1k", 2, 1), ("g1k", 2, 2), ("g2k", 1, 2), ("g3k", 2, 1)])
+    def test_exhaustive(self, base, k, times):
+        builders = {"g1k": build_g1k, "g2k": build_g2k, "g3k": build_g3k}
+        net = extend_iterated(builders[base](k), times)
+        exhaustively_reconfigurable(net)
+
+    def test_case2_new_terminal_fault(self):
+        # killing new input terminals exercises Case 2 of the Lemma 3.6
+        # proof (the i4/j4 splice)
+        net = extend_iterated(build_g1k(2), 1)
+        new_terms = sorted(net.inputs)
+        pl = reconfigure(net, new_terms[:2])
+        assert is_pipeline(net, pl.nodes, new_terms[:2])
+        # all processors still covered
+        assert pl.length == len(net.processors)
+
+    def test_deep_chain(self):
+        net = extend_iterated(build_g1k(1), 10)  # n = 21
+        rng = random.Random(4)
+        nodes = sorted(net.graph.nodes, key=repr)
+        for _ in range(40):
+            faults = rng.sample(nodes, rng.randint(0, 1))
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults)
+
+
+class TestAsymptotic:
+    @pytest.mark.parametrize("n,k", [(14, 4), (22, 4), (26, 5)])
+    def test_random_fault_sets(self, n, k):
+        net = build(n, k)
+        rng = random.Random(8)
+        nodes = sorted(net.graph.nodes, key=repr)
+        for _ in range(40):
+            faults = rng.sample(nodes, rng.randint(0, k))
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults)
+
+    def test_terminal_wipeout(self):
+        net = build(22, 4)
+        faults = sorted(net.inputs)[:4]  # leave exactly one input terminal
+        pl = reconfigure(net, faults)
+        assert is_pipeline(net, pl.nodes, faults)
+
+    def test_circulant_segment(self):
+        net = build(22, 4)
+        faults = ["c8", "c9", "c10", "c11"]
+        pl = reconfigure(net, faults)
+        assert is_pipeline(net, pl.nodes, faults)
+
+
+class TestCliqueChain:
+    @pytest.mark.parametrize("n,k", [(5, 6), (10, 2), (4, 4)])
+    def test_random_fault_sets(self, n, k):
+        net = build_clique_chain(n, k)
+        rng = random.Random(3)
+        nodes = sorted(net.graph.nodes, key=repr)
+        for _ in range(60):
+            faults = rng.sample(nodes, rng.randint(0, k))
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults)
+
+    def test_exhaustive_small(self):
+        exhaustively_reconfigurable(build_clique_chain(4, 2))
+
+
+class TestFailureModes:
+    def test_too_many_faults_raises(self):
+        net = build_g1k(1)
+        with pytest.raises(ReconfigurationError):
+            reconfigure(net, ["p0", "p1"])  # all processors dead
+
+    def test_all_inputs_dead_raises(self):
+        net = build_g1k(1)
+        with pytest.raises(ReconfigurationError):
+            reconfigure(net, ["i0", "i1"])
+
+    def test_unknown_construction_uses_generic(self):
+        net = build_g1k(2)
+        net.meta["construction"] = "mystery"
+        pl = reconfigure(net, ["p0"])
+        assert is_pipeline(net, pl.nodes, ["p0"])
+
+    def test_relabeled_network_still_works(self):
+        # relabeling drops constructive metadata; generic solver covers it
+        net = build_g3k(2).relabeled({"p0": "zebra"})
+        pl = reconfigure(net, ["zebra"])
+        assert is_pipeline(net, pl.nodes, ["zebra"])
+
+
+class TestOrientation:
+    def test_always_input_to_output(self):
+        net = build(8, 2)
+        for faults in [(), ("p0",), ("i0", "p1")]:
+            pl = reconfigure(net, faults)
+            assert pl.source in net.inputs
+            assert pl.sink in net.outputs

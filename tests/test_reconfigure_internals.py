@@ -1,0 +1,132 @@
+"""Unit tests for the constructive-reconfiguration helpers."""
+
+import pytest
+
+from repro import build, build_g1k, build_g2k, build_g3k
+from repro.core.hamilton import SolvePolicy
+from repro.core.reconfigure import (
+    _arrange_avoiding_mates,
+    _endpoint_pair,
+    _reconfigure_clique,
+    _reconfigure_extension,
+    _reconfigure_g3k,
+    _terminal_for,
+    _wrap,
+)
+
+
+class TestTerminalFor:
+    def test_finds_input(self):
+        net = build_g1k(2)
+        assert _terminal_for(net, "p0", frozenset(), "input") == "i0"
+
+    def test_respects_faults(self):
+        net = build_g1k(2)
+        assert _terminal_for(net, "p0", frozenset({"i0"}), "input") is None
+
+    def test_output_kind(self):
+        net = build_g1k(2)
+        assert _terminal_for(net, "p1", frozenset(), "output") == "o1"
+
+
+class TestEndpointPair:
+    def test_distinct_pair(self):
+        net = build_g1k(2)
+        s, t = _endpoint_pair(net, set(net.processors), frozenset())
+        assert s != t
+        assert s in net.I and t in net.O
+
+    def test_single_processor_degenerate(self):
+        net = build_g1k(2)
+        pair = _endpoint_pair(net, {"p0"}, frozenset())
+        assert pair == ("p0", "p0")
+
+    def test_single_processor_missing_terminal(self):
+        net = build_g2k(2)  # p0 has no output terminal
+        assert _endpoint_pair(net, {"p0"}, frozenset()) is None
+
+    def test_unique_output_holder(self):
+        net = build_g1k(2)
+        # kill all output terminals except p2's: t must be p2
+        faults = frozenset({"o0", "o1"})
+        s, t = _endpoint_pair(net, set(net.processors), faults)
+        assert t == "p2" and s != "p2"
+
+    def test_no_inputs_none(self):
+        net = build_g1k(1)
+        assert _endpoint_pair(net, set(net.processors), frozenset({"i0", "i1"})) is None
+
+
+class TestArrangeAvoidingMates:
+    def test_no_mates_trivial(self):
+        seq = _arrange_avoiding_mates("s", ["a", "b"], "t", {})
+        assert seq[0] == "s" and seq[-1] == "t"
+        assert set(seq) == {"s", "a", "b", "t"}
+
+    def test_avoids_adjacent_mates(self):
+        mate = {"a": "b", "b": "a", "c": "d", "d": "c"}
+        seq = _arrange_avoiding_mates("s", ["a", "b", "c", "d"], "t", mate)
+        assert seq is not None
+        for x, y in zip(seq, seq[1:]):
+            assert mate.get(x) != y
+
+    def test_endpoint_mates_respected(self):
+        mate = {"s": "a", "a": "s", "t": "b", "b": "t"}
+        seq = _arrange_avoiding_mates("s", ["a", "b"], "t", mate)
+        assert seq is not None
+        assert seq[1] != "a"  # s's mate not adjacent to s
+        assert seq[-2] != "b"  # t's mate not adjacent to t
+
+    def test_impossible_arrangement_returns_none(self):
+        # two nodes whose only orders both violate: s-a with mate(s)=a
+        mate = {"s": "a", "a": "s"}
+        seq = _arrange_avoiding_mates("s", ["a"], "t", mate)
+        assert seq is None
+
+
+class TestWrap:
+    def test_wraps_with_healthy_terminals(self):
+        net = build_g1k(1)
+        assert _wrap(net, ["p0", "p1"], frozenset()) == ["i0", "p0", "p1", "o1"]
+
+    def test_none_when_terminal_dead(self):
+        net = build_g1k(1)
+        assert _wrap(net, ["p0", "p1"], frozenset({"o1"})) is None
+
+
+class TestHandlers:
+    def test_clique_handler_direct(self):
+        net = build_g2k(2)
+        seq = _reconfigure_clique(net, frozenset({"p2"}), SolvePolicy())
+        from repro import is_pipeline
+
+        assert is_pipeline(net, seq, {"p2"})
+
+    def test_g3k_handler_direct(self):
+        net = build_g3k(3)
+        seq = _reconfigure_g3k(net, frozenset({"i0", "o3"}), SolvePolicy())
+        from repro import is_pipeline
+
+        assert is_pipeline(net, seq, {"i0", "o3"})
+
+    def test_extension_handler_case1(self):
+        net = build(9, 2)  # extension chain; no new-terminal faults
+        seq = _reconfigure_extension(net, frozenset({"p0"}), SolvePolicy())
+        from repro import is_pipeline
+
+        assert is_pipeline(net, seq, {"p0"})
+
+    def test_extension_handler_case2(self):
+        net = build(9, 2)
+        new_term = sorted(net.inputs)[0]
+        seq = _reconfigure_extension(net, frozenset({new_term}), SolvePolicy())
+        from repro import is_pipeline
+
+        assert is_pipeline(net, seq, {new_term})
+
+    def test_clique_handler_impossible_returns_none(self):
+        net = build_g1k(1)
+        assert (
+            _reconfigure_clique(net, frozenset({"p0", "p1"}), SolvePolicy())
+            is None
+        )

@@ -1,0 +1,47 @@
+"""Replay the frozen solver regression corpus."""
+
+import pytest
+
+from repro.core.hamilton import SolvePolicy
+from repro.core.verify.regression import (
+    VECTORS,
+    RegressionVector,
+    replay,
+)
+
+
+class TestCorpusShape:
+    def test_both_verdicts_represented(self):
+        verdicts = {v.tolerated for v in VECTORS}
+        assert verdicts == {True, False}
+
+    def test_every_family_represented(self):
+        params = {(v.n, v.k) for v in VECTORS}
+        assert {(6, 2), (8, 2), (4, 3), (3, 3), (9, 2), (22, 4), (26, 5), (14, 4)} <= params
+
+    def test_notes_present(self):
+        assert all(v.note for v in VECTORS)
+
+    def test_no_duplicates(self):
+        keys = [(v.n, v.k, v.faults) for v in VECTORS]
+        assert len(keys) == len(set(keys))
+
+
+class TestReplay:
+    def test_full_corpus_passes(self):
+        failures = replay()
+        assert failures == [], failures
+
+    def test_detects_a_tampered_vector(self):
+        tampered = (
+            RegressionVector(6, 2, ("p0", "p1"), False, "deliberately wrong"),
+        )
+        failures = replay(tampered)
+        assert len(failures) == 1
+        assert failures[0].observed is True
+
+    def test_custom_policy(self):
+        # even with heuristics disabled, verdicts must not change
+        subset = tuple(v for v in VECTORS if v.n <= 9)
+        failures = replay(subset, SolvePolicy(posa_restarts=0, budget=20_000_000))
+        assert failures == []

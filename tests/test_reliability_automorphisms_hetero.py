@@ -1,0 +1,168 @@
+"""Tests for reliability, automorphisms, and heterogeneous assignment."""
+
+import math
+
+import pytest
+
+from repro import build, build_g1k, build_g2k
+from repro.analysis.reliability import (
+    binomial_pmf,
+    reliability_at,
+    reliability_curve,
+    spare_pool_reliability_at,
+)
+from repro.analysis.survivability import survivability_curve
+from repro.errors import InvalidParameterError
+from repro.graphs.automorphisms import (
+    automorphism_count,
+    node_orbits,
+    symmetry_reduction_factor,
+)
+from repro.simulator.assignment import assign_stages, assign_stages_heterogeneous
+from repro.simulator.stages import FIRFilter, IIRFilter, StageChain, ct_reconstruction_chain
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(10, f, 0.3) for f in range(11))
+        assert total == pytest.approx(1.0)
+
+    def test_degenerate(self):
+        assert binomial_pmf(5, 0, 0.0) == 1.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+
+    def test_bad_p(self):
+        with pytest.raises(InvalidParameterError):
+            binomial_pmf(5, 2, 1.5)
+
+
+class TestReliability:
+    def test_r0_is_one(self):
+        pts = reliability_curve(build(6, 2), 0.01, [0.0])
+        assert pts[0].reliability == pytest.approx(1.0)
+
+    def test_monotone_decreasing_in_time(self):
+        pts = reliability_curve(build(6, 2), 0.005, [0.0, 5.0, 20.0, 60.0])
+        rel = [p.reliability for p in pts]
+        assert rel == sorted(rel, reverse=True)
+
+    def test_zero_rate_always_up(self):
+        pts = reliability_curve(build(4, 3), 0.0, [0.0, 100.0])
+        assert all(p.reliability == pytest.approx(1.0) for p in pts)
+
+    def test_expected_failures(self):
+        net = build(6, 2)
+        curve = survivability_curve(net, max_faults=2, trials=10)
+        pt = reliability_at(net, curve, 0.01, 10.0)
+        p = 1 - math.exp(-0.1)
+        assert pt.expected_failures == pytest.approx(len(net.graph) * p)
+
+    def test_graceful_at_least_spare_pool_with_same_nodes(self):
+        # through k faults both survive; beyond k the graceful design
+        # keeps some probability while the spare-pool term is cut off
+        net = build(6, 2)
+        pts = reliability_curve(net, 0.004, [40.0], beyond=3, trials=150)
+        sp = spare_pool_reliability_at(6, 2, len(net.graph), 0.004, 40.0)
+        assert pts[0].reliability >= sp - 1e-9
+
+    def test_invalid_inputs(self):
+        net = build_g1k(1)
+        with pytest.raises(InvalidParameterError):
+            reliability_curve(net, -0.1, [1.0])
+
+
+class TestAutomorphisms:
+    def test_g1k_group_order(self):
+        # (k+1)! permutations of the (i, p, o) triples
+        assert automorphism_count(build_g1k(1)) == 2
+        assert automorphism_count(build_g1k(2)) == 6
+        assert automorphism_count(build_g1k(3)) == 24
+
+    def test_g2k_group_order(self):
+        # the k doubly-attached processors permute freely; a and b fixed
+        assert automorphism_count(build_g2k(2)) == 2
+        assert automorphism_count(build_g2k(3)) == 6
+
+    def test_limit(self):
+        assert automorphism_count(build_g1k(3), limit=5) == 5
+
+    def test_orbits_g1k(self):
+        net = build_g1k(2)
+        orbits = node_orbits(net)
+        # three orbits: all inputs, all outputs, all processors
+        assert len(orbits) == 3
+        assert frozenset(net.inputs) in orbits
+        assert frozenset(net.outputs) in orbits
+        assert frozenset(net.processors) in orbits
+
+    def test_orbits_respect_kinds(self):
+        net = build_g2k(2)
+        for orbit in node_orbits(net):
+            kinds = {net.kind(v) for v in orbit}
+            assert len(kinds) == 1
+
+    def test_reduction_factor(self):
+        net = build_g1k(3)
+        factor = symmetry_reduction_factor(net)
+        assert factor == pytest.approx(len(net.graph) / 3)
+
+    def test_asymmetric_special_small_group(self):
+        # the search-derived specials are nearly asymmetric
+        assert automorphism_count(build(6, 2), limit=10) <= 4
+
+
+class TestHeterogeneousAssignment:
+    def setup_method(self):
+        self.chain = ct_reconstruction_chain()  # works [2, 24, 4]
+
+    def test_equal_speeds_match_homogeneous(self):
+        hom = assign_stages(self.chain, 3)
+        het = assign_stages_heterogeneous(self.chain, [1.0, 1.0, 1.0])
+        assert het.loads == hom.loads
+        assert het.bottleneck_time == pytest.approx(hom.bottleneck)
+
+    def test_fast_processor_gets_heavy_block(self):
+        het = assign_stages_heterogeneous(self.chain, [1.0, 10.0, 1.0])
+        # the radon stage (24 units) should land on the fast middle slot
+        assert het.loads[1] >= max(het.loads[0], het.loads[2])
+
+    def test_bottleneck_time_optimal_small(self):
+        # brute-force all contiguous 2-splits with speeds [1, 2]
+        import itertools
+
+        works = self.chain.works
+        het = assign_stages_heterogeneous(self.chain, [1.0, 2.0])
+        best = min(
+            max(sum(works[:c]) / 1.0, sum(works[c:]) / 2.0)
+            for c in range(1, len(works))
+        )
+        assert het.bottleneck_time == pytest.approx(best)
+
+    def test_split_proportional_to_speed(self):
+        chain = StageChain("one", [FIRFilter(work_units=9.0)])
+        het = assign_stages_heterogeneous(chain, [1.0, 2.0])
+        assert het.loads == (3.0, 6.0)
+        assert het.times == (3.0, 3.0)
+
+    def test_nondivisible_not_split(self):
+        chain = StageChain("seq", [IIRFilter(work_units=8.0)])
+        het = assign_stages_heterogeneous(chain, [1.0, 1.0, 1.0])
+        busy = [load for load in het.loads if load > 0]
+        assert busy == [8.0]
+
+    def test_throughput(self):
+        het = assign_stages_heterogeneous(self.chain, [2.0, 2.0, 2.0])
+        assert het.throughput() == pytest.approx(2.0 / 24.0)
+
+    def test_more_speed_never_hurts(self):
+        base = assign_stages_heterogeneous(self.chain, [1.0, 1.0, 1.0])
+        boosted = assign_stages_heterogeneous(self.chain, [1.0, 2.0, 1.0])
+        assert boosted.bottleneck_time <= base.bottleneck_time + 1e-9
+
+    def test_invalid_speed(self):
+        with pytest.raises(InvalidParameterError):
+            assign_stages_heterogeneous(self.chain, [1.0, 0.0])
+
+    def test_empty_chain(self):
+        with pytest.raises(InvalidParameterError):
+            assign_stages_heterogeneous(StageChain("e", []), [1.0])

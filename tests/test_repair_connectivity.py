@@ -1,0 +1,117 @@
+"""Tests for guided repair and connectivity analysis."""
+
+import networkx as nx
+import pytest
+
+from repro import build, build_g1k, build_g3k, verify_exhaustive
+from repro.analysis.connectivity import (
+    algebraic_connectivity,
+    connectivity_report,
+)
+from repro.core.model import PipelineNetwork
+from repro.core.repair import repair_network
+from repro.errors import InvalidParameterError
+
+
+def broken_path_network():
+    """A 1-GD wannabe that is just a path — badly broken."""
+    g = nx.Graph(
+        [("i0", "p0"), ("i1", "p1"), ("p0", "p1"), ("p1", "p2"),
+         ("p2", "o0"), ("p0", "o1")]
+    )
+    return PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=2, k=1)
+
+
+def nearly_good_network():
+    """G(3,2) with one clique edge knocked out."""
+    net = build_g3k(2)
+    victim = next(iter(net.processor_subgraph().edges))
+    net.graph.remove_edge(*victim)
+    net.meta["removed_edge"] = victim
+    return net
+
+
+class TestRepair:
+    def test_repairs_broken_path(self):
+        net = broken_path_network()
+        assert not verify_exhaustive(net).is_proof
+        patched, report = repair_network(net)
+        assert report.success
+        assert report.edges_added >= 1
+        assert verify_exhaustive(patched).is_proof
+
+    def test_repairs_damaged_g3k(self):
+        net = nearly_good_network()
+        assert not verify_exhaustive(net).is_proof
+        patched, report = repair_network(net)
+        assert report.success
+        # one edge should suffice (we removed exactly one)
+        assert report.edges_added == 1
+
+    def test_already_good_network_untouched(self):
+        net = build(6, 2)
+        patched, report = repair_network(net)
+        assert report.success and report.edges_added == 0
+        assert patched.graph.number_of_edges() == net.graph.number_of_edges()
+
+    def test_original_not_mutated(self):
+        net = broken_path_network()
+        before = net.graph.number_of_edges()
+        repair_network(net)
+        assert net.graph.number_of_edges() == before
+
+    def test_budget_exhaustion_reports_failure(self):
+        net = broken_path_network()
+        patched, report = repair_network(net, max_edges=0)
+        assert not report.success
+        assert report.remaining_counterexample is not None
+
+    def test_degree_accounting(self):
+        net = broken_path_network()
+        _, report = repair_network(net)
+        assert report.final_max_degree >= report.degree_bound
+        assert report.degree_overhead == (
+            report.final_max_degree - report.degree_bound
+        )
+
+    def test_size_limit(self):
+        with pytest.raises(InvalidParameterError):
+            repair_network(build(22, 4))
+
+    def test_steps_record_fixed_fault_sets(self):
+        net = broken_path_network()
+        _, report = repair_network(net)
+        for step in report.steps:
+            assert len(step.fixed_fault_set) <= net.k
+            assert len(step.edge) == 2
+
+
+class TestConnectivity:
+    def test_g62_exactly_k_plus_1(self):
+        rep = connectivity_report(build(6, 2))
+        assert rep.vertex_connectivity == 3  # k + 1
+        assert rep.min_processor_neighbors == 3
+        assert rep.meets_structural_minimum
+
+    @pytest.mark.parametrize("n,k", [(3, 2), (8, 2), (7, 3), (14, 4), (22, 4)])
+    def test_constructions_meet_minimum(self, n, k):
+        rep = connectivity_report(build(n, k))
+        assert rep.meets_structural_minimum, (n, k, rep)
+        assert rep.min_processor_neighbors >= k + 1
+
+    def test_g1k_clique_connectivity(self):
+        rep = connectivity_report(build_g1k(3))
+        assert rep.vertex_connectivity == 3  # K4: kappa = 3 = k
+
+    def test_algebraic_connectivity_positive_iff_connected(self):
+        assert algebraic_connectivity(nx.path_graph(5)) > 0
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        assert algebraic_connectivity(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_algebraic_connectivity_complete_graph(self):
+        # lambda_2(K_n) = n
+        assert algebraic_connectivity(nx.complete_graph(5)) == pytest.approx(5.0)
+
+    def test_single_node(self):
+        assert algebraic_connectivity(nx.Graph([("a", "a")])) == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the fault-reacting runtimes (graceful vs spare-pool)."""
+
+import pytest
+
+from repro import build
+from repro.simulator import (
+    GracefulPipelineRuntime,
+    SparePoolRuntime,
+    ct_reconstruction_chain,
+    video_compression_chain,
+)
+from repro.simulator.faults import FaultEvent, poisson_fault_schedule, scheduled_faults
+from repro.simulator.workloads import ct_phantom
+import numpy as np
+
+
+class TestGracefulRuntime:
+    def test_no_faults_full_throughput(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run([], horizon=10.0)
+        assert res.survived
+        assert res.items_completed == pytest.approx(10.0 * rt.throughput())
+        assert res.reconfigurations == 0
+
+    def test_fault_triggers_reconfiguration(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(5.0, "p0")]), horizon=20.0)
+        assert res.reconfigurations == 1
+        assert res.downtime == pytest.approx(rt.reconfigure_time)
+        assert rt.pipeline.length == 7  # one processor lost
+
+    def test_unused_terminal_fault_free(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        # find a terminal not on the current pipeline
+        unused = next(
+            t for t in sorted(rt.network.terminals) if t not in rt.pipeline.nodes
+        )
+        res = rt.run(scheduled_faults([(5.0, unused)]), horizon=20.0)
+        assert res.reconfigurations == 0
+        assert res.downtime == 0.0
+        assert res.faults_injected == 1
+
+    def test_death_beyond_k(self):
+        net = build(1, 1)  # two processors
+        rt = GracefulPipelineRuntime(net, ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(2.0, "p0"), (4.0, "p1")]), horizon=10.0)
+        assert not res.survived
+        assert res.died_at == pytest.approx(4.0)
+        # no items after death
+        assert res.throughput_at(5.0) == 0.0
+
+    def test_throughput_recovers_at_degraded_level(self):
+        rt = GracefulPipelineRuntime(
+            build(6, 2), ct_reconstruction_chain(), reconfigure_time=1.0
+        )
+        before = rt.throughput()
+        res = rt.run(scheduled_faults([(10.0, "p0")]), horizon=30.0)
+        after = rt.throughput()
+        assert 0 < after < before
+        assert res.throughput_at(5.0) == pytest.approx(before)
+        assert res.throughput_at(20.0) == pytest.approx(after)
+
+    def test_segments_cover_horizon(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(3.0, "p1"), (6.0, "p2")]), horizon=12.0)
+        assert res.segments[0].start == 0.0
+        assert res.segments[-1].end == pytest.approx(12.0)
+        for s1, s2 in zip(res.segments, res.segments[1:]):
+            assert s1.end == pytest.approx(s2.start)
+
+    def test_duplicate_fault_ignored(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run(
+            scheduled_faults([(2.0, "p0"), (3.0, "p0")]), horizon=10.0
+        )
+        assert res.reconfigurations == 1
+
+    def test_faults_after_horizon_ignored(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(99.0, "p0")]), horizon=10.0)
+        assert res.faults_injected == 0
+
+    def test_process_sample_real_data(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain(12))
+        out = rt.process_sample(ct_phantom(24))
+        assert out.shape[0] == 12
+
+    def test_nodes_are_processors(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        assert set(rt.nodes) == set(rt.network.processors)
+
+
+class TestSparePoolRuntime:
+    def test_no_faults(self):
+        rt = SparePoolRuntime(6, 2, ct_reconstruction_chain())
+        res = rt.run([], horizon=10.0)
+        assert res.survived and res.reconfigurations == 0
+
+    def test_active_fault_swap(self):
+        rt = SparePoolRuntime(6, 2, ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(5.0, "s0")]), horizon=20.0)
+        assert res.reconfigurations == 1
+        assert res.downtime == pytest.approx(rt.swap_time)
+        # throughput unchanged after swap (still n stages)
+        assert res.throughput_at(2.0) == pytest.approx(res.throughput_at(15.0))
+
+    def test_spare_fault_no_downtime(self):
+        rt = SparePoolRuntime(6, 2, ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(5.0, "spare0")]), horizon=20.0)
+        assert res.reconfigurations == 0 and res.downtime == 0.0
+
+    def test_death_when_spares_exhausted(self):
+        rt = SparePoolRuntime(4, 1, ct_reconstruction_chain())
+        res = rt.run(
+            scheduled_faults([(1.0, "s0"), (2.0, "s1")]), horizon=10.0
+        )
+        assert not res.survived and res.died_at == pytest.approx(2.0)
+
+
+class TestHeadToHead:
+    def test_graceful_beats_spare_pool_on_divisible_workload(self):
+        net = build(8, 2)
+        chain = ct_reconstruction_chain()
+        g = GracefulPipelineRuntime(net, chain)
+        schedule = poisson_fault_schedule(g.nodes, 0.02, 100, rng=5, max_faults=2)
+        g_res = g.run(schedule, horizon=100.0)
+
+        sp = SparePoolRuntime(8, 2, chain)
+        mapping = dict(zip(g.nodes, sp.nodes))
+        sp_res = sp.run(
+            [FaultEvent(e.time, mapping[e.node]) for e in schedule], horizon=100.0
+        )
+        assert g_res.items_completed > sp_res.items_completed
+
+    def test_advantage_shrinks_with_faults(self):
+        # after all k faults land, both run n stages: same throughput
+        net = build(6, 2)
+        chain = ct_reconstruction_chain()
+        g = GracefulPipelineRuntime(net, chain)
+        res = g.run(
+            scheduled_faults([(1.0, "p0"), (2.0, "p1")]), horizon=50.0
+        )
+        sp = SparePoolRuntime(6, 2, chain)
+        sp_res = sp.run(
+            scheduled_faults([(1.0, "s0"), (2.0, "s1")]), horizon=50.0
+        )
+        assert res.throughput_at(40.0) == pytest.approx(sp_res.throughput_at(40.0))
+
+    def test_mean_throughput_and_availability(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        res = rt.run(scheduled_faults([(5.0, "p0")]), horizon=20.0)
+        assert 0 < res.mean_throughput
+        assert 0 < res.availability <= 1.0
+        assert "graceful" in res.summary()

@@ -1,0 +1,71 @@
+"""Tests for the scenario orchestration layer."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulator.scenarios import (
+    SCENARIOS,
+    available_scenarios,
+    run_all,
+    run_scenario,
+)
+
+
+class TestCatalogOfScenarios:
+    def test_three_motivating_applications(self):
+        assert available_scenarios() == [
+            "compression-farm", "ct-lab", "video-broadcast"
+        ]
+
+    def test_descriptions_meaningful(self):
+        for sc in SCENARIOS.values():
+            assert len(sc.description) > 40
+            assert sc.n >= 1 and sc.k >= 1
+
+
+class TestRunScenario:
+    def test_unknown_rejected(self):
+        with pytest.raises(InvalidParameterError, match="available"):
+            run_scenario("warp-drive")
+
+    def test_ct_lab_graceful_wins(self):
+        report = run_scenario("ct-lab", seed=5)
+        assert report.graceful.survived and report.baseline.survived
+        if report.fault_times:  # with faults, parallel workload -> advantage
+            assert report.advantage > 1.0
+
+    def test_compression_farm_no_throughput_advantage(self):
+        # single sequential stage: graceful cannot beat the baseline's
+        # throughput (availability parity at <= k faults)
+        report = run_scenario("compression-farm", seed=2)
+        assert report.advantage == pytest.approx(1.0, abs=0.06)
+
+    def test_same_faults_hit_both(self):
+        report = run_scenario("video-broadcast", seed=7)
+        assert report.graceful.faults_injected == report.baseline.faults_injected
+
+    def test_seed_reproducible(self):
+        a = run_scenario("ct-lab", seed=11)
+        b = run_scenario("ct-lab", seed=11)
+        assert a.graceful.items_completed == b.graceful.items_completed
+        assert a.fault_times == b.fault_times
+
+    def test_overrides(self):
+        report = run_scenario("ct-lab", seed=1, horizon=50.0, fault_rate=0.0)
+        assert report.graceful.horizon == 50.0
+        assert report.fault_times == ()
+
+    def test_summary_format(self):
+        report = run_scenario("ct-lab", seed=1, horizon=40.0)
+        s = report.summary()
+        assert "ct-lab" in s and "x)" in s
+
+
+class TestRunAll:
+    def test_all_survive(self):
+        reports = run_all(seed=4)
+        assert len(reports) == 3
+        for report in reports:
+            assert report.graceful.survived
+            # graceful never loses meaningfully
+            assert report.advantage >= 0.94

@@ -1,0 +1,79 @@
+"""Tests for repro.core.search (special-solution search, Lemma 3.14
+impossibility, Lemma 3.7/3.9 uniqueness)."""
+
+import pytest
+
+from repro.core.search import (
+    assemble_candidate,
+    enumerate_standard_solutions,
+    prove_lemma_3_14,
+    prove_uniqueness,
+    random_search_standard_solution,
+)
+from repro.core.verify import verify_exhaustive
+from repro.errors import InvalidParameterError
+
+
+class TestAssembleCandidate:
+    def test_builds_standard(self):
+        net = assemble_candidate(
+            1, 1, [(0, 1)], input_at=[0, 1], output_at=[0, 1]
+        )
+        assert net.is_standard()
+
+    def test_terminal_attachment(self):
+        net = assemble_candidate(1, 1, [(0, 1)], [0, 1], [1, 0])
+        assert net.graph.has_edge("i0", "p0")
+        assert net.graph.has_edge("o0", "p1")
+
+
+class TestRandomSearch:
+    def test_rederives_g62(self):
+        res = random_search_standard_solution(6, 2, 4, trials=5000, rng=42)
+        assert res.found
+        net = res.network
+        assert net.is_standard()
+        assert net.max_processor_degree() == 4
+        assert verify_exhaustive(net).is_proof
+
+    def test_result_spec_reproducible(self):
+        res = random_search_standard_solution(6, 2, 4, trials=5000, rng=42)
+        rebuilt = assemble_candidate(6, 2, res.proc_edges, res.input_at, res.output_at)
+        assert verify_exhaustive(rebuilt).is_proof
+
+    def test_impossible_degree_budget_fails(self):
+        # max degree k+1 violates Lemma 3.1: nothing can be found
+        res = random_search_standard_solution(4, 2, 3, trials=50, rng=0)
+        assert not res.found
+        assert res.trials_used == 50
+
+    def test_search_seeded_determinism(self):
+        a = random_search_standard_solution(6, 2, 4, trials=3000, rng=7)
+        b = random_search_standard_solution(6, 2, 4, trials=3000, rng=7)
+        assert a.proc_edges == b.proc_edges
+
+
+@pytest.mark.slow
+class TestLemma314:
+    def test_impossibility(self):
+        report = prove_lemma_3_14()
+        assert report.impossible
+        assert report.candidate_graphs > 0
+        assert report.labelings_checked > 0
+
+
+class TestUniqueness:
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_g1k_unique(self, k):
+        report = prove_uniqueness(1, k)
+        assert report.unique
+        assert len(report.solutions) == 1
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_g2k_unique(self, k):
+        report = prove_uniqueness(2, k)
+        assert report.unique
+
+    def test_enumeration_rejects_other_n(self):
+        with pytest.raises(InvalidParameterError):
+            enumerate_standard_solutions(3, 1)

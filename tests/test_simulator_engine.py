@@ -1,0 +1,165 @@
+"""Tests for the discrete-event core (events, engine) and fault
+schedules."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulator
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.faults import (
+    FaultEvent,
+    burst_fault_schedule,
+    mttf,
+    poisson_fault_schedule,
+    scheduled_faults,
+)
+
+
+class TestEventQueue:
+    def test_ordering_by_time(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        assert q.pop().time == 1.0
+
+    def test_fifo_tiebreak(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: "a", label="a")
+        second = q.push(1.0, lambda: "b", label="b")
+        assert q.pop().label == "a"
+        assert q.pop().label == "b"
+        assert first.seq < second.seq
+
+    def test_peek(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(3.5, lambda: None)
+        assert q.peek_time() == 3.5
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_nan_inf_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            q.push(float("nan"), lambda: None)
+
+    def test_len_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, lambda: None)
+        assert q and len(q) == 1
+
+
+class TestSimulator:
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(1.0, lambda: times.append(sim.now))
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.0, 4.0]
+        assert sim.now == 4.0
+
+    def test_schedule_in(self):
+        sim = Simulator(start_time=10.0)
+        hits = []
+        sim.schedule_in(2.5, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [12.5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.0, lambda: hits.append(1))
+        sim.schedule_at(9.0, lambda: hits.append(9))
+        sim.run(until=5.0)
+        assert hits == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert hits == [1, 9]
+
+    def test_cascading_events(self):
+        sim = Simulator()
+        hits = []
+
+        def fire():
+            hits.append(sim.now)
+            if len(hits) < 3:
+                sim.schedule_in(1.0, fire)
+
+        sim.schedule_at(0.0, fire)
+        sim.run()
+        assert hits == [0.0, 1.0, 2.0]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert len(sim.queue) == 2
+
+    def test_deterministic_replay(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            sim.schedule_at(1.0, lambda: log.append("x"))
+            sim.schedule_at(1.0, lambda: log.append("y"))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+
+class TestFaultSchedules:
+    def test_scheduled_sorted(self):
+        evs = scheduled_faults([(3.0, "b"), (1.0, "a")])
+        assert [e.node for e in evs] == ["a", "b"]
+
+    def test_poisson_reproducible(self):
+        a = poisson_fault_schedule(list(range(10)), 0.5, 20, rng=5)
+        b = poisson_fault_schedule(list(range(10)), 0.5, 20, rng=5)
+        assert a == b
+
+    def test_poisson_horizon_respected(self):
+        evs = poisson_fault_schedule(list(range(50)), 2.0, 10, rng=1)
+        assert all(e.time <= 10 for e in evs)
+
+    def test_poisson_no_repeat_victims(self):
+        evs = poisson_fault_schedule(list(range(20)), 5.0, 100, rng=2)
+        victims = [e.node for e in evs]
+        assert len(victims) == len(set(victims))
+
+    def test_poisson_max_faults(self):
+        evs = poisson_fault_schedule(list(range(20)), 10.0, 100, rng=3, max_faults=4)
+        assert len(evs) <= 4
+
+    def test_poisson_zero_rate(self):
+        assert poisson_fault_schedule([1, 2], 0.0, 10, rng=0) == []
+
+    def test_burst(self):
+        evs = burst_fault_schedule(list(range(10)), [5.0], burst_size=3, rng=0)
+        assert len(evs) == 3
+        assert all(abs(e.time - 5.0) < 0.1 for e in evs)
+
+    def test_burst_pool_exhaustion(self):
+        evs = burst_fault_schedule([1, 2], [1.0, 2.0], burst_size=3, rng=0)
+        assert len(evs) == 2
+
+    def test_mttf(self):
+        assert mttf(0.5) == 2.0
+        assert mttf(0.0) == float("inf")
+
+    def test_fault_event_ordering(self):
+        assert FaultEvent(1.0, "z") < FaultEvent(2.0, "a")

@@ -1,0 +1,249 @@
+"""Tests for the stage kernels (real numpy implementations of the
+paper's motivating workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.simulator.stages import (
+    FIRFilter,
+    HoughTransform,
+    IIRFilter,
+    LZ78Compressor,
+    Quantizer,
+    RadonTransform,
+    Rescale,
+    RunLengthEncoder,
+    StageChain,
+    Subsample,
+    ct_reconstruction_chain,
+    text_compression_chain,
+    video_compression_chain,
+)
+from repro.simulator.workloads import ct_phantom, text_corpus
+
+
+class TestSubsample:
+    def test_1d(self):
+        out = Subsample(2).apply(np.arange(10))
+        assert np.array_equal(out, [0, 2, 4, 6, 8])
+
+    def test_2d(self):
+        out = Subsample(2).apply(np.arange(16).reshape(4, 4))
+        assert out.shape == (2, 2)
+
+    def test_factor_one_identity(self):
+        x = np.arange(5)
+        assert np.array_equal(Subsample(1).apply(x), x)
+
+    def test_bad_factor(self):
+        with pytest.raises(InvalidParameterError):
+            Subsample(0)
+
+    def test_3d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Subsample(2).apply(np.zeros((2, 2, 2)))
+
+
+class TestRescale:
+    def test_halves_length(self):
+        out = Rescale(0.5).apply(np.arange(10, dtype=float))
+        assert len(out) == 5
+
+    def test_upscale(self):
+        out = Rescale(2.0).apply(np.arange(4, dtype=float))
+        assert len(out) == 8
+
+    def test_preserves_endpoints(self):
+        x = np.linspace(0, 9, 10)
+        out = Rescale(0.5).apply(x)
+        assert out[0] == pytest.approx(0.0)
+        assert out[-1] == pytest.approx(9.0)
+
+    def test_2d_rescales_rows(self):
+        out = Rescale(0.5).apply(np.ones((3, 8)))
+        assert out.shape == (3, 4)
+
+    def test_bad_scale(self):
+        with pytest.raises(InvalidParameterError):
+            Rescale(0.0)
+
+
+class TestFIR:
+    def test_moving_average_of_constant(self):
+        out = FIRFilter([1 / 3] * 3).apply(np.ones(9))
+        assert np.allclose(out[1:-1], 1.0)
+
+    def test_impulse_response(self):
+        taps = [0.25, 0.5, 0.25]
+        x = np.zeros(7)
+        x[3] = 1.0
+        out = FIRFilter(taps).apply(x)
+        assert np.allclose(out[2:5], taps)
+
+    def test_linearity(self):
+        f = FIRFilter([0.2, 0.6, 0.2])
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=16), rng.normal(size=16)
+        assert np.allclose(f.apply(a + b), f.apply(a) + f.apply(b))
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            FIRFilter([])
+
+
+class TestIIR:
+    def test_step_response_converges_to_dc_gain(self):
+        # y[t] = 0.2 x[t] + 0.8 y[t-1] -> DC gain 1
+        f = IIRFilter(b=[0.2], a=[1.0, -0.8])
+        out = f.apply(np.ones(300))
+        assert out[-1] == pytest.approx(1.0, abs=1e-4)
+
+    def test_not_divisible(self):
+        assert not IIRFilter().divisible
+
+    def test_2d_rows(self):
+        out = IIRFilter().apply(np.ones((2, 50)))
+        assert out.shape == (2, 50)
+
+    def test_zero_leading_a_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IIRFilter(a=[0.0, 1.0])
+
+    def test_pure_fir_equivalence(self):
+        # with a = [1], the IIR reduces to a causal FIR
+        x = np.random.default_rng(1).normal(size=32)
+        iir = IIRFilter(b=[0.5, 0.5], a=[1.0]).apply(x)
+        expected = 0.5 * x + 0.5 * np.concatenate([[0], x[:-1]])
+        assert np.allclose(iir, expected)
+
+
+class TestRadon:
+    def test_shape(self):
+        sino = RadonTransform(18).apply(ct_phantom(32))
+        assert sino.shape == (18, 32)
+
+    def test_mass_preserved_at_zero_angle(self):
+        img = ct_phantom(24)
+        sino = RadonTransform(4).apply(img)
+        # projection at angle 0 is a plain column sum
+        assert np.allclose(sino[0], img.sum(axis=0))
+
+    def test_total_mass_constant_across_angles(self):
+        # each projection of a centered disc sums to (approximately) the
+        # image mass; use a tight disc to avoid rotation clipping
+        side = 33
+        ys, xs = np.mgrid[0:side, 0:side]
+        c = (side - 1) / 2
+        img = (((xs - c) ** 2 + (ys - c) ** 2) <= (side // 4) ** 2).astype(float)
+        sino = RadonTransform(8).apply(img)
+        masses = sino.sum(axis=1)
+        assert np.allclose(masses, img.sum(), rtol=0.06)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            RadonTransform(4).apply(np.zeros(8))
+
+
+class TestHough:
+    def test_detects_horizontal_line(self):
+        img = np.zeros((32, 32))
+        img[16, :] = 1.0
+        acc = HoughTransform(n_theta=90, n_rho=64).apply(img)
+        # the strongest accumulator cell collects the full 32 points
+        assert acc.max() == 32
+
+    def test_empty_image(self):
+        acc = HoughTransform().apply(np.zeros((8, 8)))
+        assert acc.sum() == 0
+
+    def test_shape(self):
+        acc = HoughTransform(n_theta=45, n_rho=32).apply(np.eye(16))
+        assert acc.shape == (45, 32)
+
+
+class TestQuantizer:
+    def test_levels(self):
+        out = Quantizer(4).apply(np.linspace(0, 1, 100))
+        assert set(np.unique(out)) <= {0, 1, 2, 3}
+
+    def test_constant_input(self):
+        out = Quantizer(8).apply(np.full(10, 3.3))
+        assert np.array_equal(out, np.zeros(10, dtype=int))
+
+    def test_monotone(self):
+        x = np.linspace(-5, 5, 50)
+        out = Quantizer(16).apply(x)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_bad_levels(self):
+        with pytest.raises(InvalidParameterError):
+            Quantizer(1)
+
+
+class TestRLE:
+    def test_roundtrip(self):
+        x = np.array([1, 1, 2, 2, 2, 3, 1, 1])
+        pairs = RunLengthEncoder().apply(x)
+        assert pairs == [(1, 2), (2, 3), (3, 1), (1, 2)]
+        assert np.array_equal(RunLengthEncoder.decode(pairs), x)
+
+    def test_empty(self):
+        assert RunLengthEncoder().apply(np.array([])) == []
+        assert len(RunLengthEncoder.decode([])) == 0
+
+    def test_compresses_runs(self):
+        x = np.zeros(1000, dtype=int)
+        assert len(RunLengthEncoder().apply(x)) == 1
+
+
+class TestLZ78:
+    def test_roundtrip_corpus(self):
+        text = text_corpus(1500, seed=4)
+        tokens = LZ78Compressor().apply(text)
+        assert LZ78Compressor.decode(tokens) == text
+
+    def test_roundtrip_pathological(self):
+        for text in ["", "a", "aaaa", "abab", "abcabcabc", "aaabaaab"]:
+            tokens = LZ78Compressor().apply(text)
+            assert LZ78Compressor.decode(tokens) == text, text
+
+    def test_achieves_compression(self):
+        text = "the quick brown fox " * 50
+        tokens = LZ78Compressor().apply(text)
+        assert len(tokens) < len(text) / 2
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            LZ78Compressor().apply(b"bytes")
+
+    def test_not_divisible(self):
+        assert not LZ78Compressor().divisible
+
+
+class TestChains:
+    def test_total_work(self):
+        chain = StageChain("x", [Subsample(2), Quantizer(4)])
+        assert chain.total_work == 2.0
+        assert len(chain) == 2
+
+    def test_video_chain_runs(self):
+        out = video_compression_chain().apply(np.random.default_rng(0).normal(size=(32, 32)))
+        assert isinstance(out, list)
+
+    def test_ct_chain_runs(self):
+        out = ct_reconstruction_chain(12).apply(ct_phantom(32))
+        assert out.shape[0] == 12
+
+    def test_text_chain_runs(self):
+        out = text_compression_chain().apply("hello hello hello")
+        assert isinstance(out, list)
+
+    def test_calibrate_sets_work_units(self):
+        k = Subsample(2)
+        value = k.calibrate(np.arange(1000), repeats=2)
+        assert value == k.work_units > 0
+
+    def test_calibrate_bad_repeats(self):
+        with pytest.raises(InvalidParameterError):
+            Subsample(2).calibrate(np.arange(4), repeats=0)

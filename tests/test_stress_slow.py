@@ -1,0 +1,71 @@
+"""Slow stress layer (marked ``slow``; runs in the default suite but can
+be deselected with ``-m 'not slow'``).
+
+Deeper sweeps than the per-module unit tests: larger exhaustive
+verifications, bigger reconfiguration instances, longer chains.
+"""
+
+import random
+
+import pytest
+
+from repro import build, is_pipeline, reconfigure
+from repro.core.constructions import extend_iterated, build_g1k
+from repro.core.verify import verify_exhaustive, verify_sampled
+
+pytestmark = pytest.mark.slow
+
+
+class TestDeepExhaustive:
+    def test_g3k_k5_exhaustive(self):
+        from repro.core.constructions import build_g3k
+
+        cert = verify_exhaustive(build_g3k(5))
+        assert cert.is_proof
+        assert cert.checked == 21700
+
+    def test_extension_depth_three_exhaustive(self):
+        net = extend_iterated(build_g1k(2), 3)  # n = 10, k = 2
+        cert = verify_exhaustive(net)
+        assert cert.is_proof
+
+    def test_factory_k2_wide_exhaustive(self):
+        for n in range(10, 14):
+            cert = verify_exhaustive(build(n, 2))
+            assert cert.is_proof, n
+
+
+class TestLargeReconfiguration:
+    @pytest.mark.parametrize("n,k", [(300, 2), (500, 1), (300, 4), (200, 7)])
+    def test_large_instances(self, n, k):
+        net = build(n, k)
+        assert net.is_standard()
+        rng = random.Random(n)
+        nodes = sorted(net.graph.nodes, key=repr)
+        for _ in range(3):
+            faults = rng.sample(nodes, k)
+            pl = reconfigure(net, faults)
+            assert is_pipeline(net, pl.nodes, faults)
+
+    def test_deep_extension_chain(self):
+        net = build(151, 2)  # 50 extensions
+        assert net.meta["plan"].extensions == 50
+        pl = reconfigure(net, ["p0", "i1"])
+        assert is_pipeline(net, pl.nodes, ["p0", "i1"])
+
+
+class TestWideSampling:
+    @pytest.mark.parametrize("n,k", [(40, 4), (50, 5), (60, 6)])
+    def test_large_asymptotic_sampled(self, n, k):
+        cert = verify_sampled(build(n, k), trials=120, rng=n + k)
+        assert cert.ok, cert.summary()
+
+    def test_merged_large(self):
+        from repro import merge_terminals
+
+        merged = merge_terminals(build(40, 4))
+        # the merged model assumes fault-free terminals
+        cert = verify_sampled(
+            merged, trials=80, rng=4, fault_universe=merged.processors
+        )
+        assert cert.ok, cert.summary()

@@ -1,0 +1,77 @@
+"""Tests for analysis.survivability and the runtime refill penalty."""
+
+import pytest
+
+from repro import build
+from repro.analysis.survivability import (
+    SurvivabilityPoint,
+    survivability_curve,
+    survival_probability,
+)
+from repro.simulator import GracefulPipelineRuntime, ct_reconstruction_chain
+from repro.simulator.faults import scheduled_faults
+
+
+class TestSurvivability:
+    def test_within_budget_is_certain(self):
+        net = build(6, 2)
+        for f in range(3):
+            point = survival_probability(net, f)
+            assert point.probability == 1.0
+            assert point.exact  # small space -> exhaustive
+
+    def test_beyond_budget_positive_but_below_one(self):
+        net = build(6, 2)
+        point = survival_probability(net, 4)
+        assert 0.0 < point.probability < 1.0
+
+    def test_exact_flag_and_trials(self):
+        net = build(6, 2)  # 14 nodes
+        exact = survival_probability(net, 2)  # C(14,2)=91 <= 2000
+        assert exact.exact and exact.trials == 91
+        sampled = survival_probability(net, 5, trials=50, exhaustive_threshold=10)
+        assert not sampled.exact and sampled.trials == 50
+
+    def test_curve_shape(self):
+        curve = survivability_curve(build(4, 3), max_faults=5, trials=60, rng=2)
+        assert len(curve) == 6
+        assert all(p.probability == 1.0 for p in curve[:4])
+        probs = [p.probability for p in curve]
+        assert probs[-1] <= probs[0]
+
+    def test_reproducible(self):
+        net = build(6, 2)
+        a = survival_probability(net, 5, trials=40, rng=9, exhaustive_threshold=10)
+        b = survival_probability(net, 5, trials=40, rng=9, exhaustive_threshold=10)
+        assert a.survived == b.survived
+
+    def test_point_probability_empty(self):
+        assert SurvivabilityPoint(1, 0, 0, True).probability == 0.0
+
+
+class TestRefillPenalty:
+    def test_refill_latency_positive(self):
+        rt = GracefulPipelineRuntime(build(6, 2), ct_reconstruction_chain())
+        assert rt.refill_latency() == pytest.approx(
+            sum(rt.assignment.loads) / rt.speed
+        )
+
+    def test_refill_charged_on_reconfiguration(self):
+        base = GracefulPipelineRuntime(
+            build(6, 2), ct_reconstruction_chain(), charge_refill=False
+        )
+        charged = GracefulPipelineRuntime(
+            build(6, 2), ct_reconstruction_chain(), charge_refill=True
+        )
+        schedule = scheduled_faults([(10.0, "p0")])
+        res_base = base.run(schedule, horizon=100.0)
+        res_charged = charged.run(scheduled_faults([(10.0, "p0")]), horizon=100.0)
+        assert res_charged.downtime > res_base.downtime
+        assert res_charged.items_completed < res_base.items_completed
+
+    def test_no_refill_without_faults(self):
+        rt = GracefulPipelineRuntime(
+            build(6, 2), ct_reconstruction_chain(), charge_refill=True
+        )
+        res = rt.run([], horizon=50.0)
+        assert res.downtime == 0.0

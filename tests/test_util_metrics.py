@@ -1,0 +1,137 @@
+"""Unit tests for repro._util and repro.simulator.metrics."""
+
+import random
+
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_nk,
+    check_positive_int,
+    iter_bits,
+    mask_of,
+    pairs,
+    popcount,
+    stable_unique,
+)
+from repro.errors import InvalidParameterError
+from repro.simulator.metrics import RunResult, ThroughputSegment
+
+
+class TestCheckers:
+    def test_positive_int_passthrough(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+        with pytest.raises(InvalidParameterError, match=">= 1"):
+            check_positive_int(0, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(2.0, "x")
+
+    def test_check_nk(self):
+        assert check_nk(3, 2) == (3, 2)
+        with pytest.raises(InvalidParameterError):
+            check_nk(3, 0)
+
+
+class TestRng:
+    def test_none_gives_fresh(self):
+        assert isinstance(as_rng(None), random.Random)
+
+    def test_int_seeds(self):
+        assert as_rng(7).random() == as_rng(7).random()
+
+    def test_instance_passthrough(self):
+        r = random.Random(1)
+        assert as_rng(r) is r
+
+    def test_bool_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            as_rng(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            as_rng("seed")
+
+
+class TestBitHelpers:
+    def test_iter_bits(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+        assert list(iter_bits(0)) == []
+
+    def test_mask_of_roundtrip(self):
+        for bits in ([], [0], [3, 1, 7], list(range(20))):
+            assert sorted(iter_bits(mask_of(bits))) == sorted(set(bits))
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+
+class TestSequenceHelpers:
+    def test_pairs(self):
+        assert list(pairs([1, 2, 3])) == [(1, 2), (2, 3)]
+        assert list(pairs([1])) == []
+
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+        assert stable_unique([]) == []
+
+
+class TestThroughputSegment:
+    def test_items(self):
+        seg = ThroughputSegment(1.0, 4.0, stages=5, throughput=2.0)
+        assert seg.duration == 3.0
+        assert seg.items == 6.0
+
+
+class TestRunResult:
+    def make(self):
+        r = RunResult(label="x", horizon=10.0)
+        r.segments = [
+            ThroughputSegment(0.0, 4.0, 5, 1.0),
+            ThroughputSegment(4.0, 5.0, 0, 0.0),
+            ThroughputSegment(5.0, 10.0, 4, 0.5),
+        ]
+        r.items_completed = 4.0 + 2.5
+        r.downtime = 1.0
+        return r
+
+    def test_mean_throughput(self):
+        assert self.make().mean_throughput == pytest.approx(0.65)
+
+    def test_throughput_at(self):
+        r = self.make()
+        assert r.throughput_at(2.0) == 1.0
+        assert r.throughput_at(4.5) == 0.0
+        assert r.throughput_at(7.0) == 0.5
+        assert r.throughput_at(99.0) == 0.0
+
+    def test_availability(self):
+        r = self.make()
+        assert r.availability == pytest.approx(0.9)
+
+    def test_availability_after_death(self):
+        r = self.make()
+        r.died_at = 5.0
+        assert r.availability == pytest.approx(0.4)
+        assert not r.survived
+
+    def test_zero_horizon(self):
+        r = RunResult(label="x", horizon=0.0)
+        assert r.mean_throughput == 0.0
+        assert r.availability == 0.0
+
+    def test_summary_mentions_death(self):
+        r = self.make()
+        r.died_at = 5.0
+        assert "DIED" in r.summary()
+        r2 = self.make()
+        assert "survived" in r2.summary()

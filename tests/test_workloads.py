@@ -1,0 +1,58 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+
+from repro.simulator.workloads import ct_phantom, text_corpus, video_frames
+
+
+class TestVideoFrames:
+    def test_count_and_shape(self):
+        frames = list(video_frames(4, (16, 24)))
+        assert len(frames) == 4
+        assert all(f.shape == (16, 24) for f in frames)
+
+    def test_deterministic(self):
+        a = list(video_frames(2, (8, 8), seed=3))
+        b = list(video_frames(2, (8, 8), seed=3))
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_seeds_differ(self):
+        a = next(iter(video_frames(1, (8, 8), seed=1)))
+        b = next(iter(video_frames(1, (8, 8), seed=2)))
+        assert not np.array_equal(a, b)
+
+    def test_temporal_motion(self):
+        frames = list(video_frames(4, (16, 16), seed=0))
+        assert not np.array_equal(frames[0], frames[1])
+
+
+class TestCtPhantom:
+    def test_shape_and_dtype(self):
+        img = ct_phantom(20)
+        assert img.shape == (20, 20)
+        assert img.dtype == float
+
+    def test_has_structure(self):
+        img = ct_phantom(32)
+        # nested ellipses: interior denser than the corners
+        assert img[16, 16] > img[0, 0] + 0.5
+
+    def test_deterministic(self):
+        assert np.array_equal(ct_phantom(16, seed=5), ct_phantom(16, seed=5))
+
+
+class TestTextCorpus:
+    def test_min_length(self):
+        assert len(text_corpus(300, seed=1)) >= 300
+
+    def test_deterministic(self):
+        assert text_corpus(200, seed=9) == text_corpus(200, seed=9)
+
+    def test_repetitive_vocabulary(self):
+        text = text_corpus(3000, seed=2)
+        words = set(text.split())
+        # small vocabulary -> heavy repetition -> compressible
+        assert len(words) < 40
+
+    def test_seeds_differ(self):
+        assert text_corpus(200, seed=1) != text_corpus(200, seed=2)
