@@ -61,8 +61,16 @@ from .errors import (
     NotStandardError,
     ReconfigurationError,
     ReproError,
+    ServiceOverloadError,
     SimulationError,
     VerificationError,
+)
+from .service import (
+    ControlPlane,
+    ControlPlaneConfig,
+    MetricsSnapshot,
+    PipelineAnswer,
+    WitnessCache,
 )
 
 __version__ = "1.0.0"
@@ -105,6 +113,12 @@ __all__ = [
     "verify_reduced_edge_model_exhaustive",
     "find_fatal_witness",
     "disprove_gd",
+    # control plane
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "PipelineAnswer",
+    "MetricsSnapshot",
+    "WitnessCache",
     # errors
     "ReproError",
     "InvalidParameterError",
@@ -114,4 +128,5 @@ __all__ = [
     "VerificationError",
     "ReconfigurationError",
     "SimulationError",
+    "ServiceOverloadError",
 ]

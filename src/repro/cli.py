@@ -9,6 +9,7 @@ Subcommands
 ``audit``        degree-optimality table over an (n, k) grid
 ``export``       emit DOT / JSON / edge-list renderings
 ``search``       re-derive a special solution by constrained search
+``serve``        drive the fleet control plane from a fault trace
 
 Examples::
 
@@ -18,6 +19,8 @@ Examples::
     python -m repro audit --n 1-12 --k 1-3
     python -m repro export 8 2 --format dot
     python -m repro search 6 2 --max-degree 4 --trials 5000
+    python -m repro serve --demo --events 200
+    python -m repro serve --network 9x2 --network 13x2 --events 150
 """
 
 from __future__ import annotations
@@ -36,12 +39,20 @@ from .errors import ReproError
 
 
 def _parse_range(spec: str) -> list[int]:
-    """``"3"`` -> [3]; ``"1-4"`` -> [1, 2, 3, 4]; ``"1,3,5"`` -> [1,3,5]."""
+    """``"3"`` -> [3]; ``"1-4"`` -> [1, 2, 3, 4]; ``"1,3,5"`` -> [1,3,5].
+
+    A reversed range like ``"5-2"`` is an error, not an empty list.
+    """
     out: list[int] = []
     for part in spec.split(","):
         part = part.strip()
         if "-" in part:
             lo, hi = part.split("-", 1)
+            if int(lo) > int(hi):
+                raise ReproError(
+                    f"reversed range {part!r}: lower bound {int(lo)} exceeds "
+                    f"upper bound {int(hi)}"
+                )
             out.extend(range(int(lo), int(hi) + 1))
         else:
             out.append(int(part))
@@ -104,6 +115,29 @@ def make_parser() -> argparse.ArgumentParser:
                    help="output file ('-' = stdout)")
     p.add_argument("--quick", action="store_true",
                    help="skip the slower verification layers")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fleet reconfiguration control plane on a fault trace",
+    )
+    p.add_argument("--demo", action="store_true",
+                   help="use the built-in five-network demo fleet")
+    p.add_argument("--network", action="append", default=[], metavar="NxK",
+                   help="fleet member as NxK, e.g. 9x2 (repeatable)")
+    p.add_argument("--events", type=int, default=150,
+                   help="total fault/repair/query events to drive")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker pool size")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="witness cache capacity (rows)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="solve-latency budget; above it solves degrade to "
+                        "the construction fast path")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="per-network admission bound (overflow is shed)")
+    p.add_argument("--query-ratio", type=float, default=0.2,
+                   help="fraction of trace events that are pipeline queries")
     return parser
 
 
@@ -264,6 +298,67 @@ def cmd_report(args) -> int:
     return 0 if (all_proved and not bad and not failures) else 1
 
 
+def cmd_serve(args) -> int:
+    from .service import (
+        ControlPlane,
+        ControlPlaneConfig,
+        random_trace,
+        run_demo,
+        run_trace,
+    )
+
+    if args.events < 1:
+        raise ReproError("--events must be >= 1")
+    if args.workers < 1:
+        raise ReproError("--workers must be >= 1")
+    if args.cache_size < 1:
+        raise ReproError("--cache-size must be >= 1")
+    if args.max_pending < 1:
+        raise ReproError("--max-pending must be >= 1")
+    if args.demo or not args.network:
+        report, snap = run_demo(
+            events=args.events,
+            seed=args.seed,
+            workers=args.workers,
+            cache_capacity=args.cache_size,
+            deadline=args.deadline,
+            query_ratio=args.query_ratio,
+        )
+    else:
+        config = ControlPlaneConfig(
+            workers=args.workers,
+            cache_capacity=args.cache_size,
+            deadline=args.deadline,
+            max_pending=args.max_pending,
+        )
+        with ControlPlane(config) as plane:
+            for i, spec in enumerate(args.network):
+                try:
+                    n_s, k_s = spec.lower().split("x", 1)
+                    n, k = int(n_s), int(k_s)
+                except ValueError:
+                    raise ReproError(
+                        f"bad --network spec {spec!r}: expected NxK, e.g. 9x2"
+                    ) from None
+                plane.register(f"net{i}-{n}x{k}", n=n, k=k)
+            trace = random_trace(
+                plane,
+                args.events,
+                seed=args.seed,
+                query_ratio=args.query_ratio,
+            )
+            report = run_trace(plane, trace)
+            snap = plane.snapshot()
+    print(snap.summary())
+    print(
+        f"trace: {len(report.records)} applied, {len(report.answers)} answered, "
+        f"{report.shed} shed, {len(report.errors)} errors"
+    )
+    for err in report.errors:
+        print(f"  error: {err}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "build": cmd_build,
     "verify": cmd_verify,
@@ -273,6 +368,7 @@ _COMMANDS = {
     "search": cmd_search,
     "catalog": cmd_catalog,
     "report": cmd_report,
+    "serve": cmd_serve,
 }
 
 

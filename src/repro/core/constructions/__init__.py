@@ -22,7 +22,7 @@ module            paper artifact
 from .asymptotic import build_asymptotic, build_extended_asymptotic, minimum_asymptotic_n
 from .clique_chain import build_clique_chain
 from .extension import extend, extend_iterated
-from .factory import build, construction_plan
+from .factory import build, build_cache_info, clear_build_cache, construction_plan
 from .g1k import build_g1k
 from .g2k import build_g2k
 from .g3k import build_g3k, g3k_removed_matching
@@ -38,6 +38,8 @@ from .special import (
 
 __all__ = [
     "build",
+    "build_cache_info",
+    "clear_build_cache",
     "construction_plan",
     "build_g1k",
     "build_g2k",

@@ -24,6 +24,7 @@ optimality-audit tooling.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..._util import check_nk
@@ -166,6 +167,31 @@ _BASE_BUILDERS = {
 }
 
 
+#: Memoized pristine builds keyed by ``(n, k)``.  Construction is
+#: deterministic, so the cache is exact; callers always receive a
+#: defensive :meth:`~repro.core.model.PipelineNetwork.copy` (top-level
+#: graph and meta dict are isolated; nested meta values such as the
+#: extension lineage's ``base`` network are shared and treated as
+#: immutable by the library).
+_BUILD_CACHE: dict[tuple[int, int], PipelineNetwork] = {}
+_BUILD_CACHE_LOCK = threading.Lock()
+_BUILD_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def build_cache_info() -> dict[str, int]:
+    """Hit/miss/size accounting for the build cache."""
+    with _BUILD_CACHE_LOCK:
+        return dict(_BUILD_CACHE_STATS, size=len(_BUILD_CACHE))
+
+
+def clear_build_cache() -> None:
+    """Drop all memoized builds and reset the counters."""
+    with _BUILD_CACHE_LOCK:
+        _BUILD_CACHE.clear()
+        _BUILD_CACHE_STATS["hits"] = 0
+        _BUILD_CACHE_STATS["misses"] = 0
+
+
 def build(n: int, k: int, *, strict: bool = False) -> PipelineNetwork:
     """Build a standard ``k``-gracefully-degradable graph for ``n`` nodes.
 
@@ -173,12 +199,24 @@ def build(n: int, k: int, *, strict: bool = False) -> PipelineNetwork:
     docstring); with ``strict=False`` (default) uncovered parameters get
     the clique-chain fallback instead of an error.
 
+    Builds are deterministic and memoized per ``(n, k)``: repeated calls
+    return independent defensive copies of one cached construction (the
+    ``strict`` flag only affects whether uncovered parameters raise, which
+    happens before the cache is consulted).
+
     >>> build(9, 2).max_processor_degree()
     4
     >>> build(22, 4).meta["construction"]
     'asymptotic'
     """
     plan = construction_plan(n, k, strict=strict)
+    key = (n, k)
+    with _BUILD_CACHE_LOCK:
+        cached = _BUILD_CACHE.get(key)
+        if cached is not None:
+            _BUILD_CACHE_STATS["hits"] += 1
+    if cached is not None:
+        return cached.copy()
     if plan.base == "asymptotic":
         net = build_asymptotic(n, k)
     elif plan.base == "clique-chain":
@@ -187,4 +225,7 @@ def build(n: int, k: int, *, strict: bool = False) -> PipelineNetwork:
         net = _BASE_BUILDERS[plan.base](plan.base_n, k)
         net = extend_iterated(net, plan.extensions)
     net.meta["plan"] = plan
-    return net
+    with _BUILD_CACHE_LOCK:
+        _BUILD_CACHE_STATS["misses"] += 1
+        _BUILD_CACHE.setdefault(key, net)
+    return net.copy()

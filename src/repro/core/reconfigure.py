@@ -362,6 +362,32 @@ def _reconfigure_dispatch(
     return Pipeline.oriented(seq, network)
 
 
+def fast_solve_policy(
+    network: PipelineNetwork, base: SolvePolicy | None = None
+) -> SolvePolicy:
+    """A deadline-friendly trim of *base* for latency-pressured callers.
+
+    The constructive handlers dispatched on ``network.meta`` never consult
+    these knobs; they only matter when the construction-specific fast path
+    fails validation and the portfolio solver runs.  The trimmed policy
+    caps the heuristic restarts and the exact-search budget so that a
+    pressured solve degrades to a quick attempt rather than an unbounded
+    search (``allow_undecided`` stays on: exhaustion surfaces as a
+    :class:`~repro.errors.ReconfigurationError`, which the caller can turn
+    into a degraded answer).
+    """
+    base = base or SolvePolicy()
+    return SolvePolicy(
+        posa_restarts=min(base.posa_restarts, 4),
+        posa_rotations=min(base.posa_rotations, 120),
+        budget=min(base.budget, 250_000),
+        held_karp_limit=base.held_karp_limit,
+        allow_undecided=True,
+        seed=base.seed,
+        initial_order=base.initial_order,
+    )
+
+
 def reconfigure(
     network: PipelineNetwork,
     faults: Iterable[Node] = (),

@@ -213,8 +213,13 @@ class ReconfigurationSession:
             return Pipeline.oriented(report.path, self.network)
         return None
 
-    def fail(self, node: Node) -> ChurnRecord:
+    def fail(self, node: Node, *, pipeline: Pipeline | None = None) -> ChurnRecord:
         """Inject one fault and re-embed if needed.
+
+        When *pipeline* is given (e.g. from a witness cache) and it is a
+        valid pipeline of ``network \\ (faults | {node})``, it is adopted
+        without invoking any solver; an invalid candidate is silently
+        ignored and the normal re-embedding runs.
 
         Raises :class:`~repro.errors.ReconfigurationError` when the
         accumulated faults exceed what the network tolerates.
@@ -238,7 +243,11 @@ class ReconfigurationSession:
             return record
         old = self.pipeline
         new: Pipeline | None = None
-        if self.minimize_churn:
+        if pipeline is not None and is_pipeline(
+            self.network, pipeline.nodes, self.faults
+        ):
+            new = pipeline
+        if new is None and self.minimize_churn:
             new = self._stable_reembed(node)
             if new is not None and not is_pipeline(
                 self.network, new.nodes, self.faults
@@ -262,6 +271,79 @@ class ReconfigurationSession:
     def fail_many(self, nodes: Iterable[Node]) -> list[ChurnRecord]:
         """Inject faults one at a time, in order."""
         return [self.fail(v) for v in nodes]
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    def _splice_in(self, node: Node) -> Pipeline | None:
+        """Insert a revived processor into the current pipeline with
+        minimal churn: find consecutive pipeline nodes ``(a, b)`` such that
+        ``a -- node -- b`` are edges and splice *node* between them."""
+        g = self.network.graph
+        nodes = list(self.pipeline.nodes)
+        for i in range(len(nodes) - 1):
+            a, b = nodes[i], nodes[i + 1]
+            if g.has_edge(a, node) and g.has_edge(node, b):
+                return Pipeline(nodes[: i + 1] + [node] + nodes[i + 1:])
+        return None
+
+    def repair(self, node: Node, *, pipeline: Pipeline | None = None) -> ChurnRecord:
+        """Revive a previously failed node and re-embed if needed.
+
+        Reviving a *terminal* leaves the pipeline valid (the interior — all
+        healthy processors — is unchanged).  Reviving a *processor*
+        invalidates the pipeline, because graceful degradation requires
+        every healthy processor to be in use; the session splices the node
+        back in locally when possible, otherwise re-embeds (seeded with the
+        current order, falling back to full reconfiguration).
+
+        As with :meth:`fail`, a valid *pipeline* candidate (e.g. from a
+        witness cache) is adopted without solving.
+
+        Raises :class:`~repro.errors.ReconfigurationError` when *node* is
+        not currently failed.
+        """
+        if node not in self.faults:
+            raise ReconfigurationError(f"{node!r} is not currently failed")
+        idx = len(self.history)
+        self.faults.discard(node)
+        if node not in self.network.processors:
+            record = ChurnRecord(
+                fault=node,
+                fault_index=idx,
+                healthy_processors=len(self.healthy_processors),
+                moved=0,
+                kept=self.pipeline.length,
+                was_on_pipeline=False,
+            )
+            self.history.append(record)
+            return record
+        old = self.pipeline
+        new: Pipeline | None = None
+        if pipeline is not None and is_pipeline(
+            self.network, pipeline.nodes, self.faults
+        ):
+            new = pipeline
+        if new is None and self.minimize_churn:
+            new = self._splice_in(node)
+            if new is not None and not is_pipeline(
+                self.network, new.nodes, self.faults
+            ):
+                new = None
+        if new is None:
+            new = reconfigure(self.network, self.faults, self.policy)
+        moved, kept = pipeline_churn(old, new)
+        self.pipeline = new
+        record = ChurnRecord(
+            fault=node,
+            fault_index=idx,
+            healthy_processors=len(self.healthy_processors),
+            moved=moved,
+            kept=kept,
+            was_on_pipeline=True,
+        )
+        self.history.append(record)
+        return record
 
     def total_moved(self) -> int:
         return sum(r.moved for r in self.history)

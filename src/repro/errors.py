@@ -63,3 +63,14 @@ class ReconfigurationError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class ServiceOverloadError(ReproError, RuntimeError):
+    """The control plane's admission control rejected an event because the
+    target network's pending queue is full.
+
+    This is the *load-shedding* half of graceful degradation at the service
+    layer: rather than buffering without bound, the control plane bounds
+    each network's backlog and sheds the overflow.  Queries are never shed —
+    under pressure they are answered from the last-known-good pipeline
+    (marked ``degraded``) instead."""

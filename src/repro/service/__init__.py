@@ -1,0 +1,64 @@
+"""Fleet reconfiguration control plane.
+
+The paper proves a fault-tolerant pipeline network can always be
+re-embedded after ``<= k`` faults; this subpackage is the *operational*
+layer that does it at fleet scale: a long-running service managing many
+networks concurrently, reacting to fault/repair streams, memoizing
+witnesses, shedding load deliberately and reporting what it did.
+
+* :mod:`repro.service.control` — the :class:`ControlPlane` itself:
+  registry, worker pool with per-network serialization, admission control
+  and deadline-driven fast-path degradation;
+* :mod:`repro.service.cache` — the LRU witness cache of validated
+  pipelines keyed by canonical fault sets;
+* :mod:`repro.service.canonical` — structural fingerprints and
+  automorphism-aware fault-set canonicalization;
+* :mod:`repro.service.metrics` — per-event records and the
+  health/metrics snapshot;
+* :mod:`repro.service.trace` — scripted/randomized trace drivers and the
+  ``python -m repro serve`` demo fleet.
+"""
+
+from .cache import CacheStats, WitnessCache
+from .canonical import Canonicalizer, network_fingerprint, plain_fault_key
+from .control import (
+    ControlPlane,
+    ControlPlaneConfig,
+    ManagedNetwork,
+    PipelineAnswer,
+)
+from .metrics import EventRecord, LatencyStats, MetricsSnapshot, NetworkStats
+from .trace import (
+    TraceEvent,
+    TraceReport,
+    demo_plane,
+    demo_ring_network,
+    random_trace,
+    run_demo,
+    run_trace,
+    warmup_trace,
+)
+
+__all__ = [
+    "ControlPlane",
+    "ControlPlaneConfig",
+    "ManagedNetwork",
+    "PipelineAnswer",
+    "WitnessCache",
+    "CacheStats",
+    "Canonicalizer",
+    "network_fingerprint",
+    "plain_fault_key",
+    "EventRecord",
+    "LatencyStats",
+    "MetricsSnapshot",
+    "NetworkStats",
+    "TraceEvent",
+    "TraceReport",
+    "demo_plane",
+    "demo_ring_network",
+    "random_trace",
+    "run_demo",
+    "run_trace",
+    "warmup_trace",
+]

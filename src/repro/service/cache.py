@@ -1,0 +1,135 @@
+"""Witness cache: memoized validated pipelines keyed by canonical fault set.
+
+Reconfiguration cost is dominated by the solve; the *answer* is a short
+node sequence.  Fleets re-see the same fault patterns constantly — a
+repaired node fails again, a replica of the same build suffers the fault
+its sibling already solved, a symmetric fault lands elsewhere on the same
+orbit — so the control plane memoizes every validated pipeline under a
+``(network fingerprint, canonical fault key)`` row.
+
+Entries are stored in *canonical* label space (the automorphism image
+chosen by :class:`~repro.service.canonical.Canonicalizer`), which is what
+makes symmetric hits possible: the caller maps the cached sequence back
+through the inverse automorphism before serving it, and re-validates
+against the live fault set (a failed validation counts as ``invalid`` and
+falls through to the solver — the cache can only ever save work, never
+corrupt an answer).
+
+Eviction is LRU with a fixed capacity; hits, misses, stores, evictions
+and invalidations are counted for the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable
+
+from .canonical import FaultKey
+
+Node = Hashable
+
+CacheRow = tuple[str, FaultKey]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of witness-cache accounting."""
+
+    size: int
+    capacity: int
+    hits: int
+    misses: int
+    stores: int
+    evictions: int
+    invalid: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WitnessCache:
+    """Thread-safe LRU map ``(fingerprint, fault key) -> pipeline nodes``.
+
+    >>> cache = WitnessCache(capacity=2)
+    >>> cache.store("net", ("'p1'",), ("i0", "p0", "o0"))
+    >>> cache.lookup("net", ("'p1'",))
+    ('i0', 'p0', 'o0')
+    >>> cache.lookup("net", ("'p2'",)) is None
+    True
+    >>> cache.stats().hits, cache.stats().misses
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._rows: OrderedDict[CacheRow, tuple[Node, ...]] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._invalid = 0
+
+    def lookup(self, fingerprint: str, key: FaultKey) -> tuple[Node, ...] | None:
+        """The cached canonical-space pipeline for a row, or ``None``.
+
+        A hit refreshes the row's recency.
+        """
+        row = (fingerprint, key)
+        with self._lock:
+            nodes = self._rows.get(row)
+            if nodes is None:
+                self._misses += 1
+                return None
+            self._rows.move_to_end(row)
+            self._hits += 1
+            return nodes
+
+    def store(
+        self, fingerprint: str, key: FaultKey, nodes: tuple[Node, ...]
+    ) -> None:
+        """Insert (or refresh) a row, evicting the least recently used."""
+        row = (fingerprint, key)
+        with self._lock:
+            self._rows[row] = tuple(nodes)
+            self._rows.move_to_end(row)
+            self._stores += 1
+            while len(self._rows) > self.capacity:
+                self._rows.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_hit(self) -> None:
+        """Record that a served entry failed live validation (the caller
+        fell through to the solver)."""
+        with self._lock:
+            self._invalid += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def __contains__(self, row: CacheRow) -> bool:
+        with self._lock:
+            return row in self._rows
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rows.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                size=len(self._rows),
+                capacity=self.capacity,
+                hits=self._hits,
+                misses=self._misses,
+                stores=self._stores,
+                evictions=self._evictions,
+                invalid=self._invalid,
+            )

@@ -1,0 +1,136 @@
+"""Canonical forms for fault sets and networks.
+
+The witness cache (:mod:`repro.service.cache`) wants two fault patterns to
+share a cache entry whenever their solutions are interchangeable.  Two
+levels of sharing apply:
+
+**Structural sharing.**  The factory builds are deterministic, so two
+replicas of ``build(9, 2)`` are *identical* labeled graphs; a pipeline
+solved for a fault set on one replica is verbatim valid on the other.
+:func:`network_fingerprint` hashes the labeled structure so replicas land
+on the same cache rows regardless of their registry names.
+
+**Symmetry sharing.**  A kind-preserving automorphism ``sigma`` of the
+network maps pipelines of ``G \\ F`` to pipelines of ``G \\ sigma(F)``
+(:mod:`repro.graphs.automorphisms`).  For vertex-transitive cores — e.g.
+the circulant of the Section 3.4 asymptotic construction, or any
+circulant ring with terminals attached uniformly — whole orbits of fault
+sets collapse to one entry: a single-node fault has *one* canonical form
+instead of ``m``.  :class:`Canonicalizer` picks, over the enumerated
+automorphisms, the image of the fault set that minimizes the sorted label
+key, and remembers which ``sigma`` achieved it so cached pipelines can be
+mapped back through ``sigma^{-1}``.
+
+Enumeration is bounded: highly symmetric graphs (the ``G(1,k)`` cliques)
+have factorially many automorphisms, so only the first
+``limit`` are kept.  A truncated group costs cache *hits* (orbit members
+may canonicalize differently) but never correctness — every stored entry
+is the image of a validated pipeline under a genuine automorphism, and
+served entries are re-validated against the live fault set anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+from ..core.model import PipelineNetwork
+from ..graphs.automorphisms import iter_automorphisms
+
+Node = Hashable
+
+#: A canonical fault key: the sorted ``repr`` labels of the (canonicalized)
+#: fault set.  ``repr`` keys keep heterogeneous node labels comparable.
+FaultKey = tuple[str, ...]
+
+
+def network_fingerprint(network: PipelineNetwork) -> str:
+    """A digest of the labeled structure of *network*.
+
+    Covers the declared parameters, the terminal sets and every edge —
+    two networks with equal fingerprints are the same labeled graph, so
+    cached pipelines transfer verbatim between them.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        repr(
+            (
+                network.n,
+                network.k,
+                sorted(map(repr, network.inputs)),
+                sorted(map(repr, network.outputs)),
+            )
+        ).encode()
+    )
+    for edge in sorted(tuple(sorted(map(repr, e))) for e in network.graph.edges):
+        h.update(repr(edge).encode())
+    return h.hexdigest()
+
+
+def plain_fault_key(faults: Iterable[Node]) -> FaultKey:
+    """The symmetry-blind canonical key: sorted node labels."""
+    return tuple(sorted(repr(v) for v in faults))
+
+
+class Canonicalizer:
+    """Maps fault sets of one network to canonical ``(key, sigma)`` pairs.
+
+    ``sigma`` is the automorphism (a node mapping) whose image of the
+    fault set realizes the canonical key, or ``None`` when the identity
+    does (also the case when symmetry is disabled).  Callers store
+    pipelines in *canonical* label space (``sigma`` applied) and serve
+    them back through :meth:`map_back` (``sigma`` inverted).
+    """
+
+    def __init__(
+        self,
+        network: PipelineNetwork,
+        *,
+        mode: str = "auto",
+        max_nodes: int = 64,
+        limit: int = 512,
+    ) -> None:
+        if mode not in ("auto", "off", "full"):
+            raise ValueError(f"unknown symmetry mode {mode!r}")
+        self.network = network
+        self.automorphisms: list[dict] = []
+        self.truncated = False
+        enabled = mode == "full" or (mode == "auto" and len(network) <= max_nodes)
+        if enabled:
+            for auto in iter_automorphisms(network):
+                if any(auto[v] != v for v in auto):
+                    self.automorphisms.append(auto)
+                if len(self.automorphisms) >= limit:
+                    self.truncated = True
+                    break
+
+    @property
+    def order_seen(self) -> int:
+        """Non-identity automorphisms in use (0 = symmetry-blind)."""
+        return len(self.automorphisms)
+
+    def canonical(self, faults: Iterable[Node]) -> tuple[FaultKey, dict | None]:
+        """The canonical key of *faults* and the automorphism achieving it."""
+        fset = list(faults)
+        best_key = plain_fault_key(fset)
+        best_sigma: dict | None = None
+        for sigma in self.automorphisms:
+            key = tuple(sorted(repr(sigma[v]) for v in fset))
+            if key < best_key:
+                best_key, best_sigma = key, sigma
+        return best_key, best_sigma
+
+    @staticmethod
+    def map_forward(nodes: Sequence[Node], sigma: dict | None) -> tuple[Node, ...]:
+        """Apply ``sigma`` to a node sequence (identity when ``None``)."""
+        if sigma is None:
+            return tuple(nodes)
+        return tuple(sigma[v] for v in nodes)
+
+    @staticmethod
+    def map_back(nodes: Sequence[Node], sigma: dict | None) -> tuple[Node, ...]:
+        """Apply ``sigma^{-1}`` to a node sequence (identity when ``None``)."""
+        if sigma is None:
+            return tuple(nodes)
+        inverse = {w: v for v, w in sigma.items()}
+        return tuple(inverse[v] for v in nodes)

@@ -1,0 +1,526 @@
+"""The fleet reconfiguration control plane.
+
+One :class:`ControlPlane` manages many named
+:class:`~repro.core.model.PipelineNetwork` instances, each wrapped in a
+:class:`~repro.core.session.ReconfigurationSession`.  Fault and repair
+events are ingested through ``submit_fault`` / ``submit_repair`` (returning
+futures) and dispatched to a shared :class:`concurrent.futures`
+worker pool; ``query_pipeline`` answers synchronously.
+
+Design points:
+
+**Per-network serialization, cross-network parallelism.**  Each managed
+network owns a FIFO queue drained by at most one worker at a time (the
+actor pattern): events for one network apply strictly in submission order,
+while different networks reconfigure concurrently on the pool.
+
+**Witness caching.**  Before solving, the target fault set is
+canonicalized (:mod:`repro.service.canonical`) and looked up in the
+:class:`~repro.service.cache.WitnessCache`; a validated hit is adopted
+without invoking any solver.  Rows are keyed by structural fingerprint, so
+replicas of the same deterministic build share entries, and — for
+symmetric networks such as vertex-transitive circulants — whole
+automorphism orbits of fault patterns collapse onto single rows.
+
+**Admission control and graceful degradation.**  Each network's backlog is
+bounded (``max_pending``); overflow events are shed with
+:class:`~repro.errors.ServiceOverloadError` rather than buffered without
+bound.  Queries are never shed: under backlog they answer immediately from
+the last-known-good pipeline with ``degraded=True`` instead of blocking on
+a fresh solve.  When a network's recent solve cost (EWMA) exceeds the
+configured ``deadline``, subsequent solves run under the trimmed
+:func:`~repro.core.reconfigure.fast_solve_policy` — the
+construction-specific fast path with a capped portfolio fallback.
+
+**Observability.**  Every event emits an
+:class:`~repro.service.metrics.EventRecord`; :meth:`ControlPlane.snapshot`
+reports per-network gauges, counters, cache accounting and latency stats.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from ..core.constructions import build
+from ..core.hamilton import SolvePolicy
+from ..core.model import PipelineNetwork
+from ..core.pipeline import Pipeline, is_pipeline
+from ..core.reconfigure import fast_solve_policy
+from ..core.session import ChurnRecord, ReconfigurationSession
+from ..errors import ReproError, ServiceOverloadError
+from .cache import WitnessCache
+from .canonical import Canonicalizer, network_fingerprint
+from .metrics import (
+    COUNTER_NAMES,
+    EventRecord,
+    LatencyStats,
+    MetricsSnapshot,
+    NetworkStats,
+)
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Operational knobs for the control plane.
+
+    ``deadline`` is the solve-latency budget in seconds: once a network's
+    EWMA solve cost exceeds it, later solves use the trimmed fast-path
+    policy (``None`` disables; ``0.0`` forces the fast path after the
+    first measured solve).  ``degraded_after`` is the backlog depth at
+    which ``query_pipeline`` starts answering degraded.
+    """
+
+    workers: int = 4
+    max_pending: int = 64
+    degraded_after: int = 1
+    deadline: float | None = None
+    cache_capacity: int = 256
+    symmetry: str = "auto"        # "auto" | "off" | "full"
+    symmetry_max_nodes: int = 64
+    symmetry_limit: int = 512
+    record_ring: int = 1024
+    ewma_alpha: float = 0.3
+
+
+@dataclass(frozen=True)
+class PipelineAnswer:
+    """A ``query_pipeline`` response.
+
+    ``degraded=True`` means the answer is the last-known-good pipeline —
+    valid for ``faults`` (the fault set it was solved under) but possibly
+    stale with respect to events still queued behind it.
+    """
+
+    network: str
+    pipeline: Pipeline
+    faults: frozenset
+    degraded: bool
+    pending: int
+
+
+@dataclass
+class _PendingEvent:
+    kind: str                    # "fault" | "repair"
+    node: Node
+    future: Future
+    enqueued_at: float
+
+
+class ManagedNetwork:
+    """Registry entry: one network, its session, queue and accounting.
+
+    All queue/counter state is guarded by ``lock``; the session itself is
+    only ever touched by the single drain worker active for this network.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: PipelineNetwork,
+        policy: SolvePolicy | None,
+        config: ControlPlaneConfig,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.full_policy = policy or SolvePolicy()
+        self.fast_policy = fast_solve_policy(network, self.full_policy)
+        self.session = ReconfigurationSession(network, self.full_policy)
+        self.fingerprint = network_fingerprint(network)
+        self.canon = Canonicalizer(
+            network,
+            mode=config.symmetry,
+            max_nodes=config.symmetry_max_nodes,
+            limit=config.symmetry_limit,
+        )
+        self.lock = threading.Lock()
+        # last-known-good (pipeline, fault set) — swapped atomically by the
+        # drain worker after each applied event, so queries always see a
+        # mutually consistent pair even mid-solve.
+        self.answer_state: tuple[Pipeline, frozenset] = (
+            self.session.pipeline,
+            frozenset(),
+        )
+        self.pending: deque[_PendingEvent] = deque()
+        self.draining = False
+        self.in_flight = False
+        self.paused = False
+        self.counters: dict[str, int] = {c: 0 for c in COUNTER_NAMES}
+        self.latency = LatencyStats()
+        self.ewma: float | None = None
+
+    @property
+    def construction(self) -> str:
+        return self.network.meta.get("construction", "custom")
+
+
+class ControlPlane:
+    """A concurrent fleet service for pipeline reconfiguration.
+
+    >>> plane = ControlPlane()
+    >>> _ = plane.register("edge-a", n=6, k=2)
+    >>> record = plane.submit_fault("edge-a", "p1").result()
+    >>> record.kind, record.pipeline_length
+    ('fault', 7)
+    >>> plane.query_pipeline("edge-a").degraded
+    False
+    >>> plane.close()
+    """
+
+    def __init__(
+        self,
+        config: ControlPlaneConfig | None = None,
+        *,
+        cache: WitnessCache | None = None,
+    ) -> None:
+        self.config = config or ControlPlaneConfig()
+        self.cache = cache or WitnessCache(self.config.cache_capacity)
+        self._managed: dict[str, ManagedNetwork] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-cp"
+        )
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._records: deque[EventRecord] = deque(maxlen=self.config.record_ring)
+        self._latency = LatencyStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        network: PipelineNetwork | None = None,
+        *,
+        n: int | None = None,
+        k: int | None = None,
+        policy: SolvePolicy | None = None,
+    ) -> ManagedNetwork:
+        """Add a network to the fleet, either an existing instance or a
+        factory build for ``(n, k)``.  The initial (fault-free) pipeline is
+        solved synchronously and seeded into the witness cache."""
+        if name in self._managed:
+            raise ReproError(f"network {name!r} is already registered")
+        if (network is None) == (n is None or k is None):
+            raise ReproError("pass either a network instance or both n and k")
+        if network is None:
+            network = build(n, k)  # type: ignore[arg-type]
+        managed = ManagedNetwork(name, network, policy, self.config)
+        key, sigma = managed.canon.canonical(frozenset())
+        self.cache.store(
+            managed.fingerprint,
+            key,
+            Canonicalizer.map_forward(managed.session.pipeline.nodes, sigma),
+        )
+        self._managed[name] = managed
+        return managed
+
+    def managed(self, name: str) -> ManagedNetwork:
+        """The registry entry for *name* (raises ``KeyError`` if absent)."""
+        return self._managed[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._managed)
+
+    def __iter__(self) -> Iterator[ManagedNetwork]:
+        return iter(self._managed.values())
+
+    def __len__(self) -> int:
+        return len(self._managed)
+
+    # ------------------------------------------------------------------
+    # event ingestion
+    # ------------------------------------------------------------------
+    def submit_fault(self, name: str, node: Node) -> "Future[EventRecord]":
+        """Enqueue a fault event; resolves to its :class:`EventRecord`."""
+        return self._submit(name, "fault", node)
+
+    def submit_repair(self, name: str, node: Node) -> "Future[EventRecord]":
+        """Enqueue a repair event; resolves to its :class:`EventRecord`."""
+        return self._submit(name, "repair", node)
+
+    def _submit(self, name: str, kind: str, node: Node) -> "Future[EventRecord]":
+        if self._closed:
+            raise ReproError("control plane is closed")
+        m = self._managed[name]
+        future: Future = Future()
+        event = _PendingEvent(kind, node, future, time.perf_counter())
+        with m.lock:
+            if len(m.pending) >= self.config.max_pending:
+                m.counters["shed"] += 1
+                raise ServiceOverloadError(
+                    f"network {name!r}: pending queue full "
+                    f"({self.config.max_pending} events); event shed"
+                )
+            m.pending.append(event)
+            schedule = not m.draining and not m.paused
+            if schedule:
+                m.draining = True
+        if schedule:
+            self._executor.submit(self._drain, m)
+        return future
+
+    def query_pipeline(self, name: str) -> PipelineAnswer:
+        """The current pipeline for *name* — never blocks on a solve.
+
+        With backlog at or above ``degraded_after`` the answer is flagged
+        ``degraded``: it is the last-known-good pipeline, valid for the
+        fault set it was solved under, not for the still-queued events.
+        """
+        t0 = time.perf_counter()
+        m = self._managed[name]
+        with m.lock:
+            backlog = len(m.pending) + (1 if m.in_flight else 0)
+            m.counters["queries"] += 1
+            degraded = backlog >= self.config.degraded_after
+            if degraded:
+                m.counters["degraded_served"] += 1
+        pipeline, faults = m.answer_state
+        self._record(
+            m,
+            EventRecord(
+                seq=self._next_seq(),
+                network=name,
+                kind="query",
+                node=None,
+                latency=time.perf_counter() - t0,
+                solver="none",
+                cache_hit=False,
+                degraded=degraded,
+                moved=0,
+                kept=pipeline.length,
+                pipeline_length=pipeline.length,
+                healthy_processors=len(m.network.processors - faults),
+            ),
+        )
+        return PipelineAnswer(
+            network=name,
+            pipeline=pipeline,
+            faults=faults,
+            degraded=degraded,
+            pending=backlog,
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance / lifecycle
+    # ------------------------------------------------------------------
+    def pause(self, name: str) -> None:
+        """Stop draining *name* (events keep queueing up to the admission
+        bound; queries serve degraded answers).  For maintenance windows
+        and deterministic tests."""
+        m = self._managed[name]
+        with m.lock:
+            m.paused = True
+
+    def resume(self, name: str) -> None:
+        """Resume draining *name*."""
+        m = self._managed[name]
+        with m.lock:
+            m.paused = False
+            schedule = bool(m.pending) and not m.draining
+            if schedule:
+                m.draining = True
+        if schedule:
+            self._executor.submit(self._drain, m)
+
+    def wait(self, timeout: float = 30.0) -> None:
+        """Block until every queue is drained (or raise ``TimeoutError``)."""
+        end = time.monotonic() + timeout
+        while True:
+            busy = False
+            for m in self._managed.values():
+                with m.lock:
+                    if (m.pending or m.in_flight) and not m.paused:
+                        busy = True
+                        break
+            if not busy:
+                return
+            if time.monotonic() > end:
+                raise TimeoutError("control plane did not drain in time")
+            time.sleep(0.002)
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ControlPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # event processing (drain worker)
+    # ------------------------------------------------------------------
+    def _drain(self, m: ManagedNetwork) -> None:
+        while True:
+            with m.lock:
+                if m.paused or not m.pending:
+                    m.draining = False
+                    return
+                event = m.pending.popleft()
+                m.in_flight = True
+            try:
+                record = self._process(m, event)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the future
+                with m.lock:
+                    m.counters["errors"] += 1
+                event.future.set_exception(exc)
+            else:
+                event.future.set_result(record)
+            finally:
+                with m.lock:
+                    m.in_flight = False
+
+    def _process(self, m: ManagedNetwork, event: _PendingEvent) -> EventRecord:
+        session = m.session
+        node = event.node
+        if event.kind == "fault":
+            trivial = node in session.faults or node not in set(
+                session.pipeline.nodes
+            )
+            target = frozenset(session.faults | {node})
+        else:
+            trivial = node in session.faults and node not in m.network.processors
+            target = frozenset(session.faults - {node})
+
+        solver = "none"
+        cache_hit = False
+        if trivial:
+            rec = self._apply(session, event.kind, node, None)
+        else:
+            key, sigma = m.canon.canonical(target)
+            candidate: Pipeline | None = None
+            cached = self.cache.lookup(m.fingerprint, key)
+            if cached is not None:
+                nodes = Canonicalizer.map_back(cached, sigma)
+                if is_pipeline(m.network, nodes, target):
+                    candidate = Pipeline.oriented(nodes, m.network)
+                else:
+                    self.cache.invalidate_hit()
+            if candidate is not None:
+                solver = "cache"
+                cache_hit = True
+                rec = self._apply(session, event.kind, node, candidate)
+            else:
+                fast = (
+                    self.config.deadline is not None
+                    and m.ewma is not None
+                    and m.ewma > self.config.deadline
+                )
+                session.policy = m.fast_policy if fast else m.full_policy
+                solver = "fast" if fast else "full"
+                t_solve = time.perf_counter()
+                rec = self._apply(session, event.kind, node, None)
+                solve_cost = time.perf_counter() - t_solve
+                alpha = self.config.ewma_alpha
+                m.ewma = (
+                    solve_cost
+                    if m.ewma is None
+                    else (1 - alpha) * m.ewma + alpha * solve_cost
+                )
+                self.cache.store(
+                    m.fingerprint,
+                    key,
+                    Canonicalizer.map_forward(session.pipeline.nodes, sigma),
+                )
+
+        m.answer_state = (session.pipeline, frozenset(session.faults))
+        latency = time.perf_counter() - event.enqueued_at
+        record = EventRecord(
+            seq=self._next_seq(),
+            network=m.name,
+            kind=event.kind,
+            node=node,
+            latency=latency,
+            solver=solver,
+            cache_hit=cache_hit,
+            degraded=False,
+            moved=rec.moved,
+            kept=rec.kept,
+            pipeline_length=session.pipeline.length,
+            healthy_processors=rec.healthy_processors,
+        )
+        with m.lock:
+            m.counters["faults" if event.kind == "fault" else "repairs"] += 1
+            if cache_hit:
+                m.counters["cache_hits"] += 1
+            elif not trivial:
+                m.counters["cache_misses"] += 1
+            if solver == "fast":
+                m.counters["fast_path"] += 1
+            m.latency = m.latency.observe(latency)
+        self._record(m, record)
+        return record
+
+    @staticmethod
+    def _apply(
+        session: ReconfigurationSession,
+        kind: str,
+        node: Node,
+        pipeline: Pipeline | None,
+    ) -> ChurnRecord:
+        if kind == "fault":
+            return session.fail(node, pipeline=pipeline)
+        return session.repair(node, pipeline=pipeline)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _record(self, m: ManagedNetwork, record: EventRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._latency = self._latency.observe(record.latency)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The health/metrics report across the whole fleet."""
+        networks = []
+        totals: dict[str, int] = {c: 0 for c in COUNTER_NAMES}
+        for m in self._managed.values():
+            with m.lock:
+                counters = dict(m.counters)
+                pending = len(m.pending) + (1 if m.in_flight else 0)
+                paused = m.paused
+                latency = m.latency
+            for c, v in counters.items():
+                totals[c] += v
+            pipeline, faults = m.answer_state
+            networks.append(
+                NetworkStats(
+                    name=m.name,
+                    n=m.network.n,
+                    k=m.network.k,
+                    construction=m.construction,
+                    faults_now=len(faults),
+                    pending=pending,
+                    paused=paused,
+                    pipeline_length=pipeline.length,
+                    counters=counters,
+                    latency=latency,
+                    total_moved=m.session.total_moved(),
+                    mean_churn=m.session.mean_churn(),
+                )
+            )
+        with self._lock:
+            records = tuple(self._records)
+            latency = self._latency
+        return MetricsSnapshot(
+            networks=tuple(networks),
+            cache=self.cache.stats(),
+            totals=totals,
+            latency=latency,
+            records=records,
+        )

@@ -20,13 +20,16 @@ graceful degradation buys:
 * :mod:`repro.simulator.runtime` — the graceful runtime (reconfigure on
   fault, keep every healthy processor busy) and the spare-pool baseline
   runtime;
-* :mod:`repro.simulator.metrics` — throughput timelines and summaries.
+* :mod:`repro.simulator.metrics` — throughput timelines and summaries;
+* :mod:`repro.simulator.fleet` — scenario driver feeding fault schedules
+  to the :mod:`repro.service` control plane.
 """
 
 from .assignment import StageAssignment, assign_stages, linear_partition
 from .engine import Simulator
 from .events import Event, EventQueue
 from .faults import FaultEvent, poisson_fault_schedule, scheduled_faults
+from .fleet import fleet_trace, run_fleet_scenario
 from .metrics import RunResult, ThroughputSegment
 from .runtime import GracefulPipelineRuntime, SparePoolRuntime
 from .stages import (
@@ -73,6 +76,8 @@ __all__ = [
     "FaultEvent",
     "poisson_fault_schedule",
     "scheduled_faults",
+    "fleet_trace",
+    "run_fleet_scenario",
     "GracefulPipelineRuntime",
     "SparePoolRuntime",
     "RunResult",

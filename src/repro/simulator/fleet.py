@@ -1,0 +1,95 @@
+"""Fleet scenario driver: feed simulator fault schedules to the control
+plane.
+
+The simulator's fault models (:mod:`repro.simulator.faults`) produce
+per-network *time-stamped* schedules — Poisson arrivals, correlated
+bursts, scripted sequences.  This module turns a fleet of such schedules
+into the flat, time-ordered event trace the control plane consumes
+(:mod:`repro.service.trace`), optionally weaving in automatic repairs
+(each dead node revives ``repair_after`` time units later, keeping the
+fleet inside its fault tolerance over long horizons) and periodic
+pipeline queries, then drives the plane and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..errors import InvalidParameterError
+from ..service.control import ControlPlane
+from ..service.metrics import MetricsSnapshot
+from ..service.trace import TraceEvent, TraceReport, run_trace
+from .faults import FaultEvent
+
+
+def fleet_trace(
+    schedules: Mapping[str, Sequence[FaultEvent]],
+    *,
+    repair_after: float | None = None,
+    query_every: float | None = None,
+    horizon: float | None = None,
+) -> list[TraceEvent]:
+    """Merge per-network fault schedules into one time-ordered trace.
+
+    ``repair_after`` revives each failed node that many time units after
+    its failure; ``query_every`` inserts a ``query`` event for every
+    network at that period, up to *horizon* (default: the last scheduled
+    event).
+
+    >>> from .faults import scheduled_faults
+    >>> t = fleet_trace({"a": scheduled_faults([(1.0, "p0")])}, repair_after=2.0)
+    >>> [(e.kind, e.node) for e in t]
+    [('fault', 'p0'), ('repair', 'p0')]
+    """
+    timed: list[tuple[float, int, TraceEvent]] = []
+    tiebreak = 0
+    last = 0.0
+    for name, events in schedules.items():
+        for ev in events:
+            timed.append((ev.time, tiebreak, TraceEvent(name, "fault", ev.node)))
+            tiebreak += 1
+            last = max(last, ev.time)
+            if repair_after is not None:
+                if repair_after <= 0:
+                    raise InvalidParameterError("repair_after must be > 0")
+                t_rep = ev.time + repair_after
+                timed.append((t_rep, tiebreak, TraceEvent(name, "repair", ev.node)))
+                tiebreak += 1
+                last = max(last, t_rep)
+    end = horizon if horizon is not None else last
+    if query_every is not None:
+        if query_every <= 0:
+            raise InvalidParameterError("query_every must be > 0")
+        t = query_every
+        while t <= end:
+            for name in schedules:
+                timed.append((t, tiebreak, TraceEvent(name, "query")))
+                tiebreak += 1
+            t += query_every
+    timed.sort(key=lambda item: (item[0], item[1]))
+    return [ev for _, _, ev in timed]
+
+
+def run_fleet_scenario(
+    plane: ControlPlane,
+    schedules: Mapping[str, Sequence[FaultEvent]],
+    *,
+    repair_after: float | None = None,
+    query_every: float | None = None,
+    validate: bool = True,
+    timeout: float = 60.0,
+) -> tuple[TraceReport, MetricsSnapshot]:
+    """Drive simulator fault schedules through *plane* and snapshot it.
+
+    Every network named in *schedules* must already be registered.
+    """
+    missing = [name for name in schedules if name not in plane.names]
+    if missing:
+        raise InvalidParameterError(
+            f"schedules reference unregistered networks: {missing}"
+        )
+    trace = fleet_trace(
+        schedules, repair_after=repair_after, query_every=query_every
+    )
+    report = run_trace(plane, trace, validate=validate, timeout=timeout)
+    return report, plane.snapshot()

@@ -1,0 +1,74 @@
+"""The memoized construction factory: hit accounting, defensive copies,
+and preserved strict-mode semantics."""
+
+import pytest
+
+from repro.core.constructions import (
+    build,
+    build_cache_info,
+    clear_build_cache,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_build_cache()
+    yield
+    clear_build_cache()
+
+
+class TestBuildCache:
+    def test_hit_and_miss_accounting(self):
+        info0 = build_cache_info()
+        assert info0["size"] == 0
+        build(9, 2)
+        info1 = build_cache_info()
+        assert info1["misses"] == info0["misses"] + 1 and info1["size"] == 1
+        build(9, 2)
+        info2 = build_cache_info()
+        assert info2["hits"] == info1["hits"] + 1
+        assert info2["size"] == 1
+
+    def test_cached_builds_are_isolated_copies(self):
+        a = build(9, 2)
+        b = build(9, 2)
+        assert a is not b and a.graph is not b.graph
+        # mutating one replica must not leak into the next build
+        a.graph.add_edge("rogue-1", "rogue-2")
+        a.meta["poisoned"] = True
+        c = build(9, 2)
+        assert "rogue-1" not in c.graph
+        assert "poisoned" not in c.meta
+        assert set(b.graph.nodes) == set(c.graph.nodes)
+
+    def test_distinct_keys_distinct_entries(self):
+        build(6, 2)
+        build(9, 2)
+        build(6, 3)
+        assert build_cache_info()["size"] == 3
+
+    def test_strict_failure_still_raises_and_is_not_cached(self):
+        with pytest.raises(ReproError):
+            build(5, 4, strict=True)  # the paper has no (5, 4) construction
+        assert build_cache_info()["size"] == 0
+        # non-strict succeeds (clique-chain fallback) and caches
+        net = build(5, 4)
+        assert net.meta.get("construction") == "clique-chain"
+        assert build_cache_info()["size"] == 1
+        # strict still raises even though (5, 4) is now cached
+        with pytest.raises(ReproError):
+            build(5, 4, strict=True)
+
+    def test_clear_resets_everything(self):
+        build(6, 2)
+        build(6, 2)
+        clear_build_cache()
+        info = build_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_plan_metadata_survives_caching(self):
+        first = build(9, 2)
+        second = build(9, 2)
+        assert first.meta.get("plan") == second.meta.get("plan")
+        assert second.meta.get("construction") == first.meta.get("construction")

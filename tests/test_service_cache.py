@@ -1,0 +1,146 @@
+"""Witness cache and canonicalization: LRU accounting, structural
+(replica) sharing, and automorphism-aware symmetric sharing."""
+
+import pytest
+
+from repro.core.constructions import build
+from repro.core.pipeline import is_pipeline
+from repro.service import (
+    Canonicalizer,
+    ControlPlane,
+    ControlPlaneConfig,
+    WitnessCache,
+    demo_ring_network,
+    network_fingerprint,
+    plain_fault_key,
+)
+
+
+class TestWitnessCacheUnit:
+    def test_lookup_miss_then_hit(self):
+        cache = WitnessCache(capacity=4)
+        assert cache.lookup("fp", ("'p1'",)) is None
+        cache.store("fp", ("'p1'",), ("i0", "p0", "o0"))
+        assert cache.lookup("fp", ("'p1'",)) == ("i0", "p0", "o0")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.stores == 1
+
+    def test_rows_are_fingerprint_scoped(self):
+        cache = WitnessCache(capacity=4)
+        cache.store("fp-a", ("'p1'",), ("a",))
+        assert cache.lookup("fp-b", ("'p1'",)) is None
+
+    def test_lru_eviction(self):
+        cache = WitnessCache(capacity=2)
+        cache.store("fp", ("'a'",), ("1",))
+        cache.store("fp", ("'b'",), ("2",))
+        assert cache.lookup("fp", ("'a'",)) is not None  # refresh 'a'
+        cache.store("fp", ("'c'",), ("3",))              # evicts 'b'
+        assert cache.stats().evictions == 1
+        assert cache.lookup("fp", ("'b'",)) is None
+        assert cache.lookup("fp", ("'a'",)) is not None
+        assert cache.lookup("fp", ("'c'",)) is not None
+        assert len(cache) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WitnessCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = WitnessCache()
+        assert cache.stats().hit_rate == 0.0
+        cache.store("fp", (), ("x",))
+        cache.lookup("fp", ())
+        assert cache.stats().hit_rate == 1.0
+
+
+class TestFingerprint:
+    def test_deterministic_replicas_share(self):
+        assert network_fingerprint(build(9, 2)) == network_fingerprint(build(9, 2))
+
+    def test_different_builds_differ(self):
+        assert network_fingerprint(build(9, 2)) != network_fingerprint(build(6, 2))
+
+
+class TestCanonicalizer:
+    def test_plain_key_sorted(self):
+        assert plain_fault_key(["p3", "p1"]) == ("'p1'", "'p3'")
+
+    def test_symmetry_off_is_identity(self):
+        ring = demo_ring_network(8)
+        canon = Canonicalizer(ring, mode="off")
+        key, sigma = canon.canonical({"c5"})
+        assert key == ("'c5'",) and sigma is None
+        assert canon.order_seen == 0
+
+    def test_ring_orbit_collapses(self):
+        ring = demo_ring_network(8)
+        canon = Canonicalizer(ring, mode="auto")
+        assert canon.order_seen > 0
+        keys = {canon.canonical({f"c{j}"})[0] for j in range(8)}
+        assert len(keys) == 1  # all single-node circulant faults: one orbit
+
+    def test_map_back_round_trips(self):
+        ring = demo_ring_network(8)
+        canon = Canonicalizer(ring, mode="auto")
+        key, sigma = canon.canonical({"c5"})
+        fwd = Canonicalizer.map_forward(("ti5", "c5", "to5"), sigma)
+        assert Canonicalizer.map_back(fwd, sigma) == ("ti5", "c5", "to5")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Canonicalizer(build(6, 2), mode="banana")
+
+
+class TestCacheIntegration:
+    def test_repeated_fault_set_skips_solver(self):
+        """fault -> repair -> same fault again must serve from the cache."""
+        with ControlPlane(ControlPlaneConfig(workers=2)) as plane:
+            plane.register("solo", n=9, k=2)
+            first = plane.submit_fault("solo", "p3").result(timeout=30)
+            assert first.solver in ("full", "fast") and not first.cache_hit
+            repair = plane.submit_repair("solo", "p3").result(timeout=30)
+            # the fault-free pipeline was seeded at registration
+            assert repair.cache_hit and repair.solver == "cache"
+            again = plane.submit_fault("solo", "p3").result(timeout=30)
+            assert again.cache_hit and again.solver == "cache"
+            m = plane.managed("solo")
+            assert is_pipeline(m.network, m.session.pipeline.nodes, {"p3"})
+
+    def test_replicas_share_witnesses(self):
+        """A fault solved on one replica is a cache hit on its sibling."""
+        with ControlPlane(ControlPlaneConfig(workers=2)) as plane:
+            plane.register("rep-a", n=9, k=2)
+            plane.register("rep-b", n=9, k=2)
+            solved = plane.submit_fault("rep-a", "p2").result(timeout=30)
+            assert not solved.cache_hit
+            mirrored = plane.submit_fault("rep-b", "p2").result(timeout=30)
+            assert mirrored.cache_hit and mirrored.solver == "cache"
+            m = plane.managed("rep-b")
+            assert is_pipeline(m.network, m.session.pipeline.nodes, {"p2"})
+
+    def test_symmetric_fault_hits_on_circulant(self):
+        """On a vertex-transitive circulant, a fault anywhere on the orbit
+        of an already-solved fault is served from the cache."""
+        with ControlPlane(ControlPlaneConfig(workers=2)) as plane:
+            plane.register("ring", demo_ring_network(8))
+            seeded = plane.submit_fault("ring", "c1").result(timeout=30)
+            assert not seeded.cache_hit
+            plane.submit_repair("ring", "c1").result(timeout=30)
+            rotated = plane.submit_fault("ring", "c5").result(timeout=30)
+            assert rotated.cache_hit and rotated.solver == "cache"
+            m = plane.managed("ring")
+            assert is_pipeline(m.network, m.session.pipeline.nodes, {"c5"})
+
+    def test_lru_eviction_through_the_plane(self):
+        """With a one-row cache every new fault set evicts the last."""
+        with ControlPlane(
+            ControlPlaneConfig(workers=1, cache_capacity=1)
+        ) as plane:
+            plane.register("tiny", n=6, k=2)
+            plane.submit_fault("tiny", "p1").result(timeout=30)
+            plane.submit_repair("tiny", "p1").result(timeout=30)
+            assert plane.cache.stats().evictions > 0
+            # {p1} was evicted by later stores: faulting it again must miss
+            refault = plane.submit_fault("tiny", "p1").result(timeout=30)
+            assert not refault.cache_hit

@@ -1,0 +1,90 @@
+"""Session repair and candidate-pipeline adoption (the control plane's
+entry points into :class:`ReconfigurationSession`)."""
+
+import pytest
+
+from repro.core.constructions import build
+from repro.core.pipeline import Pipeline, is_pipeline
+from repro.core.session import ReconfigurationSession
+from repro.errors import ReconfigurationError
+
+
+class TestRepair:
+    def test_fail_then_repair_round_trip(self):
+        s = ReconfigurationSession(build(9, 2))
+        baseline_len = s.pipeline.length
+        s.fail("p3")
+        assert s.pipeline.length == baseline_len - 1
+        rec = s.repair("p3")
+        assert s.faults == set()
+        assert s.pipeline.length == baseline_len
+        assert is_pipeline(s.network, s.pipeline.nodes, set())
+        assert rec.was_on_pipeline
+        assert rec.moved + rec.kept > 0
+
+    def test_repair_healthy_node_raises(self):
+        s = ReconfigurationSession(build(6, 2))
+        with pytest.raises(ReconfigurationError):
+            s.repair("p0")
+
+    def test_repair_terminal_is_trivial(self):
+        s = ReconfigurationSession(build(6, 2))
+        term = sorted(s.network.inputs, key=repr)[1]
+        s.fail(term)
+        before = s.pipeline
+        rec = s.repair(term)
+        assert not rec.was_on_pipeline and rec.moved == 0
+        assert s.pipeline is before
+
+    def test_repair_history_feeds_churn_metrics(self):
+        s = ReconfigurationSession(build(9, 2))
+        s.fail("p2")
+        s.repair("p2")
+        assert len(s.history) == 2
+        assert 0.0 <= s.mean_churn() <= 1.0
+
+    def test_multi_fault_repair_interleaving(self):
+        s = ReconfigurationSession(build(9, 2))
+        s.fail("p1")
+        s.fail("p4")
+        s.repair("p1")
+        s.fail("p2")
+        s.repair("p4")
+        s.repair("p2")
+        assert s.faults == set()
+        assert is_pipeline(s.network, s.pipeline.nodes, set())
+
+
+class TestCandidateAdoption:
+    def test_fail_adopts_valid_candidate_without_solving(self):
+        probe = ReconfigurationSession(build(9, 2))
+        probe.fail("p3")
+        witness = probe.pipeline
+
+        s = ReconfigurationSession(build(9, 2))
+        s.fail("p3", pipeline=witness)
+        assert s.pipeline is witness  # adopted verbatim, no re-solve
+
+    def test_repair_adopts_valid_candidate_without_solving(self):
+        s = ReconfigurationSession(build(9, 2))
+        original = s.pipeline
+        s.fail("p3")
+        s.repair("p3", pipeline=original)
+        assert s.pipeline is original
+
+    def test_invalid_candidate_is_ignored(self):
+        s = ReconfigurationSession(build(9, 2))
+        bogus = Pipeline(list(s.pipeline.nodes))  # still contains p3
+        s.fail("p3", pipeline=bogus)
+        assert s.pipeline is not bogus
+        assert is_pipeline(s.network, s.pipeline.nodes, {"p3"})
+
+    def test_candidate_for_wrong_fault_set_is_ignored(self):
+        probe = ReconfigurationSession(build(9, 2))
+        probe.fail("p5")
+        wrong = probe.pipeline  # misses p3, includes p5's absence
+
+        s = ReconfigurationSession(build(9, 2))
+        s.fail("p3", pipeline=wrong)
+        assert s.pipeline is not wrong
+        assert is_pipeline(s.network, s.pipeline.nodes, {"p3"})
