@@ -10,6 +10,7 @@ Subcommands
 ``export``       emit DOT / JSON / edge-list renderings
 ``search``       re-derive a special solution by constrained search
 ``serve``        drive the fleet control plane from a fault trace
+``lint``         run the project's static analyzer against its baseline
 
 Examples::
 
@@ -21,6 +22,8 @@ Examples::
     python -m repro search 6 2 --max-degree 4 --trials 5000
     python -m repro serve --demo --events 200
     python -m repro serve --network 9x2 --network 13x2 --events 150
+    python -m repro lint --format json
+    python -m repro lint src/repro/service --no-baseline
 """
 
 from __future__ import annotations
@@ -138,6 +141,14 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-network admission bound (overflow is shed)")
     p.add_argument("--query-ratio", type=float, default=0.2,
                    help="fraction of trace events that are pipeline queries")
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based concurrency/determinism analyzer with a ratchet baseline",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
     return parser
 
 
@@ -298,6 +309,12 @@ def cmd_report(args) -> int:
     return 0 if (all_proved and not bad and not failures) else 1
 
 
+def cmd_lint(args) -> int:
+    from .lint.cli import cmd_lint as run
+
+    return run(args)
+
+
 def cmd_serve(args) -> int:
     from .service import (
         ControlPlane,
@@ -369,6 +386,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "report": cmd_report,
     "serve": cmd_serve,
+    "lint": cmd_lint,
 }
 
 
@@ -382,7 +400,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except BrokenPipeError:  # output piped into a closed reader (e.g. head)
         try:
             sys.stdout.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
         return 0
 

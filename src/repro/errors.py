@@ -65,6 +65,14 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class LockOrderViolationError(ReproError, RuntimeError):
+    """The runtime lock-order sanitizer observed an acquisition order that
+    closes a cycle in the lock graph — two code paths acquire the same pair
+    of locks in opposite orders, i.e. a potential deadlock.  Raised only by
+    the opt-in instrumentation in :mod:`repro.lint.sanitizer`; production
+    locks are never wrapped."""
+
+
 class ServiceOverloadError(ReproError, RuntimeError):
     """The control plane's admission control rejected an event because the
     target network's pending queue is full.

@@ -15,6 +15,12 @@ constructions of Cypher & Laing are built from:
 * :mod:`repro.graphs.degrees` — degree-profile utilities.
 """
 
+from .cycles import (
+    find_cycle_of_length,
+    find_directed_cycle,
+    has_cycle_of_length_at_least,
+    is_cycle_in_graph,
+)
 from .circulant import (
     circulant_graph,
     circulant_offsets_for_degree,
@@ -33,6 +39,10 @@ from .paths import (
 )
 
 __all__ = [
+    "find_cycle_of_length",
+    "find_directed_cycle",
+    "has_cycle_of_length_at_least",
+    "is_cycle_in_graph",
     "circulant_graph",
     "circulant_offsets_for_degree",
     "is_circulant_edge",

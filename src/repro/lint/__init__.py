@@ -1,0 +1,65 @@
+"""``repro.lint`` — the project's own static analyzer and lock sanitizer.
+
+The control plane (PR 1) made correctness depend on two properties no
+test asserts directly: hand-rolled lock discipline, and deterministic
+canonical fingerprints.  This subpackage asks of the codebase what the
+diagnosability literature asks of a network — *can the system detect its
+own faults?* — with an AST-based analyzer (``python -m repro lint``)
+whose passes are tuned to exactly those properties, plus an opt-in
+runtime lock-order sanitizer that cross-checks the static view against
+observed acquisitions.
+
+* :mod:`repro.lint.engine` — module loading, pass running, inline
+  ``# repro: allow[RULE]`` suppressions;
+* :mod:`repro.lint.findings` — rules, severities, findings;
+* :mod:`repro.lint.baseline` — the committed ratchet (debt may shrink,
+  never grow);
+* :mod:`repro.lint.passes` — the plugin registry and the five shipped
+  passes (lock discipline, lock order, determinism, exception safety,
+  API hygiene);
+* :mod:`repro.lint.sanitizer` — instrumented locks feeding the same
+  cycle detector the static lock-order pass uses;
+* :mod:`repro.lint.cli` — the ``lint`` subcommand.
+"""
+
+from .baseline import BaselineDiff, counts, diff, load, save
+from .engine import (
+    LintPass,
+    LintResult,
+    Module,
+    analyze_source,
+    parse_suppressions,
+    run_lint,
+)
+from .findings import Finding, Rule, Severity
+from .passes import all_passes, all_rules, register
+from .sanitizer import (
+    LockOrderMonitor,
+    SanitizedLock,
+    instrument_plane,
+    wrap_lock,
+)
+
+__all__ = [
+    "BaselineDiff",
+    "counts",
+    "diff",
+    "load",
+    "save",
+    "LintPass",
+    "LintResult",
+    "Module",
+    "analyze_source",
+    "parse_suppressions",
+    "run_lint",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_passes",
+    "all_rules",
+    "register",
+    "LockOrderMonitor",
+    "SanitizedLock",
+    "instrument_plane",
+    "wrap_lock",
+]

@@ -1,0 +1,87 @@
+"""The ratchet baseline: committed debt may shrink, never grow.
+
+A baseline is a JSON map ``finding key -> count`` where the key is
+``RULE:path:symbol`` (no line numbers, so reformatting does not churn
+it).  :func:`diff` splits a fresh finding list into *new* findings (count
+exceeds the baselined count for that key — these fail CI) and *stale*
+entries (baselined debt that no longer reproduces — time to re-ratchet
+with ``--write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import ReproError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+
+def counts(findings: Iterable[Finding]) -> dict[str, int]:
+    """Fold findings into their baseline representation."""
+    return dict(sorted(Counter(f.baseline_key for f in findings).items()))
+
+
+def save(path: Path | str, findings: Iterable[Finding]) -> None:
+    payload = {"version": BASELINE_VERSION, "entries": counts(findings)}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load(path: Path | str) -> dict[str, int]:
+    """The baselined counts, or an empty map for a missing file."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ReproError(
+                f"baseline {path}: unsupported version {version!r}"
+            )
+        entries = payload.get("entries", {})
+        if not all(
+            isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+        ):
+            raise ReproError(f"baseline {path}: malformed entries")
+        return entries
+    except (json.JSONDecodeError, AttributeError) as exc:
+        raise ReproError(f"baseline {path}: not valid baseline JSON ({exc})") from exc
+
+
+@dataclass(frozen=True)
+class BaselineDiff:
+    """Fresh findings measured against a committed baseline."""
+
+    new: tuple[Finding, ...]        # beyond the baselined count: fail
+    baselined: tuple[Finding, ...]  # tolerated existing debt
+    stale: tuple[str, ...]          # baselined keys that no longer fire
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def diff(findings: Iterable[Finding], baseline: Mapping[str, int]) -> BaselineDiff:
+    """Split *findings* into new vs. baselined, and list stale debt.
+
+    When a key fires fewer times than baselined, the earliest findings
+    (by line) are the tolerated ones — deterministic, and irrelevant to
+    the exit code either way.
+    """
+    budget = dict(baseline)
+    new: list[Finding] = []
+    tolerated: list[Finding] = []
+    for finding in sorted(findings):
+        if budget.get(finding.baseline_key, 0) > 0:
+            budget[finding.baseline_key] -= 1
+            tolerated.append(finding)
+        else:
+            new.append(finding)
+    stale = tuple(sorted(k for k, v in budget.items() if v > 0))
+    return BaselineDiff(new=tuple(new), baselined=tuple(tolerated), stale=stale)

@@ -1,0 +1,123 @@
+"""``python -m repro lint`` — run the analyzer against the baseline.
+
+Exit codes: ``0`` clean (no findings beyond the committed baseline and no
+parse errors), ``1`` new findings or parse errors, ``2`` usage errors
+(raised as :class:`~repro.errors.ReproError` and rendered by the main
+CLI).  ``--write-baseline`` re-ratchets: the current findings become the
+tolerated debt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from . import baseline as baseline_mod
+from .engine import LintResult, run_lint
+from .passes import all_rules
+
+BASELINE_NAME = "lint-baseline.json"
+
+
+def repo_root() -> Path:
+    """The repository root: nearest ancestor of this package with a
+    ``pyproject.toml``, else the current directory."""
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def default_paths() -> list[Path]:
+    """Lint the installed ``repro`` package itself by default."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def default_baseline_path() -> Path:
+    return repo_root() / BASELINE_NAME
+
+
+def _print_text(result: LintResult, d: baseline_mod.BaselineDiff) -> None:
+    for finding in d.new:
+        print(finding.render())
+    for error in result.errors:
+        print(f"error: {error}")
+    bits = [
+        f"{len(d.new)} new finding(s)",
+        f"{len(d.baselined)} baselined",
+        f"{len(result.suppressed)} suppressed",
+        f"{len(result.modules)} file(s)",
+    ]
+    if d.stale:
+        bits.append(
+            f"{len(d.stale)} stale baseline entr(ies) — re-ratchet with "
+            "--write-baseline"
+        )
+    print("lint: " + ", ".join(bits))
+
+
+def _print_json(result: LintResult, d: baseline_mod.BaselineDiff) -> None:
+    payload = {
+        "version": 1,
+        "new": [f.as_dict() for f in d.new],
+        "baselined": [f.as_dict() for f in d.baselined],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "stale_baseline_keys": list(d.stale),
+        "errors": result.errors,
+        "files": len(result.modules),
+        "ok": d.ok and not result.errors,
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def cmd_lint(args) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {str(rule.severity):<7}  {rule.summary}")
+        return 0
+    paths = [Path(p) for p in args.paths] or default_paths()
+    for path in paths:
+        if not path.exists():
+            raise ReproError(f"lint path {path} does not exist")
+    select = (
+        [r.strip() for r in args.select.split(",") if r.strip()]
+        if args.select
+        else None
+    )
+    result = run_lint(paths, root=repo_root(), select=select)
+
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+    if args.write_baseline:
+        baseline_mod.save(baseline_path, result.findings)
+        print(
+            f"wrote {baseline_path} "
+            f"({len(baseline_mod.counts(result.findings))} key(s), "
+            f"{len(result.findings)} finding(s))"
+        )
+        return 0
+    entries = {} if args.no_baseline else baseline_mod.load(baseline_path)
+    d = baseline_mod.diff(result.findings, entries)
+
+    if args.format == "json":
+        _print_json(result, d)
+    else:
+        _print_text(result, d)
+    return 0 if d.ok and not result.errors else 1
+
+
+def add_lint_arguments(parser) -> None:
+    """Attach the ``lint`` subcommand's arguments to *parser*."""
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories (default: the repro package)")
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"ratchet baseline (default: <repo>/{BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="re-ratchet: write current findings as the baseline")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run (e.g. RL101,RD301)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")

@@ -1,0 +1,219 @@
+"""The analyzer core: module loading, pass running, suppressions.
+
+A :class:`Module` is one parsed source file plus the metadata passes need
+(parent links, suppression map, display path).  :func:`run_lint` loads
+every ``*.py`` under the requested paths, hands the whole module set to
+each registered pass (passes are project-scoped — the lock-order pass
+genuinely needs cross-module view), filters suppressed findings and
+returns a deterministic :class:`LintResult`.
+
+Suppressions are inline comments::
+
+    risky_line()          # repro: allow[RL101]
+    # repro: allow[RD301, RD302]   <- on its own line: covers the next
+    another_risky_line()  #    statement (and that line itself)
+
+``allow[*]`` suppresses every rule on the line.  Suppressions attach to
+the *first* line of a multi-line statement (where the AST anchors the
+finding).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, Rule
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass
+class Module:
+    """One parsed source file, ready for analysis."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: dict[int, set[str]]
+    parents: dict[ast.AST, ast.AST] = field(repr=False, default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path | str = "<memory>", rel: str | None = None
+    ) -> "Module":
+        path = Path(path)
+        rel = rel if rel is not None else path.name
+        tree = ast.parse(source, filename=str(path))
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return cls(
+            path=path,
+            rel=rel,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+            parents=parents,
+        )
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted path of enclosing defs/classes, e.g. ``ControlPlane._drain``."""
+        parts: list[str] = []
+        cur: ast.AST | None = node
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                parts.append(cur.name)
+            cur = self.parents.get(cur)
+        return ".".join(reversed(parts)) or "<module>"
+
+    def suppressed(self, finding: Finding) -> bool:
+        allowed = self.suppressions.get(finding.line)
+        return bool(allowed) and ("*" in allowed or finding.rule in allowed)
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed there (see module docstring)."""
+    out: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for i, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        if not rules:
+            continue
+        out.setdefault(i, set()).update(rules)
+        if line[: match.start()].strip() == "":
+            # comment-only line: also cover the next non-blank, non-comment line
+            for j in range(i + 1, len(lines) + 1):
+                text = lines[j - 1].strip() if j <= len(lines) else ""
+                if text and not text.startswith("#"):
+                    out.setdefault(j, set()).update(rules)
+                    break
+    return out
+
+
+class LintPass:
+    """Base class for analysis passes.
+
+    Subclasses set ``name`` and ``rules`` and implement :meth:`run` over
+    the full module set.  Register with
+    :func:`repro.lint.passes.register` so :func:`run_lint` picks them up —
+    the registry is the plugin point; nothing else needs editing to add a
+    pass.
+    """
+
+    name: str = ""
+    rules: tuple[Rule, ...] = ()
+
+    def run(self, modules: Sequence[Module]) -> list[Finding]:
+        raise NotImplementedError
+
+    @classmethod
+    def rule(cls, rule_id: str) -> Rule:
+        for rule in cls.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(rule_id)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run (before baseline comparison)."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    modules: list[Module]
+    errors: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def discover_files(paths: Iterable[Path]) -> list[Path]:
+    """Every ``*.py`` under *paths* (dirs recursed, caches skipped)."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for f in path.rglob("*.py"):
+                if "__pycache__" not in f.parts:
+                    files.add(f)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def load_modules(
+    paths: Iterable[Path], root: Path | None = None
+) -> tuple[list[Module], list[str]]:
+    """Parse every discovered file; unparsable files become error strings."""
+    root = Path(root) if root is not None else Path.cwd()
+    modules: list[Module] = []
+    errors: list[str] = []
+    for file in discover_files(paths):
+        try:
+            rel = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        try:
+            source = file.read_text()
+            modules.append(Module.from_source(source, path=file, rel=rel))
+        except (OSError, SyntaxError) as exc:
+            errors.append(f"{rel}: {exc}")
+    return modules, errors
+
+
+def run_passes(
+    modules: Sequence[Module], select: Iterable[str] | None = None
+) -> tuple[list[Finding], list[Finding]]:
+    """Run every registered pass; split findings into (kept, suppressed)."""
+    from .passes import all_passes
+
+    selected = set(select) if select is not None else None
+    by_rel = {m.rel: m for m in modules}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for pass_cls in all_passes():
+        lint_pass = pass_cls()
+        for finding in lint_pass.run(modules):
+            if selected is not None and finding.rule not in selected:
+                continue
+            module = by_rel.get(finding.path)
+            if module is not None and module.suppressed(finding):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+    return sorted(kept), sorted(suppressed)
+
+
+def run_lint(
+    paths: Iterable[Path],
+    *,
+    root: Path | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Analyze *paths* and return the full result (baseline-agnostic)."""
+    modules, errors = load_modules(paths, root=root)
+    findings, suppressed = run_passes(modules, select=select)
+    return LintResult(
+        findings=findings, suppressed=suppressed, modules=modules, errors=errors
+    )
+
+
+def analyze_source(
+    source: str, rel: str = "fixture.py", select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint a source string (test/fixture helper)."""
+    module = Module.from_source(source, path=Path(rel), rel=rel)
+    findings, _ = run_passes([module], select=select)
+    return findings

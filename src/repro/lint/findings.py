@@ -1,0 +1,67 @@
+"""Findings, rules and severities for ``repro lint``.
+
+Every pass declares the :class:`Rule` objects it can emit; every emitted
+:class:`Finding` carries its rule id, a location, the enclosing symbol
+(used as the stable baseline key — line numbers churn, qualified names
+don't) and a human-readable message.  Findings order deterministically by
+``(path, line, col, rule)`` so text and JSON output are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; higher is worse."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable property, identified by a stable id like ``RL101``."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str                       # repo-relative, posix separators
+    line: int
+    col: int
+    rule: str
+    severity: Severity = field(compare=False)
+    message: str = field(compare=False)
+    symbol: str = field(compare=False, default="")
+
+    @property
+    def baseline_key(self) -> str:
+        """The ratchet key: stable across line-number churn."""
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+    def render(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col}"
+        sym = f" [{self.symbol}]" if self.symbol else ""
+        return f"{loc}: {self.rule} {self.severity}: {self.message}{sym}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "symbol": self.symbol,
+        }

@@ -1,0 +1,55 @@
+"""The pass registry — the analyzer's plugin point.
+
+A pass is a :class:`~repro.lint.engine.LintPass` subclass decorated with
+:func:`register`; :func:`all_passes` returns them in registration order.
+Adding a pass means writing one module here and registering its class —
+the engine, CLI, baseline and suppression machinery pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import LintPass
+
+_REGISTRY: list[type["LintPass"]] = []
+
+
+def register(cls: type["LintPass"]) -> type["LintPass"]:
+    """Class decorator adding a pass to the registry (idempotent)."""
+    if cls not in _REGISTRY:
+        _REGISTRY.append(cls)
+    return cls
+
+
+def all_passes() -> tuple[type["LintPass"], ...]:
+    """Every registered pass, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_rules():
+    """Every rule of every registered pass, sorted by id."""
+    return sorted(
+        (rule for cls in all_passes() for rule in cls.rules),
+        key=lambda r: r.id,
+    )
+
+
+# importing the pass modules performs their registration
+from . import api_hygiene          # noqa: E402,F401
+from . import determinism          # noqa: E402,F401
+from . import exception_safety     # noqa: E402,F401
+from . import lock_discipline      # noqa: E402,F401
+from . import lock_order           # noqa: E402,F401
+
+__all__ = [
+    "register",
+    "all_passes",
+    "all_rules",
+    "api_hygiene",
+    "determinism",
+    "exception_safety",
+    "lock_discipline",
+    "lock_order",
+]

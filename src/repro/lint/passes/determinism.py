@@ -1,0 +1,207 @@
+"""RD3xx — determinism: canonical keys must not depend on iteration order.
+
+The witness cache is only sound if two runs of the same build produce the
+same fingerprints and fault keys (PR 1's structural sharing *is* that
+assumption), and ``PYTHONHASHSEED`` randomizes ``set``/``frozenset``
+iteration order between processes.  This pass looks at *sink* functions —
+those whose names mark them as producing canonical material
+(``canonical*``, ``*fingerprint*``, ``*_key``, ``*digest*``, ``*hash*``)
+or whose bodies drive a ``hashlib`` hasher — and flags:
+
+* ``RD301``: iterating a set-like expression (set/frozenset literals and
+  constructors, set algebra, dict views, set-annotated parameters) in an
+  order-sensitive position: a ``for`` loop, a comprehension, or a
+  sequence constructor (``tuple``/``list``/``join``/``map``), unless the
+  iteration sits inside an order-insensitive consumer (``sorted``,
+  ``min``/``max``, ``sum``, ``len``, ``any``/``all``, ``set``/``frozenset``).
+* ``RD302``: any call to builtin ``hash()`` — its value is process-salted
+  for strings, so it must never reach persisted or cross-process keys;
+  use ``hashlib`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Sequence
+
+from ..engine import LintPass, Module
+from ..findings import Finding, Rule, Severity
+from . import register
+from ._lockmodel import attr_chain, call_name
+
+_SINK_NAME = re.compile(
+    r"canonical|fingerprint|digest|hash|(^|_)keys?($|_)", re.IGNORECASE
+)
+
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+_SET_FACTORIES = {"set", "frozenset"}
+_DICT_VIEWS = {"keys", "values", "items"}
+_ORDER_INSENSITIVE = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+}
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+def _is_sink(func: ast.FunctionDef) -> bool:
+    if _SINK_NAME.search(func.name):
+        return True
+    for node in ast.walk(func):
+        chain = attr_chain(node) if isinstance(node, ast.Attribute) else None
+        if chain and chain[0] == "hashlib":
+            return True
+    return False
+
+
+def _annotation_is_setlike(node: ast.AST | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_setlike(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_setlike(node.left) or _annotation_is_setlike(node.right)
+    return False
+
+
+def _setlike_names(func: ast.FunctionDef) -> set[str]:
+    args = func.args
+    names = {
+        a.arg
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if _annotation_is_setlike(a.annotation)
+    }
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name) and _is_setlike(node.value, names):
+                names.add(target.id)
+    return names
+
+
+def _is_setlike(expr: ast.AST, names: set[str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in names
+    if isinstance(expr, ast.Call):
+        if call_name(expr) in _SET_FACTORIES:
+            return True
+        chain = attr_chain(expr.func)
+        if chain and chain[-1] in _DICT_VIEWS:
+            return True
+        return False
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, _SET_OPS):
+        return _is_setlike(expr.left, names) or _is_setlike(expr.right, names)
+    return False
+
+
+def _in_order_insensitive(node: ast.AST, module: Module, stop: ast.AST) -> bool:
+    """Whether *node* sits inside an order-insensitive consumer call,
+    walking parents up to the enclosing function *stop*."""
+    cur = module.parents.get(node)
+    while cur is not None and cur is not stop:
+        if isinstance(cur, ast.Call) and call_name(cur) in _ORDER_INSENSITIVE:
+            return True
+        cur = module.parents.get(cur)
+    return False
+
+
+@register
+class DeterminismPass(LintPass):
+    name = "determinism"
+    rules = (
+        Rule(
+            "RD301",
+            Severity.ERROR,
+            "unordered set/dict iteration feeds canonical key material",
+        ),
+        Rule(
+            "RD302",
+            Severity.WARNING,
+            "builtin hash() is process-salted; use hashlib for stable keys",
+        ),
+    )
+
+    def run(self, modules: Sequence[Module]) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_sink(node):
+                        findings.extend(self._check_sink(node, module))
+        return findings
+
+    def _check_sink(
+        self, func: ast.FunctionDef, module: Module
+    ) -> list[Finding]:
+        names = _setlike_names(func)
+        findings: list[Finding] = []
+
+        def flag(loc: ast.AST, what: str) -> None:
+            findings.append(
+                Finding(
+                    path=module.rel,
+                    line=loc.lineno,
+                    col=loc.col_offset,
+                    rule="RD301",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"{what} iterates an unordered collection inside "
+                        f"key-producing '{func.name}'; wrap it in sorted()"
+                    ),
+                    symbol=module.qualname(loc),
+                )
+            )
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                if _is_setlike(node.iter, names):
+                    flag(node, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                for gen in node.generators:
+                    if _is_setlike(gen.iter, names) and not _in_order_insensitive(
+                        node, module, func
+                    ):
+                        flag(node, "comprehension")
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                chain = attr_chain(node.func)
+                seq_args: list[ast.AST] = []
+                if name in {"tuple", "list"} and node.args:
+                    seq_args.append(node.args[0])
+                elif name == "map" and len(node.args) >= 2:
+                    seq_args.extend(node.args[1:])
+                elif name == "enumerate" and node.args:
+                    seq_args.append(node.args[0])
+                elif chain and chain[-1] == "join" and node.args:
+                    seq_args.append(node.args[0])
+                for arg in seq_args:
+                    if _is_setlike(arg, names) and not _in_order_insensitive(
+                        node, module, func
+                    ):
+                        flag(node, f"{name or chain[-1]}() call")
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                ):
+                    findings.append(
+                        Finding(
+                            path=module.rel,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule="RD302",
+                            severity=Severity.WARNING,
+                            message=(
+                                f"builtin hash() inside key-producing "
+                                f"'{func.name}' is process-salted; use "
+                                "hashlib for stable keys"
+                            ),
+                            symbol=module.qualname(node),
+                        )
+                    )
+        return findings

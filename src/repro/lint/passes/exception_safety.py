@@ -1,0 +1,199 @@
+"""RE4xx — exception safety: errors must surface, not vanish.
+
+The control plane resolves futures from worker threads; an exception that
+is silently swallowed there turns into a *hang* at the caller (a future
+nobody will ever complete) or into served-from-stale-state corruption.
+Four rules:
+
+* ``RE401``: bare ``except:`` — also catches ``KeyboardInterrupt`` and
+  ``SystemExit``; always name the exception.
+* ``RE402``: ``except Exception`` / ``except BaseException`` whose body
+  neither re-raises nor uses the bound exception object — the error is
+  observed and discarded.  Forwarding it (``future.set_exception(exc)``,
+  logging, wrapping) counts as use.
+* ``RE403``: an ``except`` whose body is only ``pass``/``continue``
+  inside a loop — the classic worker-loop swallow: the loop keeps
+  spinning and the failure never surfaces anywhere.
+* ``RE404``: a function that calls ``<x>.set_result(...)`` but never
+  calls ``set_exception`` — futures it hands out resolve on success
+  paths only, so any error leaves waiters blocked forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from ..engine import LintPass, Module
+from ..findings import Finding, Rule, Severity
+from . import register
+from ._lockmodel import attr_chain
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    types = []
+    if isinstance(handler.type, ast.Tuple):
+        types = handler.type.elts
+    elif handler.type is not None:
+        types = [handler.type]
+    for t in types:
+        chain = attr_chain(t)
+        if chain and chain[-1] in _BROAD:
+            return True
+    return False
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _uses_bound_name(handler: ast.ExceptHandler) -> bool:
+    if not handler.name:
+        return False
+    for node in ast.walk(handler):
+        if (
+            isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+def _is_noop_body(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue   # docstring / ellipsis
+        return False
+    return True
+
+
+@register
+class ExceptionSafetyPass(LintPass):
+    name = "exception-safety"
+    rules = (
+        Rule("RE401", Severity.ERROR, "bare except"),
+        Rule(
+            "RE402",
+            Severity.WARNING,
+            "broad except neither re-raises nor uses the exception",
+        ),
+        Rule("RE403", Severity.WARNING, "exception swallowed inside a loop"),
+        Rule(
+            "RE404",
+            Severity.WARNING,
+            "futures resolved on success paths only (no set_exception)",
+        ),
+    )
+
+    def run(self, modules: Sequence[Module]) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in modules:
+            findings.extend(self._check_handlers(module))
+            findings.extend(self._check_futures(module))
+        return findings
+
+    def _check_handlers(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            symbol = module.qualname(node)
+            if node.type is None:
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="RE401",
+                        severity=Severity.ERROR,
+                        message=(
+                            "bare 'except:' also traps KeyboardInterrupt/"
+                            "SystemExit; catch a named exception"
+                        ),
+                        symbol=symbol,
+                    )
+                )
+            elif (
+                _catches_broad(node)
+                and not _body_reraises(node)
+                and not _uses_bound_name(node)
+            ):
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="RE402",
+                        severity=Severity.WARNING,
+                        message=(
+                            "broad except discards the error: re-raise, "
+                            "forward it, or catch a narrower type"
+                        ),
+                        symbol=symbol,
+                    )
+                )
+            if _is_noop_body(node.body) and self._in_loop(node, module):
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="RE403",
+                        severity=Severity.WARNING,
+                        message=(
+                            "exception silently swallowed inside a loop; "
+                            "record, re-raise or break"
+                        ),
+                        symbol=symbol,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _in_loop(node: ast.AST, module: Module) -> bool:
+        cur = module.parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ):
+            if isinstance(cur, (ast.For, ast.While)):
+                return True
+            cur = module.parents.get(cur)
+        return False
+
+    def _check_futures(self, module: Module) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            first_set_result: ast.Call | None = None
+            has_set_exception = False
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and isinstance(
+                    sub.func, ast.Attribute
+                ):
+                    if sub.func.attr == "set_result" and first_set_result is None:
+                        first_set_result = sub
+                    elif sub.func.attr == "set_exception":
+                        has_set_exception = True
+            if first_set_result is not None and not has_set_exception:
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=first_set_result.lineno,
+                        col=first_set_result.col_offset,
+                        rule="RE404",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"'{node.name}' resolves futures with set_result "
+                            "but has no set_exception path; an error here "
+                            "leaves waiters blocked forever"
+                        ),
+                        symbol=module.qualname(first_set_result),
+                    )
+                )
+        return findings

@@ -1,0 +1,249 @@
+"""RL2xx — lock order: the static acquisition graph must be acyclic.
+
+Builds a directed graph whose nodes are lock labels (class granularity:
+``ManagedNetwork.lock``, ``ControlPlane._lock``, ``factory._BUILD_CACHE_LOCK``)
+and whose edge ``A -> B`` means some code path acquires ``B`` while
+holding ``A`` — either lexically (``with a: ... with b:``) or through a
+call made under ``A`` to a function that acquires ``B`` anywhere in its
+body (transitively, via a fixpoint over the intra-project call graph).
+A cycle in this graph is a potential deadlock: two paths can take the
+same locks in opposite orders.
+
+Cycle detection reuses the repository's own exact cycle machinery —
+:func:`repro.graphs.cycles.find_directed_cycle` — the same detector the
+runtime sanitizer (:mod:`repro.lint.sanitizer`) feeds with *observed*
+acquisition edges, so the static and dynamic views are directly
+comparable.
+
+Call resolution is name-based and shallow (``self.meth``, ``obj.meth``
+with ``obj`` typed by the lock model, bare same-module functions); an
+unresolvable call contributes no edges.  That makes the pass
+under-approximate: it can miss orders laundered through callbacks, but
+every edge it draws corresponds to real code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+
+from ...graphs.cycles import find_directed_cycle
+from ..engine import LintPass, Module
+from ..findings import Finding, Rule, Severity
+from . import register
+from ._lockmodel import (
+    ClassInfo,
+    LockModel,
+    ModuleInfo,
+    attr_chain,
+    collect,
+    instance_env,
+    iter_functions,
+    lock_acquired,
+)
+
+
+@dataclass
+class LockGraph:
+    """The static lock-acquisition graph plus provenance."""
+
+    graph: nx.DiGraph
+    sites: dict[tuple[str, str], tuple[str, int]] = field(default_factory=dict)
+    self_edges: dict[str, tuple[str, int]] = field(default_factory=dict)
+
+    @property
+    def labels(self) -> frozenset:
+        return frozenset(self.graph.nodes)
+
+    @property
+    def edges(self) -> frozenset:
+        return frozenset(self.graph.edges)
+
+
+def _callee_keys(
+    call: ast.Call,
+    env: dict[str, str],
+    owner: ClassInfo | None,
+    minfo: ModuleInfo,
+    model: LockModel,
+) -> list[str]:
+    """Possible fully-qualified keys for the call target, or []."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id in minfo.functions:
+            return [f"{minfo.stem}:{func.id}"]
+        return []
+    chain = attr_chain(func)
+    if not chain or len(chain) < 2:
+        return []
+    meth = chain[-1]
+    base = chain[:-1]
+    t: str | None = None
+    if len(base) == 1:
+        t = env.get(base[0])
+        if t is None and base[0] == "self" and owner is not None:
+            t = owner.name
+    elif len(base) == 2:
+        holder = env.get(base[0])
+        if holder in model.classes:
+            t = model.classes[holder].attr_types.get(base[1])
+    if t in model.classes and meth in model.classes[t].methods:
+        return [f"{t}.{meth}"]
+    return []
+
+
+def build_lock_graph(
+    modules: Sequence[Module], model: LockModel | None = None
+) -> LockGraph:
+    """Assemble the acquisition graph over the whole module set."""
+    model = model if model is not None else collect(modules)
+    graph = nx.DiGraph()
+    out = LockGraph(graph=graph)
+
+    acquires: dict[str, set[str]] = {}          # fn key -> labels acquired
+    calls: dict[str, list[tuple[tuple[str, ...], list[str], str, int]]] = {}
+    fn_site: dict[str, str] = {}                # fn key -> module rel
+
+    for module in modules:
+        minfo = model.info(module)
+        for owner, func in iter_functions(minfo):
+            key = (
+                f"{owner.name}.{func.name}" if owner else f"{minfo.stem}:{func.name}"
+            )
+            env = instance_env(func, owner, model)
+            direct: set[str] = set()
+            recorded: list[tuple[tuple[str, ...], list[str], str, int]] = []
+
+            def walk(node: ast.AST, held: tuple[str, ...]) -> None:
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    new_held = list(held)
+                    for item in node.items:
+                        acq = lock_acquired(item.context_expr, env, minfo, model)
+                        if acq is None:
+                            continue
+                        label = acq[0]
+                        graph.add_node(label)
+                        direct.add(label)
+                        for h in new_held:
+                            _add_edge(out, h, label, module.rel, node.lineno)
+                        new_held.append(label)
+                    for stmt in node.body:
+                        walk(stmt, tuple(new_held))
+                    return
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node is not func
+                ):
+                    for stmt in node.body:
+                        walk(stmt, ())   # nested defs: unknown lock state
+                    return
+                if isinstance(node, ast.Call):
+                    keys = _callee_keys(node, env, owner, minfo, model)
+                    if keys:
+                        recorded.append((held, keys, module.rel, node.lineno))
+                for child in ast.iter_child_nodes(node):
+                    walk(child, held)
+
+            for stmt in func.body:
+                walk(stmt, ())
+            acquires[key] = direct
+            calls[key] = recorded
+            fn_site[key] = module.rel
+
+    # fixpoint: a function "acquires" whatever its callees acquire
+    changed = True
+    rounds = 0
+    while changed and rounds <= len(acquires) + 1:
+        changed = False
+        rounds += 1
+        for key, recorded in calls.items():
+            for _, callee_keys, _, _ in recorded:
+                for callee in callee_keys:
+                    extra = acquires.get(callee, set()) - acquires[key]
+                    if extra:
+                        acquires[key].update(extra)
+                        changed = True
+
+    # call-mediated edges: held locks -> everything the callee may acquire
+    for key, recorded in calls.items():
+        for held, callee_keys, rel, line in recorded:
+            if not held:
+                continue
+            for callee in callee_keys:
+                for label in sorted(acquires.get(callee, set())):
+                    for h in held:
+                        _add_edge(out, h, label, rel, line)
+    return out
+
+
+def _add_edge(out: LockGraph, a: str, b: str, rel: str, line: int) -> None:
+    if a == b:
+        out.self_edges.setdefault(a, (rel, line))
+        return
+    if not out.graph.has_edge(a, b):
+        out.graph.add_edge(a, b)
+        out.sites[(a, b)] = (rel, line)
+
+
+@register
+class LockOrderPass(LintPass):
+    name = "lock-order"
+    rules = (
+        Rule(
+            "RL201",
+            Severity.ERROR,
+            "potential deadlock: cycle in the lock-acquisition graph",
+        ),
+        Rule(
+            "RL202",
+            Severity.WARNING,
+            "lock may be re-acquired while already held",
+        ),
+    )
+
+    def run(self, modules: Sequence[Module]) -> list[Finding]:
+        lock_graph = build_lock_graph(modules)
+        findings: list[Finding] = []
+        graph = lock_graph.graph.copy()
+        # report every independent cycle: break each found cycle and rescan
+        for _ in range(graph.number_of_edges() + 1):
+            cycle = find_directed_cycle(graph)
+            if cycle is None:
+                break
+            # canonical rotation so the report is stable
+            pivot = cycle.index(min(cycle))
+            cycle = cycle[pivot:] + cycle[:pivot]
+            first_edge = (cycle[0], cycle[1 % len(cycle)])
+            rel, line = lock_graph.sites.get(first_edge, ("<unknown>", 1))
+            order = " -> ".join([*cycle, cycle[0]])
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule="RL201",
+                    severity=Severity.ERROR,
+                    message=f"lock-order cycle: {order}",
+                    symbol=cycle[0],
+                )
+            )
+            graph.remove_edge(*first_edge)
+        for label, (rel, line) in sorted(lock_graph.self_edges.items()):
+            findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule="RL202",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"'{label}' acquired while an instance of it may "
+                        "already be held (non-reentrant)"
+                    ),
+                    symbol=label,
+                )
+            )
+        return findings

@@ -1,0 +1,191 @@
+"""Runtime lock-order sanitizer: observe real acquisitions, same detector.
+
+The static lock-order pass (:mod:`repro.lint.passes.lock_order`) draws
+the acquisition graph from the AST; this module draws it from *execution*.
+Wrap the locks of a live object graph in :class:`SanitizedLock`, run the
+real workload (the service test suite does), and every "acquired B while
+holding A" observation lands as an edge in a :class:`LockOrderMonitor`.
+The monitor feeds the identical cycle detector
+(:func:`repro.graphs.cycles.find_directed_cycle`), so the two views
+cross-check: a dynamic edge missing from the static graph is a hole in
+the static analysis; a static cycle never observed dynamically is either
+dead code or a latent deadlock the tests don't reach.
+
+Instrumentation is strictly opt-in (tests and debugging); production code
+never imports this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+import networkx as nx
+
+from ..errors import LockOrderViolationError
+from ..graphs.cycles import find_directed_cycle
+
+__all__ = [
+    "LockOrderMonitor",
+    "SanitizedLock",
+    "wrap_lock",
+    "instrument_plane",
+]
+
+
+class LockOrderMonitor:
+    """Accumulates observed acquisition-order edges across threads.
+
+    With ``strict=True`` an acquisition that closes a cycle raises
+    :class:`~repro.errors.LockOrderViolationError` *at the acquisition
+    site*, before the thread can block — turning a would-be deadlock into
+    a stack trace.
+    """
+
+    def __init__(self, *, strict: bool = False) -> None:
+        self.strict = strict
+        self._lock = threading.Lock()
+        self._edges: dict[tuple[str, str], str] = {}   # edge -> first site
+        self._local = threading.local()
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- hooks called by SanitizedLock ---------------------------------
+    def note_intent(self, name: str, site: str = "") -> None:
+        """Record edges held -> *name* before blocking on the acquire."""
+        held = self._held()
+        new_edges = [
+            (h, name) for h in held if h != name and (h, name) not in self._edges
+        ]
+        repeat = any(h == name for h in held)
+        with self._lock:
+            for edge in new_edges:
+                self._edges.setdefault(edge, site)
+            if self.strict and (new_edges or repeat):
+                cycle = [name] if repeat else self._find_cycle_locked()
+                if cycle is not None:
+                    order = " -> ".join([*cycle, cycle[0]])
+                    raise LockOrderViolationError(
+                        f"acquiring {name!r} while holding "
+                        f"{held!r} closes a lock-order cycle: {order}"
+                    )
+
+    def note_acquired(self, name: str) -> None:
+        self._held().append(name)
+
+    def note_released(self, name: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                return
+
+    # -- reporting -----------------------------------------------------
+    def edges(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._edges)
+
+    def graph(self) -> "nx.DiGraph":
+        g = nx.DiGraph()
+        g.add_edges_from(self.edges())
+        return g
+
+    def _find_cycle_locked(self) -> list[str] | None:
+        g = nx.DiGraph()
+        g.add_edges_from(self._edges)
+        return find_directed_cycle(g)
+
+    def find_cycle(self) -> list[str] | None:
+        """A cycle in the observed acquisition graph, or ``None``."""
+        return find_directed_cycle(self.graph())
+
+    def assert_acyclic(self) -> None:
+        cycle = self.find_cycle()
+        if cycle is not None:
+            order = " -> ".join([*cycle, cycle[0]])
+            raise LockOrderViolationError(
+                f"observed lock-order cycle: {order}"
+            )
+
+
+class SanitizedLock:
+    """A drop-in lock wrapper reporting acquisitions to a monitor.
+
+    Wraps an existing lock instance (so already-shared locks can be
+    instrumented in place) or creates a fresh ``threading.Lock``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        monitor: LockOrderMonitor,
+        inner: threading.Lock | None = None,
+    ) -> None:
+        self.name = name
+        self._monitor = monitor
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._monitor.note_intent(self.name)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.note_acquired(self.name)
+        return got
+
+    def release(self) -> None:
+        self._monitor.note_released(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock({self.name!r})"
+
+
+def wrap_lock(
+    lock: threading.Lock, name: str, monitor: LockOrderMonitor
+) -> SanitizedLock:
+    """Wrap an existing lock instance under *name*."""
+    return SanitizedLock(name, monitor, inner=lock)
+
+
+def instrument_plane(plane, monitor: LockOrderMonitor) -> list[SanitizedLock]:
+    """Instrument a :class:`~repro.service.control.ControlPlane` in place.
+
+    Wraps the plane's own lock, the witness cache's lock and every
+    currently-registered network's lock, using the class-granularity
+    labels the static pass emits (``ControlPlane._lock``, ...), so
+    monitor edges compare directly against
+    :func:`repro.lint.passes.lock_order.build_lock_graph`.  Call while
+    the plane is idle, after registering networks (networks registered
+    later keep plain locks).
+    """
+    wrapped: list[SanitizedLock] = []
+    plane._lock = wrap_lock(plane._lock, "ControlPlane._lock", monitor)
+    wrapped.append(plane._lock)
+    plane.cache._lock = wrap_lock(
+        plane.cache._lock, "WitnessCache._lock", monitor
+    )
+    wrapped.append(plane.cache._lock)
+    for managed in plane:
+        managed.lock = wrap_lock(managed.lock, "ManagedNetwork.lock", monitor)
+        wrapped.append(managed.lock)
+    return wrapped
+
+
+def instrumented_locks(
+    names: Iterable[str], monitor: LockOrderMonitor
+) -> dict[str, SanitizedLock]:
+    """Fresh sanitized locks by name (fixture helper)."""
+    return {name: SanitizedLock(name, monitor) for name in names}

@@ -219,7 +219,10 @@ class ControlPlane:
             key,
             Canonicalizer.map_forward(managed.session.pipeline.nodes, sigma),
         )
-        self._managed[name] = managed
+        with self._lock:
+            if name in self._managed:
+                raise ReproError(f"network {name!r} is already registered")
+            self._managed[name] = managed
         return managed
 
     def managed(self, name: str) -> ManagedNetwork:
@@ -348,7 +351,8 @@ class ControlPlane:
             time.sleep(0.002)
 
     def close(self, wait: bool = True) -> None:
-        self._closed = True
+        with self._lock:
+            self._closed = True
         self._executor.shutdown(wait=wait)
 
     def __enter__(self) -> "ControlPlane":
@@ -422,18 +426,20 @@ class ControlPlane:
                 rec = self._apply(session, event.kind, node, None)
                 solve_cost = time.perf_counter() - t_solve
                 alpha = self.config.ewma_alpha
-                m.ewma = (
-                    solve_cost
-                    if m.ewma is None
-                    else (1 - alpha) * m.ewma + alpha * solve_cost
-                )
+                with m.lock:
+                    m.ewma = (
+                        solve_cost
+                        if m.ewma is None
+                        else (1 - alpha) * m.ewma + alpha * solve_cost
+                    )
                 self.cache.store(
                     m.fingerprint,
                     key,
                     Canonicalizer.map_forward(session.pipeline.nodes, sigma),
                 )
 
-        m.answer_state = (session.pipeline, frozenset(session.faults))
+        with m.lock:
+            m.answer_state = (session.pipeline, frozenset(session.faults))
         latency = time.perf_counter() - event.enqueued_at
         record = EventRecord(
             seq=self._next_seq(),

@@ -1,0 +1,495 @@
+"""Positive/negative fixtures for each analysis pass."""
+
+import textwrap
+
+from repro.lint.engine import Module, analyze_source
+from repro.lint.passes.lock_order import build_lock_graph
+
+
+def rules_of(source, select=None, rel="fixture.py"):
+    return [f.rule for f in analyze_source(textwrap.dedent(source),
+                                           rel=rel, select=select)]
+
+
+class TestLockDiscipline:
+    def test_unlocked_attribute_write_flagged(self):
+        findings = analyze_source(textwrap.dedent(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+
+                def bad(self):
+                    self.items = [1]
+            """
+        ), select=["RL101"])
+        assert [f.rule for f in findings] == ["RL101"]
+        assert findings[0].symbol == "Box.bad"
+        assert "with self._lock" in findings[0].message
+
+    def test_locked_write_and_init_are_clean(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+
+                def good(self):
+                    with self._lock:
+                        self.items.append(1)
+                        self.count = 2
+            """,
+            select=["RL101"],
+        ) == []
+
+    def test_mutator_call_and_subscript_flagged(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+                    self.table = {}
+
+                def bad(self):
+                    self.items.append(1)
+                    self.table["k"] = 2
+            """,
+            select=["RL101"],
+        ) == ["RL101", "RL101"]
+
+    def test_annotated_parameter_is_tracked(self):
+        assert rules_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.ewma = None
+
+            def touch(m: Box):
+                m.ewma = 1.0
+
+            def touch_locked(m: Box):
+                with m.lock:
+                    m.ewma = 1.0
+            """,
+            select=["RL101"],
+        ) == ["RL101"]
+
+    def test_lockless_class_not_checked(self):
+        assert rules_of(
+            """
+            class Plain:
+                def __init__(self):
+                    self.items = []
+
+                def fine(self):
+                    self.items = [1]
+            """,
+            select=["RL101"],
+        ) == []
+
+    def test_module_level_state_needs_module_lock(self):
+        source = """
+            import threading
+
+            _LOCK = threading.Lock()
+            _CACHE = {}
+
+            def bad(key, value):
+                _CACHE[key] = value
+
+            def good(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+
+            def local_shadow(key):
+                _CACHE = {}
+                _CACHE[key] = 1
+            """
+        findings = analyze_source(textwrap.dedent(source), select=["RL102"])
+        assert [f.rule for f in findings] == ["RL102"]
+        assert findings[0].symbol == "bad"
+
+    def test_unlocked_module_has_no_rl102(self):
+        assert rules_of(
+            """
+            _CACHE = {}
+
+            def fine(key, value):
+                _CACHE[key] = value
+            """,
+            select=["RL102"],
+        ) == []
+
+
+LOCK_PAIR = textwrap.dedent(
+    """
+    import threading
+
+    class A:
+        def __init__(self):
+            self.lock = threading.Lock()
+
+    class B:
+        def __init__(self):
+            self.lock = threading.Lock()
+    """
+)
+
+
+def lock_pair(body):
+    """Two independently-locked classes plus *body* (dedented)."""
+    return LOCK_PAIR + textwrap.dedent(body)
+
+
+class TestLockOrder:
+    def test_seeded_two_lock_inversion_is_flagged(self):
+        findings = analyze_source(lock_pair("""
+            def forward(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+
+            def backward(a: A, b: B):
+                with b.lock:
+                    with a.lock:
+                        pass
+            """
+        ), select=["RL201"])
+        assert [f.rule for f in findings] == ["RL201"]
+        assert "A.lock -> B.lock -> A.lock" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        assert rules_of(lock_pair("""
+            def one(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+
+            def two(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+            """),
+            select=["RL201", "RL202"],
+        ) == []
+
+    def test_call_mediated_inversion_is_flagged(self):
+        # outer() holds B.lock and calls leaf(), which takes A.lock; rev()
+        # nests them the other way — a cycle with one lexical and one
+        # call-mediated edge.
+        assert rules_of(lock_pair("""
+            def leaf(a: A):
+                with a.lock:
+                    pass
+
+            def outer(a: A, b: B):
+                with b.lock:
+                    leaf(a)
+
+            def rev(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+            """),
+            select=["RL201"],
+        ) == ["RL201"]
+
+    def test_reacquisition_through_call_is_rl202(self):
+        assert rules_of(lock_pair("""
+            def helper(a: A):
+                with a.lock:
+                    pass
+
+            def twice(a: A):
+                with a.lock:
+                    helper(a)
+            """),
+            select=["RL202"],
+        ) == ["RL202"]
+
+    def test_method_call_resolution(self):
+        findings = analyze_source(textwrap.dedent(
+            """
+            import threading
+
+            class A:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def leaf(self):
+                    with self.lock:
+                        pass
+
+            class B:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def outer(self, a: A):
+                    with self.lock:
+                        a.leaf()
+
+            def rev(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+            """
+        ), select=["RL201"])
+        assert [f.rule for f in findings] == ["RL201"]
+
+    def test_build_lock_graph_edges_and_sites(self):
+        module = Module.from_source(lock_pair("""
+            def nest(a: A, b: B):
+                with a.lock:
+                    with b.lock:
+                        pass
+            """
+        ), rel="fix.py")
+        lg = build_lock_graph([module])
+        assert ("A.lock", "B.lock") in lg.edges
+        rel, line = lg.sites[("A.lock", "B.lock")]
+        assert rel == "fix.py" and line > 0
+
+
+class TestDeterminism:
+    def test_set_iteration_in_fingerprint_flagged(self):
+        findings = analyze_source(textwrap.dedent(
+            """
+            def fingerprint(nodes: set):
+                out = []
+                for node in nodes:
+                    out.append(node)
+                return tuple(out)
+            """
+        ), select=["RD301"])
+        assert [f.rule for f in findings] == ["RD301"]
+        assert "sorted()" in findings[0].message
+
+    def test_sorted_iteration_is_clean(self):
+        assert rules_of(
+            """
+            def fingerprint(nodes: set):
+                return tuple(sorted(nodes))
+
+            def canonical_key(nodes: set):
+                return ",".join(sorted(repr(n) for n in nodes))
+            """,
+            select=["RD301"],
+        ) == []
+
+    def test_comprehension_and_join_flagged(self):
+        assert rules_of(
+            """
+            def cache_key(nodes: set):
+                return ",".join(repr(n) for n in nodes)
+
+            def digest(nodes):
+                seen = set(nodes)
+                return [repr(n) for n in seen]
+            """,
+            select=["RD301"],
+        ) == ["RD301", "RD301"]
+
+    def test_dict_views_and_set_algebra_flagged(self):
+        assert rules_of(
+            """
+            def make_key(table, extra: set):
+                return tuple(table.keys()) + tuple(extra - {1})
+            """,
+            select=["RD301"],
+        ) == ["RD301", "RD301"]
+
+    def test_non_sink_function_ignored(self):
+        assert rules_of(
+            """
+            def collect(nodes: set):
+                return [n for n in nodes]
+            """,
+            select=["RD301"],
+        ) == []
+
+    def test_hashlib_body_marks_sink(self):
+        assert rules_of(
+            """
+            import hashlib
+
+            def summarize(nodes: set):
+                h = hashlib.blake2b()
+                for n in nodes:
+                    h.update(repr(n).encode())
+                return h.hexdigest()
+            """,
+            select=["RD301"],
+        ) == ["RD301"]
+
+    def test_builtin_hash_in_sink_is_rd302(self):
+        assert rules_of(
+            """
+            def cache_key(value):
+                return hash(value)
+            """,
+            select=["RD302"],
+        ) == ["RD302"]
+
+
+class TestExceptionSafety:
+    def test_bare_except(self):
+        assert rules_of(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """,
+            select=["RE401"],
+        ) == ["RE401"]
+
+    def test_broad_except_discarding_error(self):
+        assert rules_of(
+            """
+            def f():
+                try:
+                    return g()
+                except Exception:
+                    return None
+            """,
+            select=["RE402"],
+        ) == ["RE402"]
+
+    def test_broad_except_forwarding_is_clean(self):
+        assert rules_of(
+            """
+            def f(future):
+                try:
+                    return g()
+                except Exception as exc:
+                    future.set_exception(exc)
+
+            def h():
+                try:
+                    return g()
+                except Exception:
+                    raise
+            """,
+            select=["RE402"],
+        ) == []
+
+    def test_swallow_in_loop(self):
+        assert rules_of(
+            """
+            def worker(jobs):
+                for job in jobs:
+                    try:
+                        job()
+                    except ValueError:
+                        continue
+            """,
+            select=["RE403"],
+        ) == ["RE403"]
+
+    def test_swallow_outside_loop_not_re403(self):
+        assert rules_of(
+            """
+            def probe():
+                try:
+                    g()
+                except ValueError:
+                    pass
+            """,
+            select=["RE403"],
+        ) == []
+
+    def test_set_result_without_set_exception(self):
+        findings = analyze_source(textwrap.dedent(
+            """
+            def resolve(future, value):
+                future.set_result(value)
+            """
+        ), select=["RE404"])
+        assert [f.rule for f in findings] == ["RE404"]
+        assert "resolve" in findings[0].message
+
+    def test_set_result_with_exception_path_is_clean(self):
+        assert rules_of(
+            """
+            def resolve(future, thunk):
+                try:
+                    future.set_result(thunk())
+                except Exception as exc:
+                    future.set_exception(exc)
+            """,
+            select=["RE404"],
+        ) == []
+
+
+class TestApiHygiene:
+    def test_mutable_defaults(self):
+        assert rules_of(
+            """
+            def f(x=[], y={}, z=dict()):
+                return x, y, z
+            """,
+            select=["RA501"],
+        ) == ["RA501", "RA501", "RA501"]
+
+    def test_none_default_is_clean(self):
+        assert rules_of(
+            """
+            def f(x=None, y=(), z="s"):
+                return x, y, z
+            """,
+            select=["RA501"],
+        ) == []
+
+    def test_init_without_all(self):
+        assert rules_of(
+            "from .core import build\n",
+            select=["RA502"],
+            rel="pkg/__init__.py",
+        ) == ["RA502"]
+
+    def test_init_with_all_is_clean(self):
+        assert rules_of(
+            'from .core import build\n\n__all__ = ["build"]\n',
+            select=["RA502"],
+            rel="pkg/__init__.py",
+        ) == []
+
+    def test_plain_module_not_checked_for_all(self):
+        assert rules_of(
+            "from .core import build\n",
+            select=["RA502"],
+            rel="pkg/module.py",
+        ) == []
+
+    def test_shadowed_builtin_param_and_assignment(self):
+        assert rules_of(
+            """
+            def f(list):
+                id = 3
+                return list, id
+            """,
+            select=["RA503"],
+        ) == ["RA503", "RA503"]
+
+    def test_class_attribute_named_max_is_exempt(self):
+        assert rules_of(
+            """
+            class LatencyStats:
+                max: float = 0.0
+                min: float = 0.0
+            """,
+            select=["RA503"],
+        ) == []
