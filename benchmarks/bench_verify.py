@@ -1,0 +1,42 @@
+"""BENCH — the verification-engine benchmark harness (methodology).
+
+Drives the same engine comparison as ``python -m repro bench`` through
+pytest-benchmark: cold serial sweep vs. warm-started witness propagation
+vs. symmetry-sharded parallel, on a representative catalog slice.  The
+run asserts the engines agree (verdict and multiplicity-weighted
+counts), writes the JSON payload next to the other artifacts, and
+records the warm speedup — the PR's headline number — in the artifact
+text.
+"""
+
+import json
+
+from repro.core.verify.bench import (
+    format_bench_table,
+    run_bench,
+    smoke_regressions,
+)
+
+INSTANCES = ["G(3,2)", "G(8,2)", "G(7,3)", "ring-C8(1,2)"]
+
+
+def test_bench_verify_engines(benchmark, artifact):
+    payload = benchmark.pedantic(
+        lambda: run_bench(INSTANCES, workers=2), rounds=1, iterations=1
+    )
+    rows = payload["rows"]
+    assert {r["instance"] for r in rows} == set(INSTANCES)
+    assert all(r["verdict"] == "proof" for r in rows)
+
+    # the tentpole: warm must beat cold clearly on the big special
+    warm_by_instance = {
+        r["instance"]: r for r in rows if r["mode"] == "warm"
+    }
+    assert warm_by_instance["G(7,3)"]["speedup_vs_cold"] >= 3.0
+    assert not smoke_regressions(payload)
+
+    json_path = artifact.path.with_suffix(".json")
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    artifact("Verification engine comparison (cold / warm / parallel):")
+    artifact(format_bench_table(payload))
+    artifact(f"full payload: {json_path.name}")

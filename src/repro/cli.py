@@ -10,6 +10,7 @@ Subcommands
 ``export``       emit DOT / JSON / edge-list renderings
 ``search``       re-derive a special solution by constrained search
 ``serve``        drive the fleet control plane from a fault trace
+``bench``        time the verification engines, write BENCH_verify.json
 ``lint``         run the project's static analyzer against its baseline
 
 Examples::
@@ -22,6 +23,8 @@ Examples::
     python -m repro search 6 2 --max-degree 4 --trials 5000
     python -m repro serve --demo --events 200
     python -m repro serve --network 9x2 --network 13x2 --events 150
+    python -m repro bench --smoke
+    python -m repro bench --instance "G(7,3)" --workers 4
     python -m repro lint --format json
     python -m repro lint src/repro/service --no-baseline
 """
@@ -141,6 +144,20 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-network admission bound (overflow is shed)")
     p.add_argument("--query-ratio", type=float, default=0.2,
                    help="fraction of trace events that are pipeline queries")
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the verification engines (cold/warm/parallel)",
+    )
+    p.add_argument("--out", default="BENCH_verify.json",
+                   help="JSON output path ('-' = stdout only)")
+    p.add_argument("--smoke", action="store_true",
+                   help="quick catalog subset; exit nonzero when the warm "
+                        "sweep regresses >10%% behind cold")
+    p.add_argument("--instance", action="append", default=[], metavar="NAME",
+                   help="catalog instance to run (repeatable; default all)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel-sweep worker count (default: CPU count)")
 
     p = sub.add_parser(
         "lint",
@@ -309,6 +326,35 @@ def cmd_report(args) -> int:
     return 0 if (all_proved and not bad and not failures) else 1
 
 
+def cmd_bench(args) -> int:
+    from .core.verify.bench import (
+        SMOKE_CATALOG,
+        format_bench_table,
+        run_bench,
+        smoke_regressions,
+        write_bench,
+    )
+
+    instances = args.instance or (list(SMOKE_CATALOG) if args.smoke else None)
+    payload = run_bench(
+        instances,
+        workers=args.workers,
+        progress=lambda name: print(f"benchmarking {name} ...", file=sys.stderr),
+    )
+    print(format_bench_table(payload))
+    if args.out != "-":
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}")
+    if args.smoke:
+        regressions = smoke_regressions(payload)
+        for line in regressions:
+            print(f"regression: {line}", file=sys.stderr)
+        if regressions:
+            return 1
+        print("smoke gate: warm sweep within 10% of cold everywhere")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from .lint.cli import cmd_lint as run
 
@@ -386,6 +432,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "report": cmd_report,
     "serve": cmd_serve,
+    "bench": cmd_bench,
     "lint": cmd_lint,
 }
 

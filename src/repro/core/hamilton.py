@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
 from .._util import as_rng, iter_bits
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, InvalidParameterError
 from .model import PipelineNetwork, SurvivorView
 from .pipeline import Pipeline
 
@@ -46,6 +46,12 @@ DEFAULT_BUDGET = 4_000_000
 #: O(2^h * h^2) but with tiny constants and no risk of pathological
 #: backtracking behaviour.
 HELD_KARP_LIMIT = 16
+
+#: Use flat preallocated DP tables (indexed ``mask * B + last``) when the
+#: instance's bitmask space spans at most this many bits; sparser
+#: instances (warm-built over a large network's global index space) fall
+#: back to dict tables, whose memory tracks the reachable states only.
+FLAT_DP_BITS = 18
 
 
 class Status(enum.Enum):
@@ -132,6 +138,50 @@ class SpanningPathInstance:
         self.full = (1 << self.h) - 1 if self.h else 0
         # trivial outcomes decided at build time
         self.trivial: SolveReport | None = self._resolve_trivial()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        survivor: SurvivorView,
+        procs: list[Node],
+        index: dict[Node, int],
+        adj: list[int],
+        start_mask: int,
+        end_mask: int,
+        full: int,
+    ) -> "SpanningPathInstance":
+        """Assemble an instance from precomputed bitmask parts.
+
+        Used by the warm-sweep builder (:mod:`repro.core.verify.warm`),
+        which patches one network-wide set of adjacency masks
+        incrementally instead of re-deriving them per fault set.  The
+        bit space may be *sparse*: ``full`` is the mask of healthy
+        processor bits within the network-global index space, and
+        ``procs``/``adj`` cover every processor (rows outside ``full``
+        are never read by the solvers).  Requires at least two healthy
+        processors — the caller handles smaller survivors through the
+        plain constructor, whose trivial-case analysis assumes dense
+        indexing.
+        """
+        inst = cls.__new__(cls)
+        inst.survivor = survivor
+        inst.procs = procs
+        inst.index = index
+        inst.adj = adj
+        inst.start_mask = start_mask
+        inst.end_mask = end_mask
+        inst.full = full
+        inst.h = full.bit_count()
+        if inst.h < 2:
+            raise InvalidParameterError(
+                "from_parts requires >= 2 healthy processors"
+            )
+        if not survivor.inputs or not survivor.outputs or not start_mask or not end_mask:
+            inst.trivial = SolveReport(Status.NONE, method="trivial")
+        else:
+            inst.trivial = None
+        return inst
 
     # ------------------------------------------------------------------
     def _resolve_trivial(self) -> SolveReport | None:
@@ -290,9 +340,74 @@ def solve_held_karp(inst: SpanningPathInstance) -> SolveReport:
     Complete and budget-free, but memory is ``O(2^h)`` — use only for
     ``h <= ~20``.  Parent pointers are kept so a witness path can be
     reconstructed.
+
+    The DP tables are flat preallocated arrays indexed ``mask * B +
+    last`` (``B`` = bit-space width) — a measurable constant-factor win
+    over dict tables on the small instances that dominate exhaustive
+    sweeps.  Instances whose bit space exceeds :data:`FLAT_DP_BITS` use
+    the dict fallback.
     """
     if inst.trivial is not None:
         return inst.trivial
+    B = len(inst.adj)
+    if B > FLAT_DP_BITS:
+        return _solve_held_karp_sparse(inst)
+    adj = inst.adj
+    h = inst.h
+    full = inst.full
+    # lasts[mask] = bitmask of feasible last-nodes of partial paths
+    # covering exactly `mask`.  Layers have distinct popcounts and each
+    # entry is zeroed as it is expanded, so one flat table serves all
+    # layers.  parent[mask * B + j] stores previous-node + 2 (1 = root).
+    lasts = [0] * (1 << B)
+    parent = bytearray(B << B)
+    masks: list[int] = []
+    for s in iter_bits(inst.start_mask):
+        m = 1 << s
+        lasts[m] = m
+        parent[m * B + s] = 1
+        masks.append(m)
+    expanded = 0
+    for _ in range(h - 1):
+        nxt_masks: list[int] = []
+        for mask in masks:
+            ls = lasts[mask]
+            lasts[mask] = 0
+            for i in iter_bits(ls):
+                ext = adj[i] & ~mask
+                for j in iter_bits(ext):
+                    bit = 1 << j
+                    nm = mask | bit
+                    prev = lasts[nm]
+                    if not prev:
+                        nxt_masks.append(nm)
+                    if not prev & bit:
+                        lasts[nm] = prev | bit
+                        parent[nm * B + j] = i + 2
+                    expanded += 1
+        masks = nxt_masks
+        if not masks:
+            return SolveReport(Status.NONE, method="held-karp", nodes_expanded=expanded)
+    lasts_full = lasts[full] & inst.end_mask
+    if not lasts_full:
+        return SolveReport(Status.NONE, method="held-karp", nodes_expanded=expanded)
+    j = next(iter_bits(lasts_full))
+    seq = [j]
+    mask = full
+    while True:
+        p = parent[mask * B + j]
+        if p == 1:
+            break
+        mask ^= 1 << j
+        seq.append(p - 2)
+        j = p - 2
+    seq.reverse()
+    return inst.report_from_bits(seq, "held-karp", expanded)
+
+
+def _solve_held_karp_sparse(inst: SpanningPathInstance) -> SolveReport:
+    """Dict-table Held–Karp for instances whose bit space is too wide for
+    flat tables (sparse warm instances over large networks)."""
     adj = inst.adj
     h = inst.h
     full = inst.full
@@ -335,22 +450,50 @@ def solve_held_karp(inst: SpanningPathInstance) -> SolveReport:
     return inst.report_from_bits(seq, "held-karp", expanded)
 
 
-def count_spanning_paths(inst: SpanningPathInstance) -> int:
-    """The number of distinct pipelines of ``G \\ F`` (processor-path
-    count; start/end terminal choices are not multiplied in).
+def _count_paths_flat(
+    adj: Sequence[int], start_mask: int, end_mask: int, full: int, h: int
+) -> int:
+    """Ordered spanning start→end path count via flat DP tables
+    (``counts[mask * B + last]``; layers share the tables, zeroed as
+    consumed — the same scheme as :func:`solve_held_karp`)."""
+    B = len(adj)
+    counts = [0] * (B << B)
+    lasts = [0] * (1 << B)
+    masks: list[int] = []
+    for s in iter_bits(start_mask):
+        m = 1 << s
+        counts[m * B + s] += 1
+        lasts[m] = m
+        masks.append(m)
+    for _ in range(h - 1):
+        nxt_masks: list[int] = []
+        for mask in masks:
+            ls = lasts[mask]
+            lasts[mask] = 0
+            base = mask * B
+            for i in iter_bits(ls):
+                ways = counts[base + i]
+                counts[base + i] = 0
+                for j in iter_bits(adj[i] & ~mask):
+                    bit = 1 << j
+                    nm = mask | bit
+                    if not lasts[nm]:
+                        nxt_masks.append(nm)
+                    lasts[nm] |= bit
+                    counts[nm * B + j] += ways
+        masks = nxt_masks
+        if not masks:
+            return 0
+    base = full * B
+    return sum(counts[base + i] for i in iter_bits(lasts[full] & end_mask))
 
-    A path and its reverse are counted once when both orientations are
-    admissible.  Exact subset DP — small instances only.
-    """
-    if inst.trivial is not None:
-        if inst.trivial.status is Status.FOUND:
-            return 1
-        return 0
-    adj = inst.adj
-    h = inst.h
-    full = inst.full
+
+def _count_paths_sparse(
+    adj: Sequence[int], start_mask: int, end_mask: int, full: int, h: int
+) -> int:
+    """Dict-table twin of :func:`_count_paths_flat` for wide bit spaces."""
     cur: dict[tuple[int, int], int] = {}
-    for s in iter_bits(inst.start_mask):
+    for s in iter_bits(start_mask):
         cur[(1 << s, s)] = cur.get((1 << s, s), 0) + 1
     for _ in range(h - 1):
         nxt: dict[tuple[int, int], int] = {}
@@ -359,34 +502,33 @@ def count_spanning_paths(inst: SpanningPathInstance) -> int:
                 key = (mask | (1 << j), j)
                 nxt[key] = nxt.get(key, 0) + ways
         cur = nxt
-    total = 0
-    both_dir = 0
-    for (mask, i), ways in cur.items():
-        if mask == full and (1 << i) & inst.end_mask:
-            total += ways
-            # a path counted here is also enumerable in reverse iff its
-            # other endpoint is a start and i is also... reverse direction
-            # starts at an end-attached node; we only enumerate
-            # start->end so double counting cannot occur unless a path's
-            # endpoints are each both start- and end-attached -- handled
-            # by counting ordered start->end paths, then halving those
-            # whose reverse is also an ordered start->end path.
-    # count reverse-admissible paths: endpoints p0 in start&end, pq in start&end
+    return sum(
+        ways
+        for (mask, i), ways in cur.items()
+        if mask == full and (1 << i) & end_mask
+    )
+
+
+def count_spanning_paths(inst: SpanningPathInstance) -> int:
+    """The number of distinct pipelines of ``G \\ F`` (processor-path
+    count; start/end terminal choices are not multiplied in).
+
+    A path and its reverse are counted once when both orientations are
+    admissible: we count ordered start->end paths, then halve those
+    whose reverse is also an ordered start->end path (possible only
+    when both endpoints are start- *and* end-attached).  Exact subset
+    DP — small instances only.
+    """
+    if inst.trivial is not None:
+        if inst.trivial.status is Status.FOUND:
+            return 1
+        return 0
+    count = (
+        _count_paths_flat if len(inst.adj) <= FLAT_DP_BITS else _count_paths_sparse
+    )
+    total = count(inst.adj, inst.start_mask, inst.end_mask, inst.full, inst.h)
     se = inst.start_mask & inst.end_mask
-    if se:
-        rev: dict[tuple[int, int], int] = {}
-        for s in iter_bits(se):
-            rev[(1 << s, s)] = 1
-        for _ in range(h - 1):
-            nxt2: dict[tuple[int, int], int] = {}
-            for (mask, i), ways in rev.items():
-                for j in iter_bits(adj[i] & ~mask):
-                    key = (mask | (1 << j), j)
-                    nxt2[key] = nxt2.get(key, 0) + ways
-            rev = nxt2
-        for (mask, i), ways in rev.items():
-            if mask == full and (1 << i) & se:
-                both_dir += ways
+    both_dir = count(inst.adj, se, se, inst.full, inst.h) if se else 0
     return total - both_dir // 2
 
 

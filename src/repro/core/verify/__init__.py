@@ -19,18 +19,29 @@ from .adversarial import (
     uniform_faults,
 )
 from .certificates import VerificationCertificate, VerificationMode
-from .exhaustive import verify_exhaustive
+from .exhaustive import iter_fault_sets, iter_fault_sets_gray, verify_exhaustive
 from .parallel import verify_exhaustive_parallel
 from .regression import replay as replay_regression_vectors
 from .sampling import verify_sampled
-from .symmetry import verify_exhaustive_symmetry_reduced
+from .symmetry import orbit_representatives, verify_exhaustive_symmetry_reduced
+from .warm import (
+    IncrementalInstanceBuilder,
+    WitnessSweeper,
+    verify_exhaustive_warm,
+)
 
 __all__ = [
     "VerificationCertificate",
     "VerificationMode",
+    "iter_fault_sets",
+    "iter_fault_sets_gray",
     "verify_exhaustive",
+    "verify_exhaustive_warm",
     "verify_exhaustive_parallel",
     "verify_exhaustive_symmetry_reduced",
+    "orbit_representatives",
+    "IncrementalInstanceBuilder",
+    "WitnessSweeper",
     "verify_sampled",
     "replay_regression_vectors",
     "ADVERSARIAL_GENERATORS",

@@ -1,0 +1,215 @@
+"""Verification performance benchmark (``python -m repro bench``).
+
+Times the three exhaustive sweep engines — cold serial
+(:func:`~repro.core.verify.exhaustive.verify_exhaustive`), warm-started
+serial (:func:`~repro.core.verify.warm.verify_exhaustive_warm`) and
+symmetry-sharded parallel
+(:func:`~repro.core.verify.parallel.verify_exhaustive_parallel`) — over
+a fixed catalog of instances: the small standard constructions, the
+paper's four computer-checked specials and a vertex-transitive
+circulant.  Every run cross-checks the engines against each other
+(identical verdicts and multiplicity-weighted ``checked``/``tolerated``
+counts) before reporting a speedup, so a "fast" result that changed an
+answer fails loudly instead of flattering the benchmark.
+
+Results go to ``BENCH_verify.json``; one row per (instance, mode):
+
+``instance``            catalog name, e.g. ``"G(7,3)"``
+``mode``                ``"cold"`` / ``"warm"`` / ``"parallel"``
+``k``                   fault budget swept
+``verdict``             ``"proof"`` / ``"counterexample"`` / ``"undecided"``
+``fault_sets_checked``  multiplicity-weighted sets decided
+``wall_time_s``         sweep wall-clock seconds
+``solver_calls``        exact-solver invocations (< checked when warm)
+``nodes_expanded``      total search nodes across those calls
+``adapted``             sets decided by witness splicing alone
+``speedup_vs_cold``     cold wall time / this mode's wall time
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Hashable
+
+from ...errors import VerificationError
+from ..constructions import build, build_g1k, build_special
+from ..hamilton import SolvePolicy
+from ..model import PipelineNetwork
+from .certificates import VerificationCertificate
+from .exhaustive import verify_exhaustive
+from .parallel import verify_exhaustive_parallel
+from .warm import verify_exhaustive_warm
+
+Node = Hashable
+
+def _ring_instance() -> PipelineNetwork:
+    # lazy: repro.service imports repro.core, so the reverse edge must
+    # not run at module import time
+    from ...service.trace import demo_ring_network
+
+    return demo_ring_network()
+
+
+#: the full catalog: standard constructions G(1,k)/G(2,k)/G(3,k) at k=2,
+#: the paper's four specials, and a vertex-transitive circulant whose
+#: automorphism orbits exercise the symmetry-sharded path.
+CATALOG: tuple[tuple[str, Callable[[], PipelineNetwork]], ...] = (
+    ("G(1,2)", lambda: build_g1k(2)),
+    ("G(2,2)", lambda: build(2, 2)),
+    ("G(3,2)", lambda: build(3, 2)),
+    ("G(6,2)", lambda: build_special(6, 2)),
+    ("G(8,2)", lambda: build_special(8, 2)),
+    ("G(4,3)", lambda: build_special(4, 3)),
+    ("G(7,3)", lambda: build_special(7, 3)),
+    ("ring-C8(1,2)", _ring_instance),
+)
+
+#: quick subset for the CI smoke gate: one construction, two specials.
+SMOKE_CATALOG: tuple[str, ...] = ("G(3,2)", "G(6,2)", "G(4,3)")
+
+
+def _verdict(cert: VerificationCertificate) -> str:
+    if cert.counterexample is not None:
+        return "counterexample"
+    if cert.undecided:
+        return "undecided"
+    return "proof"
+
+
+def _adapted(cert: VerificationCertificate) -> int:
+    """Witness-splice count, recovered from the sweep description."""
+    desc = cert.network_description
+    if " adapted" in desc:
+        head = desc.split(" adapted")[0]
+        tail = head.rsplit(" ", 1)[-1].lstrip("[:")
+        if tail.isdigit():
+            return int(tail)
+    return 0
+
+
+def _row(
+    instance: str,
+    mode: str,
+    cert: VerificationCertificate,
+    wall: float,
+    cold_wall: float | None,
+) -> dict:
+    return {
+        "instance": instance,
+        "mode": mode,
+        "k": cert.k,
+        "verdict": _verdict(cert),
+        "fault_sets_checked": cert.checked,
+        "wall_time_s": round(wall, 6),
+        "solver_calls": cert.solver_calls,
+        "nodes_expanded": cert.nodes_expanded,
+        "adapted": _adapted(cert),
+        "speedup_vs_cold": (
+            round(cold_wall / wall, 3) if cold_wall and wall > 0 else None
+        ),
+    }
+
+
+def run_bench(
+    instances: list[str] | None = None,
+    *,
+    workers: int | None = None,
+    policy: SolvePolicy | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Benchmark every requested catalog instance across all three
+    engines; returns the ``BENCH_verify.json`` payload.
+
+    Raises :class:`~repro.errors.VerificationError` when any engine
+    disagrees with the cold sweep on verdict or counts — a benchmark
+    must never trade correctness for speed silently.
+    """
+    policy = policy or SolvePolicy()
+    catalog = dict(CATALOG)
+    names = list(catalog) if instances is None else list(instances)
+    unknown = [n for n in names if n not in catalog]
+    if unknown:
+        raise VerificationError(f"unknown bench instances: {unknown!r}")
+    rows: list[dict] = []
+    for name in names:
+        network = catalog[name]()
+        if progress is not None:
+            progress(name)
+        t0 = time.perf_counter()
+        cold = verify_exhaustive(network, policy=policy)
+        cold_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = verify_exhaustive_warm(network, policy=policy)
+        warm_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        par = verify_exhaustive_parallel(network, policy=policy, workers=workers)
+        par_wall = time.perf_counter() - t0
+        for mode, cert in (("warm", warm), ("parallel", par)):
+            if (
+                _verdict(cert) != _verdict(cold)
+                or cert.checked != cold.checked
+                or cert.tolerated != cold.tolerated
+            ):
+                raise VerificationError(
+                    f"{name}: {mode} sweep disagrees with cold sweep "
+                    f"({cert.summary()} vs {cold.summary()})"
+                )
+        rows.append(_row(name, "cold", cold, cold_wall, None))
+        rows.append(_row(name, "warm", warm, warm_wall, cold_wall))
+        rows.append(_row(name, "parallel", par, par_wall, cold_wall))
+    return {
+        "meta": {
+            "benchmark": "verify",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "workers": workers,
+            "instances": names,
+        },
+        "rows": rows,
+    }
+
+
+def write_bench(payload: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_bench_table(payload: dict) -> str:
+    """Human-readable rendering of a bench payload."""
+    lines = [
+        f"{'instance':<14} {'mode':<9} {'sets':>6} {'solves':>7} "
+        f"{'adapted':>8} {'wall_s':>9} {'speedup':>8}  verdict"
+    ]
+    for row in payload["rows"]:
+        speedup = row["speedup_vs_cold"]
+        lines.append(
+            f"{row['instance']:<14} {row['mode']:<9} "
+            f"{row['fault_sets_checked']:>6} {row['solver_calls']:>7} "
+            f"{row['adapted']:>8} {row['wall_time_s']:>9.4f} "
+            f"{(f'{speedup:.1f}x' if speedup else '-'):>8}  {row['verdict']}"
+        )
+    return "\n".join(lines)
+
+
+def smoke_regressions(payload: dict, tolerance: float = 0.10) -> list[str]:
+    """Instances whose warm sweep ran more than *tolerance* slower than
+    cold — the CI gate that keeps the warm path from quietly rotting."""
+    cold_by_instance = {
+        r["instance"]: r["wall_time_s"]
+        for r in payload["rows"]
+        if r["mode"] == "cold"
+    }
+    bad: list[str] = []
+    for row in payload["rows"]:
+        if row["mode"] != "warm":
+            continue
+        cold_wall = cold_by_instance.get(row["instance"])
+        if cold_wall and row["wall_time_s"] > cold_wall * (1 + tolerance):
+            bad.append(
+                f"{row['instance']}: warm {row['wall_time_s']:.4f}s vs "
+                f"cold {cold_wall:.4f}s"
+            )
+    return bad

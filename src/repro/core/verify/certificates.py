@@ -37,6 +37,11 @@ class VerificationCertificate:
     undecided: tuple[tuple[Node, ...], ...] = field(default_factory=tuple)
     elapsed_seconds: float = 0.0
     network_description: str = ""
+    #: actual solver invocations (< ``checked`` when witnesses were adapted
+    #: or orbits collapsed; 0 when the sweep predates the counter).
+    solver_calls: int = 0
+    #: total search nodes expanded across all solver invocations.
+    nodes_expanded: int = 0
 
     @property
     def ok(self) -> bool:
@@ -61,9 +66,12 @@ class VerificationCertificate:
             if self.is_proof
             else ("ok" if self.ok else f"COUNTEREXAMPLE {self.counterexample!r}")
         )
+        solver = (
+            f", solves={self.solver_calls}" if self.solver_calls else ""
+        )
         return (
             f"{self.network_description or 'network'}: {verdict} "
             f"[{self.mode.value}, k={self.k}, checked={self.checked}, "
-            f"tolerated={self.tolerated}, undecided={len(self.undecided)}, "
-            f"{self.elapsed_seconds:.2f}s]"
+            f"tolerated={self.tolerated}, undecided={len(self.undecided)}"
+            f"{solver}, {self.elapsed_seconds:.2f}s]"
         )

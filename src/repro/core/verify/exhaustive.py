@@ -35,6 +35,62 @@ def iter_fault_sets(
         yield from combinations(nodes, size)
 
 
+# ----------------------------------------------------------------------
+# revolving-door (Gray-code) enumeration
+# ----------------------------------------------------------------------
+def _revolving(n: int, j: int):
+    """Index ``j``-subsets of ``range(n)`` in revolving-door order
+    (Nijenhuis–Wilf): consecutive subsets differ by one swapped element.
+
+    First subset is ``(0, .., j-1)``, last is ``(0, .., j-2, n-1)``.
+    Tuples are emitted in ascending index order.
+    """
+    if j == 0:
+        yield ()
+        return
+    if j == n:
+        yield tuple(range(n))
+        return
+    yield from _revolving(n - 1, j)
+    for s in _revolving_rev(n - 1, j - 1):
+        yield s + (n - 1,)
+
+
+def _revolving_rev(n: int, j: int):
+    """:func:`_revolving` in reverse order, without materializing."""
+    if j == 0:
+        yield ()
+        return
+    if j == n:
+        yield tuple(range(n))
+        return
+    for s in _revolving(n - 1, j - 1):
+        yield s + (n - 1,)
+    yield from _revolving_rev(n - 1, j)
+
+
+def iter_fault_sets_gray(
+    nodes: Iterable[Node], k: int, sizes: Iterable[int] | None = None
+):
+    """The same fault sets as :func:`iter_fault_sets` (smallest sizes
+    first, exactly ``C(n, j)`` sets per size ``j``), but traversed within
+    each size in *revolving-door* order: consecutive sets of one size
+    differ by a single swapped node.
+
+    Adjacent fault sets are near-identical problem instances, which is
+    what makes witness propagation (:mod:`repro.core.verify.warm`)
+    effective: the previous solve's pipeline usually adapts to the next
+    fault set by a local splice instead of a fresh solver call.
+    """
+    nodes = sorted(nodes, key=repr)
+    n = len(nodes)
+    for size in sizes if sizes is not None else range(k + 1):
+        if size > n:
+            continue
+        for idxs in _revolving(n, size):
+            yield tuple(nodes[i] for i in idxs)
+
+
 def verify_exhaustive(
     network: PipelineNetwork,
     k: int | None = None,
@@ -74,13 +130,14 @@ def verify_exhaustive(
         else list(fault_universe)
     )
     t0 = time.perf_counter()
-    checked = tolerated = 0
+    checked = tolerated = expanded = 0
     counterexample: tuple[Node, ...] | None = None
     undecided: list[tuple[Node, ...]] = []
     for fault_set in iter_fault_sets(universe, k, sizes):
         checked += 1
         inst = SpanningPathInstance(network.surviving(fault_set))
         report = solve(inst, policy)
+        expanded += report.nodes_expanded
         if report.status is Status.FOUND:
             tolerated += 1
         elif report.status is Status.UNDECIDED:
@@ -101,4 +158,6 @@ def verify_exhaustive(
         undecided=tuple(undecided),
         elapsed_seconds=time.perf_counter() - t0,
         network_description=repr(network),
+        solver_calls=checked,
+        nodes_expanded=expanded,
     )

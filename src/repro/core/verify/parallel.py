@@ -6,14 +6,33 @@ solver independently.  On an ``m``-core machine the ``sum C(|V|, j)``
 sweep speeds up nearly ``m``-fold — the difference between "overnight"
 and "over coffee" for the larger instances.
 
+Three layers of work-avoidance compose here:
+
+* **Symmetry sharding** (``symmetry="auto"``): the fault-set space is
+  collapsed to one representative per automorphism orbit
+  (:func:`repro.core.verify.symmetry.orbit_representatives`) before
+  sharding, and each verdict is weighted by its orbit multiplicity so
+  the certificate's ``checked``/``tolerated`` match the full sweep.
+* **Warm workers** (``warm=True``): each worker owns a
+  :class:`~repro.core.verify.warm.WitnessSweeper` and propagates
+  pipeline witnesses across the fault sets of its shard, so most sets
+  are decided by a local splice instead of a solver call.
+* **Adaptive chunking**: chunk sizes are resized on the fly from an
+  EWMA of the measured per-set solve cost, targeting ~100 ms per chunk
+  — large enough to amortize IPC, small enough for load balance and
+  prompt cancellation.  Pass an explicit ``chunk_size`` to pin it.
+
 Design notes:
 
 * workers receive the network once (via the initializer) and then only
   lightweight fault-set chunks — no per-task graph pickling;
+* chunks are submitted through ``apply_async`` with a bounded window of
+  outstanding tasks (``imap_unordered`` would eagerly drain the task
+  iterator, defeating adaptive sizing and cancellation);
 * a found counterexample cancels outstanding work;
 * ``workers=1`` (or ``None`` on a single-core box) falls back to the
-  serial implementation in :mod:`repro.core.verify.exhaustive`, so the
-  function is safe to call unconditionally;
+  serial implementation, so the function is safe to call
+  unconditionally;
 * results are deterministic and identical to the serial sweep (asserted
   in the test suite), modulo *which* counterexample is reported when
   several exist.
@@ -23,54 +42,98 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import queue
 import time
-from typing import Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable
 
+from ...errors import InvalidParameterError
 from ..hamilton import SolvePolicy, SpanningPathInstance, Status, solve
 from ..model import PipelineNetwork
 from .certificates import VerificationCertificate, VerificationMode
-from .exhaustive import iter_fault_sets, verify_exhaustive
+from .exhaustive import iter_fault_sets_gray, verify_exhaustive
+from .symmetry import DEFAULT_GROUP_CAP, enumerate_group, orbit_representatives
+from .warm import WitnessSweeper, verify_exhaustive_warm
 
 Node = Hashable
+
+#: adaptive chunking aims for this much work per chunk: long enough to
+#: amortize pickling/IPC, short enough for load balance and prompt
+#: counterexample cancellation.
+CHUNK_TARGET_SECONDS = 0.1
+CHUNK_MIN = 8
+CHUNK_MAX = 2048
+#: smoothing factor for the per-set cost estimate.
+EWMA_ALPHA = 0.3
 
 # worker-process globals, set by the pool initializer
 _worker_network: PipelineNetwork | None = None
 _worker_policy: SolvePolicy | None = None
+_worker_sweeper: WitnessSweeper | None = None
 
 
-def _init_worker(network: PipelineNetwork, policy: SolvePolicy) -> None:
-    global _worker_network, _worker_policy
+def _init_worker(
+    network: PipelineNetwork, policy: SolvePolicy, warm: bool
+) -> None:
+    global _worker_network, _worker_policy, _worker_sweeper
     _worker_network = network
     _worker_policy = policy
+    _worker_sweeper = WitnessSweeper(network, policy) if warm else None
 
 
-def _check_chunk(chunk: Sequence[tuple]) -> tuple[int, int, tuple | None, list]:
-    """Decide every fault set in *chunk*; returns
-    ``(checked, tolerated, first_counterexample, undecided_list)``."""
+def _check_chunk(chunk: list[tuple[tuple, int]]):
+    """Decide every ``(fault_set, multiplicity)`` item in *chunk*.
+
+    Returns ``(checked, tolerated, first_counterexample, undecided,
+    solver_calls, nodes_expanded, adapted, elapsed, n_items)`` where the
+    first two are multiplicity-weighted and *elapsed*/*n_items* feed the
+    parent's per-set cost estimate.
+    """
     assert _worker_network is not None and _worker_policy is not None
-    checked = tolerated = 0
+    t0 = time.perf_counter()
+    sweeper = _worker_sweeper
+    base_calls = sweeper.solver_calls if sweeper is not None else 0
+    base_nodes = sweeper.nodes_expanded if sweeper is not None else 0
+    base_adapted = sweeper.adapted if sweeper is not None else 0
+    checked = tolerated = solver_calls = nodes_expanded = 0
     counterexample: tuple | None = None
     undecided: list[tuple] = []
-    for fault_set in chunk:
-        checked += 1
-        inst = SpanningPathInstance(_worker_network.surviving(fault_set))
-        report = solve(inst, _worker_policy)
-        if report.status is Status.FOUND:
-            tolerated += 1
-        elif report.status is Status.UNDECIDED:
-            undecided.append(fault_set)
+    for fault_set, mult in chunk:
+        checked += mult
+        if sweeper is not None:
+            status = sweeper.decide(fault_set)
+        else:
+            inst = SpanningPathInstance(_worker_network.surviving(fault_set))
+            report = solve(inst, _worker_policy)
+            solver_calls += 1
+            nodes_expanded += report.nodes_expanded
+            status = report.status
+        if status is Status.FOUND:
+            tolerated += mult
+        elif status is Status.UNDECIDED:
+            undecided.extend([fault_set] * mult)
         elif counterexample is None:
             counterexample = fault_set
-    return checked, tolerated, counterexample, undecided
+    if sweeper is not None:
+        solver_calls = sweeper.solver_calls - base_calls
+        nodes_expanded = sweeper.nodes_expanded - base_nodes
+        adapted = sweeper.adapted - base_adapted
+    else:
+        adapted = 0
+    return (
+        checked,
+        tolerated,
+        counterexample,
+        undecided,
+        solver_calls,
+        nodes_expanded,
+        adapted,
+        time.perf_counter() - t0,
+        len(chunk),
+    )
 
 
-def _chunks(iterable: Iterable, size: int):
-    it = iter(iterable)
-    while True:
-        chunk = list(itertools.islice(it, size))
-        if not chunk:
-            return
-        yield chunk
+def _clamp_chunk(size: float) -> int:
+    return max(CHUNK_MIN, min(CHUNK_MAX, int(size)))
 
 
 def verify_exhaustive_parallel(
@@ -79,15 +142,28 @@ def verify_exhaustive_parallel(
     policy: SolvePolicy | None = None,
     *,
     workers: int | None = None,
-    chunk_size: int = 256,
+    chunk_size: int | None = None,
     sizes: Iterable[int] | None = None,
     fault_universe: Iterable[Node] | None = None,
+    symmetry: bool | str = "auto",
+    group_cap: int = DEFAULT_GROUP_CAP,
+    warm: bool = True,
+    stop_on_counterexample: bool = True,
+    progress: Callable[[int], None] | None = None,
 ) -> VerificationCertificate:
     """Parallel twin of
     :func:`repro.core.verify.exhaustive.verify_exhaustive`.
 
     ``workers`` defaults to the machine's CPU count; with one worker the
-    serial path is used directly (no pool overhead).
+    serial path is used directly (no pool overhead).  ``chunk_size=None``
+    sizes chunks adaptively from the measured solve cost; an explicit
+    integer pins the size.  ``symmetry="auto"`` shards automorphism-orbit
+    representatives (weighted by multiplicity) when the group is small
+    enough to enumerate and nontrivial, ``True`` requires it (raising if
+    the group exceeds *group_cap*), ``False`` disables it.  ``warm``
+    gives each worker a witness-propagating sweeper; ``progress`` is
+    invoked with the running multiplicity-weighted check count as chunks
+    complete.
 
     >>> from ...core.constructions import build
     >>> verify_exhaustive_parallel(build(3, 2), workers=1).is_proof
@@ -98,8 +174,15 @@ def verify_exhaustive_parallel(
     if workers is None:
         workers = multiprocessing.cpu_count()
     if workers <= 1:
-        return verify_exhaustive(
-            network, k, policy, sizes=sizes, fault_universe=fault_universe
+        serial = verify_exhaustive_warm if warm else verify_exhaustive
+        return serial(
+            network,
+            k,
+            policy,
+            sizes=sizes,
+            fault_universe=fault_universe,
+            stop_on_counterexample=stop_on_counterexample,
+            progress=progress,
         )
     universe = (
         list(network.graph.nodes)
@@ -107,28 +190,102 @@ def verify_exhaustive_parallel(
         else list(fault_universe)
     )
     t0 = time.perf_counter()
-    checked = tolerated = 0
+
+    # --- symmetry sharding: collapse the space to orbit representatives
+    group = None
+    if symmetry is True or (symmetry == "auto" and fault_universe is None):
+        group = enumerate_group(network, group_cap)
+        if group is None and symmetry is True:
+            raise InvalidParameterError(
+                f"automorphism group exceeds cap {group_cap}; "
+                "pass symmetry='auto' or False"
+            )
+        if group is not None and len(group) <= 1:
+            group = None  # trivial group: canonicalization is pure cost
+    if group is not None:
+        items: Iterable[tuple[tuple, int]] = orbit_representatives(
+            universe, k, group, sizes
+        )
+        n_reps = len(items)  # type: ignore[arg-type]
+    else:
+        items = ((fs, 1) for fs in iter_fault_sets_gray(universe, k, sizes))
+        n_reps = None
+
+    checked = tolerated = solver_calls = nodes_expanded = adapted = 0
     counterexample: tuple | None = None
     undecided: list[tuple] = []
-    fault_sets = iter_fault_sets(universe, k, sizes)
+    item_iter = iter(items)
+    results: queue.Queue = queue.Queue()
+    next_size = chunk_size if chunk_size is not None else CHUNK_MIN
+    ewma: float | None = None
+    outstanding = 0
+
     ctx = multiprocessing.get_context("fork") if hasattr(
         multiprocessing, "get_context"
     ) else multiprocessing
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(network, policy),
+        initargs=(network, policy, warm),
     ) as pool:
-        for c, t, cex, und in pool.imap_unordered(
-            _check_chunk, _chunks(fault_sets, chunk_size)
-        ):
+
+        def submit() -> bool:
+            nonlocal outstanding
+            chunk = list(itertools.islice(item_iter, next_size))
+            if not chunk:
+                return False
+            pool.apply_async(
+                _check_chunk,
+                (chunk,),
+                callback=results.put,
+                error_callback=results.put,
+            )
+            outstanding += 1
+            return True
+
+        # bounded submission window: enough chunks in flight to keep every
+        # worker busy, few enough that resizing and cancellation bite.
+        exhausted = False
+        for _ in range(2 * workers):
+            if not submit():
+                exhausted = True
+                break
+        while outstanding:
+            res = results.get()
+            outstanding -= 1
+            if isinstance(res, BaseException):
+                raise res
+            c, t, cex, und, calls, nodes, adapt, elapsed, n_items = res
             checked += c
             tolerated += t
+            solver_calls += calls
+            nodes_expanded += nodes
+            adapted += adapt
             undecided.extend(und)
+            if chunk_size is None and n_items:
+                per_set = elapsed / n_items
+                ewma = (
+                    per_set
+                    if ewma is None
+                    else EWMA_ALPHA * per_set + (1 - EWMA_ALPHA) * ewma
+                )
+                next_size = _clamp_chunk(CHUNK_TARGET_SECONDS / max(ewma, 1e-9))
+            if progress is not None:
+                progress(checked)
             if cex is not None and counterexample is None:
                 counterexample = cex
-                pool.terminate()
-                break
+                if stop_on_counterexample:
+                    pool.terminate()
+                    break
+            if not exhausted and not submit():
+                exhausted = True
+
+    shard = (
+        f"{n_reps} orbit reps (|Aut| = {len(group)}) for"
+        if group is not None
+        else "raw sharding over"
+    )
+    mode = "warm" if warm else "cold"
     return VerificationCertificate(
         mode=VerificationMode.EXHAUSTIVE,
         k=k,
@@ -137,5 +294,11 @@ def verify_exhaustive_parallel(
         counterexample=counterexample,
         undecided=tuple(undecided),
         elapsed_seconds=time.perf_counter() - t0,
-        network_description=repr(network),
+        network_description=(
+            f"{network!r} [parallel x{workers} {mode}: {shard} "
+            f"{checked} fault sets, {adapted} adapted + "
+            f"{solver_calls} solves]"
+        ),
+        solver_calls=solver_calls,
+        nodes_expanded=nodes_expanded,
     )

@@ -24,7 +24,7 @@ from ...errors import InvalidParameterError
 from ..hamilton import SolvePolicy, SpanningPathInstance, Status, solve
 from ..model import PipelineNetwork
 from .certificates import VerificationCertificate, VerificationMode
-from .exhaustive import iter_fault_sets
+from .exhaustive import iter_fault_sets, iter_fault_sets_gray
 
 Node = Hashable
 
@@ -59,6 +59,33 @@ def canonical_fault_set(
         if image < best:
             best = image
     return best
+
+
+def orbit_representatives(
+    nodes: Iterable[Node],
+    k: int,
+    group: list[dict],
+    sizes: Iterable[int] | None = None,
+) -> list[tuple[tuple[Node, ...], int]]:
+    """``(representative, multiplicity)`` pairs covering every fault set
+    of size ``<= k`` exactly once per automorphism orbit.
+
+    Representatives appear in first-seen revolving-door order (so a
+    warm-started consumer still sees near-adjacent sets), and the
+    multiplicities sum to the full sweep's ``sum C(n, j)`` total — a
+    consumer that weights each verdict by its multiplicity reports
+    ``checked``/``tolerated`` identical to the unreduced sweep.
+    """
+    counts: dict[tuple[Node, ...], int] = {}
+    order: list[tuple[Node, ...]] = []
+    for fault_set in iter_fault_sets_gray(nodes, k, sizes):
+        canon = canonical_fault_set(fault_set, group)
+        if canon in counts:
+            counts[canon] += 1
+        else:
+            counts[canon] = 1
+            order.append(canon)
+    return [(rep, counts[rep]) for rep in order]
 
 
 def verify_exhaustive_symmetry_reduced(

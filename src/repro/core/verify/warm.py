@@ -1,0 +1,302 @@
+"""Witness-propagating (warm-started) exhaustive verification.
+
+The cold sweep (:mod:`repro.core.verify.exhaustive`) treats every fault
+set as a fresh problem: rebuild the :class:`SpanningPathInstance` from a
+networkx subgraph view, run the solver from scratch.  But adjacent fault
+sets are *near-identical* instances — and the revolving-door order of
+:func:`~repro.core.verify.exhaustive.iter_fault_sets_gray` guarantees
+consecutive sets of one size differ by a single swapped node.  This
+module exploits that structure twice:
+
+* **Incremental instance construction.**  One network-global set of
+  adjacency bitmasks is built once; each fault set patches only the rows
+  its delta touches (:class:`IncrementalInstanceBuilder`), skipping the
+  per-set ``O(V + E)`` rebuild through subgraph views entirely.
+* **Witness propagation.**  The previous fault set's pipeline witness is
+  adapted to the next set by local splice repairs
+  (:func:`repro.core.repair.adapt_witness`): cut the newly dead node
+  out, bridge or 2-opt the halves, splice the newly healthy node in.
+  When the splice succeeds — the common case on the dense construction
+  graphs — the fault set is decided **without any solver call**.  When
+  it fails, the solver runs cold-exact (seeded with the previous
+  witness's order), so answers are identical to the cold sweep's by
+  construction: an adapted witness is a genuine spanning path (edges,
+  coverage and terminal attachment are all checked in bitmask space),
+  and everything else falls through to the same exact solver.
+
+The result: order-of-magnitude faster machine proofs for the paper's
+"exhaustively verified by computer checking" specials, with certificates
+that agree with the cold sweep on verdict, ``checked`` and ``tolerated``
+counts (asserted in the test suite).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable, Hashable, Iterable
+
+from ..._util import iter_bits
+from ..hamilton import (
+    SolvePolicy,
+    SpanningPathInstance,
+    Status,
+    solve,
+    solve_posa,
+)
+from ..model import PipelineNetwork
+from ..repair import adapt_witness
+from .certificates import VerificationCertificate, VerificationMode
+from .exhaustive import iter_fault_sets_gray
+
+Node = Hashable
+
+
+class IncrementalInstanceBuilder:
+    """Builds :class:`SpanningPathInstance` objects for successive fault
+    sets of one network by patching shared bitmask state.
+
+    Processors get *network-global* bit indices (the ``repr``-sorted
+    order every cold instance uses for its healthy survivors), so masks
+    stay comparable across fault sets and a witness path propagates as a
+    plain bit sequence.  Per fault set, only the adjacency rows touched
+    by the delta against the previous fault set are recomputed, and the
+    start/end attachment masks are refreshed from per-processor terminal
+    tables — no subgraph views, no re-sorting, no dict rebuilds.
+
+    Survivors with fewer than two healthy processors fall back to the
+    plain constructor (whose trivial-case analysis assumes dense
+    indexing); :meth:`instance` flags which space the instance lives in.
+    """
+
+    def __init__(self, network: PipelineNetwork) -> None:
+        self.network = network
+        g = network.graph
+        self.procs: list[Node] = sorted(network.processors, key=repr)
+        self.index: dict[Node, int] = {p: i for i, p in enumerate(self.procs)}
+        nprocs = len(self.procs)
+        self.all_mask = (1 << nprocs) - 1 if nprocs else 0
+        inputs, outputs = network.inputs, network.outputs
+        self.base_adj: list[int] = [0] * nprocs
+        self.in_terms: list[tuple[Node, ...]] = [()] * nprocs
+        self.out_terms: list[tuple[Node, ...]] = [()] * nprocs
+        self.base_start = self.base_end = 0
+        #: terminal -> bitmask of attached processors
+        self.term_procs: dict[Node, int] = {}
+        for p, i in self.index.items():
+            m = 0
+            ins: list[Node] = []
+            outs: list[Node] = []
+            for q in g.neighbors(p):
+                j = self.index.get(q)
+                if j is not None:
+                    m |= 1 << j
+                elif q in inputs:
+                    ins.append(q)
+                elif q in outputs:
+                    outs.append(q)
+            self.base_adj[i] = m
+            self.in_terms[i] = tuple(ins)
+            self.out_terms[i] = tuple(outs)
+            if ins:
+                self.base_start |= 1 << i
+            if outs:
+                self.base_end |= 1 << i
+            for t in ins + outs:
+                self.term_procs[t] = self.term_procs.get(t, 0) | (1 << i)
+        # mutable per-sweep state: adjacency rows masked to current survivors
+        self._adj: list[int] = list(self.base_adj)
+        self._full = self.all_mask
+
+    def _patch(self, full: int) -> None:
+        """Re-mask the adjacency rows affected by the survivor delta."""
+        changed = self._full ^ full
+        if changed:
+            rows = changed
+            for b in iter_bits(changed):
+                rows |= self.base_adj[b]
+            base_adj = self.base_adj
+            adj = self._adj
+            for i in iter_bits(rows & full):
+                adj[i] = base_adj[i] & full
+            self._full = full
+
+    def instance(
+        self, fault_set: Iterable[Node]
+    ) -> tuple[SpanningPathInstance, bool]:
+        """The instance for *fault_set*, plus whether it lives in the
+        builder's global bit space (``False`` = dense fallback; witness
+        bits must not be propagated across the two spaces)."""
+        faults = frozenset(fault_set)
+        fmask = 0
+        faulty_terms: list[Node] = []
+        for v in faults:
+            i = self.index.get(v)
+            if i is not None:
+                fmask |= 1 << i
+            else:
+                faulty_terms.append(v)
+        full = self.all_mask & ~fmask
+        self._patch(full)
+        if full.bit_count() < 2:
+            return SpanningPathInstance(self.network.surviving(faults)), False
+        start = self.base_start & full
+        end = self.base_end & full
+        for t in faulty_terms:
+            affected = self.term_procs.get(t, 0)
+            for i in iter_bits(affected & start):
+                if not any(u not in faults for u in self.in_terms[i]):
+                    start &= ~(1 << i)
+            for i in iter_bits(affected & end):
+                if not any(u not in faults for u in self.out_terms[i]):
+                    end &= ~(1 << i)
+        inst = SpanningPathInstance.from_parts(
+            self.network.surviving(faults),
+            self.procs,
+            self.index,
+            list(self._adj),
+            start,
+            end,
+            full,
+        )
+        return inst, True
+
+
+
+class WitnessSweeper:
+    """Decides fault sets one at a time, propagating the last witness.
+
+    Shared by the serial warm sweep below and by the parallel workers in
+    :mod:`repro.core.verify.parallel` (each worker owns one sweeper and
+    warm-starts within its shard).  Counters: ``adapted`` fault sets
+    were decided by splicing the previous witness (no solver call);
+    ``solver_calls`` fell through to the exact portfolio.
+    """
+
+    def __init__(
+        self, network: PipelineNetwork, policy: SolvePolicy | None = None
+    ) -> None:
+        self.network = network
+        self.policy = policy or SolvePolicy()
+        self.builder = IncrementalInstanceBuilder(network)
+        self.prev_bits: list[int] | None = None
+        self.adapted = 0
+        self.warm_heuristic = 0
+        self.solver_calls = 0
+        self.nodes_expanded = 0
+
+    def decide(self, fault_set: tuple[Node, ...]) -> Status:
+        """The exact tolerance verdict for *fault_set*."""
+        inst, in_global_space = self.builder.instance(fault_set)
+        if inst.trivial is not None:
+            return inst.trivial.status
+        if in_global_space and self.prev_bits is not None:
+            adapted = adapt_witness(
+                self.prev_bits,
+                inst.adj,
+                inst.full,
+                inst.start_mask,
+                inst.end_mask,
+            )
+            if adapted is not None:
+                self.adapted += 1
+                self.prev_bits = adapted
+                return Status.FOUND
+            if self.policy.posa_restarts > 0:
+                # cheap incomplete middle tier: a couple of rotation-
+                # extension attempts seeded with the stale witness order
+                # resolve most splice failures for a fraction of the
+                # exact solver's cost; only FOUND answers are trusted.
+                report = solve_posa(
+                    inst,
+                    restarts=2,
+                    rotations=4 * inst.h,
+                    seed=self.policy.seed,
+                    initial_order=self.prev_bits,
+                )
+                self.nodes_expanded += report.nodes_expanded
+                if report.status is Status.FOUND:
+                    self.warm_heuristic += 1
+                    index = self.builder.index
+                    self.prev_bits = [index[p] for p in report.path[1:-1]]
+                    return Status.FOUND
+        policy = self.policy
+        if in_global_space and self.prev_bits is not None:
+            procs = self.builder.procs
+            policy = replace(
+                policy, initial_order=[procs[b] for b in self.prev_bits]
+            )
+        report = solve(inst, policy)
+        self.solver_calls += 1
+        self.nodes_expanded += report.nodes_expanded
+        if report.status is Status.FOUND and in_global_space:
+            index = self.builder.index
+            self.prev_bits = [index[p] for p in report.path[1:-1]]
+        return report.status
+
+
+def verify_exhaustive_warm(
+    network: PipelineNetwork,
+    k: int | None = None,
+    policy: SolvePolicy | None = None,
+    *,
+    sizes: Iterable[int] | None = None,
+    fault_universe: Iterable[Node] | None = None,
+    stop_on_counterexample: bool = True,
+    progress: Callable[[int], None] | None = None,
+) -> VerificationCertificate:
+    """Warm-started twin of
+    :func:`repro.core.verify.exhaustive.verify_exhaustive`.
+
+    Checks the same fault sets (revolving-door order within each size)
+    and returns an equivalent certificate — same verdict, same
+    ``checked``/``tolerated`` totals — typically an order of magnitude
+    faster.  ``solver_calls`` on the certificate records how few fault
+    sets actually reached a solver.
+
+    >>> from ..constructions import build
+    >>> verify_exhaustive_warm(build(3, 2)).is_proof
+    True
+    """
+    k = network.k if k is None else k
+    policy = policy or SolvePolicy()
+    universe = (
+        list(network.graph.nodes)
+        if fault_universe is None
+        else list(fault_universe)
+    )
+    t0 = time.perf_counter()
+    sweeper = WitnessSweeper(network, policy)
+    checked = tolerated = 0
+    counterexample: tuple[Node, ...] | None = None
+    undecided: list[tuple[Node, ...]] = []
+    for fault_set in iter_fault_sets_gray(universe, k, sizes):
+        checked += 1
+        status = sweeper.decide(fault_set)
+        if status is Status.FOUND:
+            tolerated += 1
+        elif status is Status.UNDECIDED:
+            undecided.append(fault_set)
+        else:
+            if counterexample is None:
+                counterexample = fault_set
+            if stop_on_counterexample:
+                break
+        if progress is not None and checked % 1000 == 0:
+            progress(checked)
+    return VerificationCertificate(
+        mode=VerificationMode.EXHAUSTIVE,
+        k=k,
+        checked=checked,
+        tolerated=tolerated,
+        counterexample=counterexample,
+        undecided=tuple(undecided),
+        elapsed_seconds=time.perf_counter() - t0,
+        network_description=(
+            f"{network!r} [warm: {sweeper.adapted} adapted + "
+            f"{sweeper.warm_heuristic} rotated + "
+            f"{sweeper.solver_calls} solves for {checked} fault sets]"
+        ),
+        solver_calls=sweeper.solver_calls,
+        nodes_expanded=sweeper.nodes_expanded,
+    )

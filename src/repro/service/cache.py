@@ -15,8 +15,18 @@ against the live fault set (a failed validation counts as ``invalid`` and
 falls through to the solver — the cache can only ever save work, never
 corrupt an answer).
 
-Eviction is LRU with a fixed capacity; hits, misses, stores, evictions
-and invalidations are counted for the metrics snapshot.
+Re-validation itself is not free, so rows optionally carry the
+*structural checksum* of the network at store time
+(:func:`~repro.service.canonical.structural_checksum`).  A hit whose
+stored checksum matches the caller's live checksum is served with the
+validation skipped — the stored entry was fully validated against the
+very same labeled graph and canonical fault set — and the skip is
+counted; a mismatch (or a row stored without a checksum) falls back to
+the full ``is_pipeline`` check.
+
+Eviction is LRU with a fixed capacity; hits, misses, stores, evictions,
+invalidations and checksum-skipped validations are counted for the
+metrics snapshot.
 """
 
 from __future__ import annotations
@@ -44,6 +54,8 @@ class CacheStats:
     stores: int
     evictions: int
     invalid: int
+    #: hits served without re-validation (structural checksum matched).
+    checksum_skips: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -68,13 +80,16 @@ class WitnessCache:
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
-        self._rows: OrderedDict[CacheRow, tuple[Node, ...]] = OrderedDict()
+        self._rows: OrderedDict[
+            CacheRow, tuple[tuple[Node, ...], int | None]
+        ] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._stores = 0
         self._evictions = 0
         self._invalid = 0
+        self._checksum_skips = 0
 
     def lookup(self, fingerprint: str, key: FaultKey) -> tuple[Node, ...] | None:
         """The cached canonical-space pipeline for a row, or ``None``.
@@ -83,21 +98,56 @@ class WitnessCache:
         """
         row = (fingerprint, key)
         with self._lock:
-            nodes = self._rows.get(row)
-            if nodes is None:
+            entry = self._rows.get(row)
+            if entry is None:
                 self._misses += 1
                 return None
             self._rows.move_to_end(row)
             self._hits += 1
-            return nodes
+            return entry[0]
 
-    def store(
-        self, fingerprint: str, key: FaultKey, nodes: tuple[Node, ...]
-    ) -> None:
-        """Insert (or refresh) a row, evicting the least recently used."""
+    def lookup_validated(
+        self, fingerprint: str, key: FaultKey, checksum: int | None
+    ) -> tuple[tuple[Node, ...], bool] | None:
+        """Like :meth:`lookup`, but also reports whether *checksum*
+        matches the one recorded at store time.
+
+        Returns ``(nodes, checksum_ok)`` or ``None`` on a miss.  When
+        ``checksum_ok`` is true the caller may serve the entry without
+        re-validating (the skip is counted); when false — the network
+        structure changed, the row predates checksums, or the caller
+        passed ``None`` — full re-validation is required.
+        """
         row = (fingerprint, key)
         with self._lock:
-            self._rows[row] = tuple(nodes)
+            entry = self._rows.get(row)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._rows.move_to_end(row)
+            self._hits += 1
+            nodes, stored = entry
+            ok = checksum is not None and stored == checksum
+            if ok:
+                self._checksum_skips += 1
+            return nodes, ok
+
+    def store(
+        self,
+        fingerprint: str,
+        key: FaultKey,
+        nodes: tuple[Node, ...],
+        checksum: int | None = None,
+    ) -> None:
+        """Insert (or refresh) a row, evicting the least recently used.
+
+        *checksum* is the network's structural checksum at validation
+        time (``None`` disables the skip-validation fast path for this
+        row).
+        """
+        row = (fingerprint, key)
+        with self._lock:
+            self._rows[row] = (tuple(nodes), checksum)
             self._rows.move_to_end(row)
             self._stores += 1
             while len(self._rows) > self.capacity:
@@ -132,4 +182,5 @@ class WitnessCache:
                 stores=self._stores,
                 evictions=self._evictions,
                 invalid=self._invalid,
+                checksum_skips=self._checksum_skips,
             )

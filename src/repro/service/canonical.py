@@ -32,6 +32,7 @@ served entries are re-validated against the live fault set anyway.
 from __future__ import annotations
 
 import hashlib
+import zlib
 from typing import Hashable, Iterable, Sequence
 
 from ..core.model import PipelineNetwork
@@ -65,6 +66,32 @@ def network_fingerprint(network: PipelineNetwork) -> str:
     for edge in sorted(tuple(sorted(map(repr, e))) for e in network.graph.edges):
         h.update(repr(edge).encode())
     return h.hexdigest()
+
+
+def structural_checksum(network: PipelineNetwork) -> int:
+    """A cheap, order-insensitive checksum of the live labeled structure.
+
+    XOR of per-edge/per-terminal CRCs — no sorting, no serialization of
+    the whole graph — so the control plane can afford to recompute it on
+    *every* witness-cache hit.  When the checksum recorded at store time
+    still matches, the stored pipeline's full :func:`is_pipeline`
+    validation provably still applies (same labeled graph, same
+    canonical fault set) and the hit path skips re-validation; any
+    mutation of the graph flips the checksum and forces the full check.
+    Unlike :func:`network_fingerprint` this is not collision-hardened —
+    it gates a *validation shortcut*, not row identity.
+    """
+    acc = network.graph.number_of_nodes()
+    for u, v in network.graph.edges():
+        a, b = repr(u), repr(v)
+        if b < a:
+            a, b = b, a
+        acc ^= zlib.crc32(f"{a}~{b}".encode())
+    for t in network.inputs:
+        acc ^= zlib.crc32(f"i:{t!r}".encode())
+    for t in network.outputs:
+        acc ^= zlib.crc32(f"o:{t!r}".encode())
+    return acc
 
 
 def plain_fault_key(faults: Iterable[Node]) -> FaultKey:

@@ -54,7 +54,7 @@ from ..core.reconfigure import fast_solve_policy
 from ..core.session import ChurnRecord, ReconfigurationSession
 from ..errors import ReproError, ServiceOverloadError
 from .cache import WitnessCache
-from .canonical import Canonicalizer, network_fingerprint
+from .canonical import Canonicalizer, network_fingerprint, structural_checksum
 from .metrics import (
     COUNTER_NAMES,
     EventRecord,
@@ -218,6 +218,7 @@ class ControlPlane:
             managed.fingerprint,
             key,
             Canonicalizer.map_forward(managed.session.pipeline.nodes, sigma),
+            checksum=structural_checksum(network),
         )
         with self._lock:
             if name in self._managed:
@@ -403,10 +404,15 @@ class ControlPlane:
         else:
             key, sigma = m.canon.canonical(target)
             candidate: Pipeline | None = None
-            cached = self.cache.lookup(m.fingerprint, key)
-            if cached is not None:
+            live_checksum = structural_checksum(m.network)
+            found = self.cache.lookup_validated(m.fingerprint, key, live_checksum)
+            if found is not None:
+                cached, checksum_ok = found
                 nodes = Canonicalizer.map_back(cached, sigma)
-                if is_pipeline(m.network, nodes, target):
+                # a matching structural checksum means the stored entry's
+                # full validation still applies verbatim; only a mutated
+                # graph (or a checksum-less row) pays is_pipeline again
+                if checksum_ok or is_pipeline(m.network, nodes, target):
                     candidate = Pipeline.oriented(nodes, m.network)
                 else:
                     self.cache.invalidate_hit()
@@ -436,6 +442,7 @@ class ControlPlane:
                     m.fingerprint,
                     key,
                     Canonicalizer.map_forward(session.pipeline.nodes, sigma),
+                    checksum=live_checksum,
                 )
 
         with m.lock:

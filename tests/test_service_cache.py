@@ -14,6 +14,7 @@ from repro.service import (
     network_fingerprint,
     plain_fault_key,
 )
+from repro.service.canonical import structural_checksum
 
 
 class TestWitnessCacheUnit:
@@ -52,6 +53,60 @@ class TestWitnessCacheUnit:
         cache.store("fp", (), ("x",))
         cache.lookup("fp", ())
         assert cache.stats().hit_rate == 1.0
+
+
+class TestChecksumPrecheck:
+    def test_lookup_validated_match_counts_skip(self):
+        cache = WitnessCache(capacity=4)
+        cache.store("fp", ("'p1'",), ("i0", "p0", "o0"), checksum=123)
+        nodes, ok = cache.lookup_validated("fp", ("'p1'",), 123)
+        assert ok and nodes == ("i0", "p0", "o0")
+        assert cache.stats().checksum_skips == 1
+
+    def test_lookup_validated_mismatch_requires_validation(self):
+        cache = WitnessCache(capacity=4)
+        cache.store("fp", ("'p1'",), ("i0", "p0", "o0"), checksum=123)
+        nodes, ok = cache.lookup_validated("fp", ("'p1'",), 456)
+        assert not ok and nodes == ("i0", "p0", "o0")
+        assert cache.stats().checksum_skips == 0
+
+    def test_checksum_less_row_never_skips(self):
+        cache = WitnessCache(capacity=4)
+        cache.store("fp", ("'p1'",), ("i0", "p0", "o0"))  # legacy row
+        _, ok = cache.lookup_validated("fp", ("'p1'",), 123)
+        assert not ok
+        _, ok = cache.lookup_validated("fp", ("'p1'",), None)
+        assert not ok
+        assert cache.stats().checksum_skips == 0
+
+    def test_lookup_validated_miss(self):
+        cache = WitnessCache(capacity=4)
+        assert cache.lookup_validated("fp", ("'p1'",), 1) is None
+        assert cache.stats().misses == 1
+
+    def test_structural_checksum_tracks_mutation(self):
+        net = build(6, 2)
+        before = structural_checksum(net)
+        assert before == structural_checksum(build(6, 2))  # deterministic
+        procs = sorted(net.processors, key=repr)
+        u, v = procs[0], procs[-1]
+        changed = net.copy()
+        if changed.graph.has_edge(u, v):
+            changed.graph.remove_edge(u, v)
+        else:
+            changed.graph.add_edge(u, v)
+        assert structural_checksum(changed) != before
+
+    def test_plane_skips_revalidation_on_hits(self):
+        with ControlPlane(ControlPlaneConfig(workers=2)) as plane:
+            plane.register("solo", n=9, k=2)
+            plane.submit_fault("solo", "p3").result(timeout=30)
+            plane.submit_repair("solo", "p3").result(timeout=30)
+            plane.submit_fault("solo", "p3").result(timeout=30)
+            stats = plane.snapshot().cache
+            assert stats.checksum_skips >= 2  # repair + refault both skipped
+            assert stats.invalid == 0
+            assert plane.snapshot().as_dict()["cache"]["checksum_skips"] >= 2
 
 
 class TestFingerprint:
