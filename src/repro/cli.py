@@ -10,7 +10,9 @@ Subcommands
 ``export``       emit DOT / JSON / edge-list renderings
 ``search``       re-derive a special solution by constrained search
 ``serve``        drive the fleet control plane from a fault trace
-``bench``        time the verification engines, write BENCH_verify.json
+``bench``        time the verification engines (BENCH_verify.json) or, with
+                 ``--service``, load-test the control plane
+                 (BENCH_service.json)
 ``lint``         run the project's static analyzer against its baseline
 
 Examples::
@@ -25,6 +27,8 @@ Examples::
     python -m repro serve --network 9x2 --network 13x2 --events 150
     python -m repro bench --smoke
     python -m repro bench --instance "G(7,3)" --workers 4
+    python -m repro bench --service --smoke
+    python -m repro bench --service --events 600 --rate 300 --store fleet.db
     python -m repro lint --format json
     python -m repro lint src/repro/service --no-baseline
 """
@@ -147,17 +151,36 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the verification engines (cold/warm/parallel)",
+        help="benchmark the verification engines (cold/warm/parallel) or, "
+             "with --service, the control plane under open-loop load",
     )
     p.add_argument("--out", default="BENCH_verify.json",
-                   help="JSON output path ('-' = stdout only)")
+                   help="JSON output path ('-' = stdout only; default "
+                        "BENCH_service.json in --service mode)")
     p.add_argument("--smoke", action="store_true",
-                   help="quick catalog subset; exit nonzero when the warm "
-                        "sweep regresses >10%% behind cold")
+                   help="quick subset; exit nonzero when the warm run "
+                        "regresses >10%% behind cold")
     p.add_argument("--instance", action="append", default=[], metavar="NAME",
                    help="catalog instance to run (repeatable; default all)")
     p.add_argument("--workers", type=int, default=None,
-                   help="parallel-sweep worker count (default: CPU count)")
+                   help="worker count (default: CPU count; 4 in --service "
+                        "mode)")
+    p.add_argument("--service", action="store_true",
+                   help="benchmark the service plane instead: replay an "
+                        "open-loop fault/repair/query trace against a live "
+                        "control plane, cold store then warm store, writing "
+                        "BENCH_service.json")
+    p.add_argument("--events", type=int, default=None,
+                   help="[service] trace events per phase")
+    p.add_argument("--rate", type=float, default=None,
+                   help="[service] open-loop arrival rate, events/second")
+    p.add_argument("--seed", type=int, default=0,
+                   help="[service] trace seed")
+    p.add_argument("--profile", choices=["pool", "poisson"], default="pool",
+                   help="[service] workload generator")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="[service] witness store path (default: a temporary "
+                        "file; an explicit path is truncated then kept)")
 
     p = sub.add_parser(
         "lint",
@@ -327,6 +350,8 @@ def cmd_report(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.service:
+        return _cmd_bench_service(args)
     from .core.verify.bench import (
         SMOKE_CATALOG,
         format_bench_table,
@@ -352,6 +377,42 @@ def cmd_bench(args) -> int:
         if regressions:
             return 1
         print("smoke gate: warm sweep within 10% of cold everywhere")
+    return 0
+
+
+def _cmd_bench_service(args) -> int:
+    from .core.verify.bench import write_bench
+    from .service.loadgen import (
+        format_service_table,
+        run_service_bench,
+        service_smoke_regressions,
+    )
+
+    print("replaying service load (cold store, then warm) ...", file=sys.stderr)
+    payload = run_service_bench(
+        smoke=args.smoke,
+        events=args.events,
+        rate=args.rate,
+        seed=args.seed,
+        workers=args.workers if args.workers is not None else 4,
+        profile=args.profile,
+        store_path=args.store,
+    )
+    print(format_service_table(payload))
+    out = "BENCH_service.json" if args.out == "BENCH_verify.json" else args.out
+    if out != "-":
+        write_bench(payload, out)
+        print(f"wrote {out}")
+    if args.smoke:
+        regressions = service_smoke_regressions(payload)
+        for line in regressions:
+            print(f"regression: {line}", file=sys.stderr)
+        if regressions:
+            return 1
+        print(
+            "smoke gate: warm start loaded, no validation failures, "
+            "warm p95 query latency within 10% of cold"
+        )
     return 0
 
 
@@ -413,8 +474,11 @@ def cmd_serve(args) -> int:
             report = run_trace(plane, trace)
             snap = plane.snapshot()
     print(snap.summary())
+    degraded = sum(1 for a in report.answers if a.degraded)
+    stale = sum(1 for a in report.answers if a.stale)
     print(
-        f"trace: {len(report.records)} applied, {len(report.answers)} answered, "
+        f"trace: {len(report.records)} applied, {len(report.answers)} answered "
+        f"({degraded} degraded, {stale} stale), "
         f"{report.shed} shed, {len(report.errors)} errors"
     )
     for err in report.errors:

@@ -15,6 +15,11 @@ witnesses, shedding load deliberately and reporting what it did.
   automorphism-aware fault-set canonicalization;
 * :mod:`repro.service.metrics` — per-event records and the
   health/metrics snapshot;
+* :mod:`repro.service.store` — the persistent (SQLite) witness tier;
+* :mod:`repro.service.tiering` — write-behind/cache-aside composition of
+  the memory LRU over the store, plus warm start;
+* :mod:`repro.service.loadgen` — the open-loop load harness behind
+  ``python -m repro bench --service`` (``BENCH_service.json``);
 * :mod:`repro.service.trace` — scripted/randomized trace drivers and the
   ``python -m repro serve`` demo fleet.
 """
@@ -27,7 +32,14 @@ from .control import (
     ManagedNetwork,
     PipelineAnswer,
 )
+from .loadgen import (
+    format_service_table,
+    run_service_bench,
+    service_smoke_regressions,
+)
 from .metrics import EventRecord, LatencyStats, MetricsSnapshot, NetworkStats
+from .store import StoreStats, WitnessStore
+from .tiering import TieredWitnessCache, WriteBehindWriter
 from .trace import (
     TraceEvent,
     TraceReport,
@@ -53,6 +65,13 @@ __all__ = [
     "LatencyStats",
     "MetricsSnapshot",
     "NetworkStats",
+    "WitnessStore",
+    "StoreStats",
+    "TieredWitnessCache",
+    "WriteBehindWriter",
+    "run_service_bench",
+    "format_service_table",
+    "service_smoke_regressions",
     "TraceEvent",
     "TraceReport",
     "demo_plane",

@@ -160,6 +160,36 @@ class WitnessCache:
         with self._lock:
             self._invalid += 1
 
+    def invalidate(self, fingerprint: str, key: FaultKey) -> None:
+        """Record a failed live validation *and* drop the offending row,
+        so a bad entry cannot keep being served and re-failing.
+
+        (:meth:`invalidate_hit` only counted; leaving the row in place
+        was a pre-existing rough edge — an invalid entry stayed resident
+        until LRU pressure evicted it.)
+        """
+        row = (fingerprint, key)
+        with self._lock:
+            self._invalid += 1
+            self._rows.pop(row, None)
+
+    # ------------------------------------------------------------------
+    # tiering hooks (no-ops for the pure in-memory cache; the persistent
+    # tier in :mod:`repro.service.tiering` overrides them)
+    # ------------------------------------------------------------------
+    def warm_start(self, network, fingerprint: str, *, limit=None) -> int:
+        """Preload rows for *fingerprint* from a persistent tier.
+
+        The in-memory cache has no persistent tier: loads nothing.
+        """
+        return 0
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Drain any pending write-behind work (no-op here)."""
+
+    def close(self) -> None:
+        """Release tier resources (no-op here; idempotent everywhere)."""
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._rows)

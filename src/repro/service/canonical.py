@@ -31,11 +31,14 @@ served entries are re-validated against the live fault set anyway.
 
 from __future__ import annotations
 
+import ast
 import hashlib
+import json
 import zlib
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
 from ..core.model import PipelineNetwork
+from ..errors import ReproError
 from ..graphs.automorphisms import iter_automorphisms
 
 Node = Hashable
@@ -97,6 +100,98 @@ def structural_checksum(network: PipelineNetwork) -> int:
 def plain_fault_key(faults: Iterable[Node]) -> FaultKey:
     """The symmetry-blind canonical key: sorted node labels."""
     return tuple(sorted(repr(v) for v in faults))
+
+
+# ----------------------------------------------------------------------
+# stable row serialization (the persistent witness tier's wire format)
+# ----------------------------------------------------------------------
+#
+# The persistent store (:mod:`repro.service.store`) shares rows across
+# processes and process restarts, so its serialization must be (a)
+# deterministic — byte-identical regardless of PYTHONHASHSEED or dict
+# order — and (b) *round-trip verified*: a node label that does not
+# survive ``decode(encode(x)) == x`` is rejected at encode time rather
+# than silently persisted as something else.
+
+
+def encode_fault_key(key: FaultKey) -> str:
+    """Serialize a canonical fault key to its stable text form.
+
+    Keys are already tuples of ``repr`` labels (plain strings), so a
+    compact JSON array is deterministic as-is.
+    """
+    return json.dumps(list(key), separators=(",", ":"))
+
+
+def decode_fault_key(text: str) -> FaultKey:
+    """Inverse of :func:`encode_fault_key`.
+
+    Raises :class:`~repro.errors.ReproError` on malformed (e.g. torn)
+    input — the store treats that as a row that never existed.
+    """
+    try:
+        parsed = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise ReproError(f"undecodable fault key {text!r}: {exc}") from None
+    if not isinstance(parsed, list) or not all(
+        isinstance(s, str) for s in parsed
+    ):
+        raise ReproError(f"fault key {text!r} is not a list of labels")
+    return tuple(parsed)
+
+
+def encode_nodes(nodes: Sequence[Node]) -> str:
+    """Serialize a pipeline node sequence to stable text.
+
+    Uses ``repr`` of the tuple with an :func:`ast.literal_eval`
+    round-trip check, which covers every label kind the project's
+    networks use (strings, ints, tuples thereof).  A sequence that does
+    not round-trip exactly raises :class:`~repro.errors.ReproError`;
+    callers skip persistence for such networks instead of storing rows
+    they could not faithfully read back.
+    """
+    snapshot = tuple(nodes)
+    text = repr(snapshot)
+    try:
+        back = ast.literal_eval(text)
+    except (ValueError, SyntaxError, MemoryError, RecursionError) as exc:
+        raise ReproError(
+            f"pipeline nodes are not literal-serializable: {exc}"
+        ) from None
+    if back != snapshot:
+        raise ReproError("pipeline nodes do not survive a repr round-trip")
+    return text
+
+
+def decode_nodes(text: str) -> tuple[Node, ...]:
+    """Inverse of :func:`encode_nodes`; raises on torn/corrupt input."""
+    try:
+        parsed = ast.literal_eval(text)
+    except (ValueError, SyntaxError, MemoryError, RecursionError) as exc:
+        raise ReproError(f"undecodable pipeline row: {exc}") from None
+    if not isinstance(parsed, tuple):
+        raise ReproError("pipeline row did not decode to a tuple")
+    return parsed
+
+
+def label_map(network: PipelineNetwork) -> dict[str, Node]:
+    """``repr`` label -> live node object, for resolving persisted keys
+    against a freshly built network."""
+    return {repr(v): v for v in network.graph.nodes}
+
+
+def decode_fault_set(
+    key: FaultKey, labels: Mapping[str, Node]
+) -> frozenset | None:
+    """The live fault set a canonical key denotes, or ``None`` when any
+    label is unknown to *labels* (a row persisted for a different or
+    mutated structure — never guess)."""
+    out = []
+    for lbl in key:
+        if lbl not in labels:
+            return None
+        out.append(labels[lbl])
+    return frozenset(out)
 
 
 class Canonicalizer:

@@ -87,6 +87,16 @@ class ControlPlaneConfig:
     symmetry_limit: int = 512
     record_ring: int = 1024
     ewma_alpha: float = 0.3
+    #: path of the persistent witness store (SQLite); ``None`` keeps the
+    #: cache purely in-memory.  The plane owns (and closes) a store it
+    #: opened itself.
+    store_path: str | None = None
+    store_max_rows: int | None = None
+    #: per-fingerprint row limit batch-loaded into the memory LRU on
+    #: ``register`` (``None`` = everything persisted for the fingerprint).
+    warm_limit: int | None = 1024
+    write_behind_depth: int = 256
+    write_behind_batch: int = 64
 
 
 @dataclass(frozen=True)
@@ -95,7 +105,14 @@ class PipelineAnswer:
 
     ``degraded=True`` means the answer is the last-known-good pipeline —
     valid for ``faults`` (the fault set it was solved under) but possibly
-    stale with respect to events still queued behind it.
+    stale with respect to events still queued behind it.  The explicit
+    degradation metadata says *how* stale: ``faults_outstanding`` are
+    nodes whose admitted fault events are not yet reflected in this
+    answer (the served pipeline may still route through them), and
+    ``omitted`` are processors believed healthy per the admitted event
+    ledger that the served pipeline nevertheless leaves out (e.g. a
+    repair still queued behind the answer).  Both are empty whenever the
+    answer is fresh.
     """
 
     network: str
@@ -103,6 +120,13 @@ class PipelineAnswer:
     faults: frozenset
     degraded: bool
     pending: int
+    faults_outstanding: frozenset = frozenset()
+    omitted: frozenset = frozenset()
+
+    @property
+    def stale(self) -> bool:
+        """True when the answer does not yet reflect every admitted event."""
+        return bool(self.faults_outstanding or self.omitted)
 
 
 @dataclass
@@ -151,6 +175,10 @@ class ManagedNetwork:
         self.draining = False
         self.in_flight = False
         self.paused = False
+        # admitted-event ledger: the fault set the network *will* have
+        # once every admitted (non-shed) event has applied; lets queries
+        # report explicit staleness metadata without blocking on solves
+        self.intended: set = set()
         self.counters: dict[str, int] = {c: 0 for c in COUNTER_NAMES}
         self.latency = LatencyStats()
         self.ewma: float | None = None
@@ -180,7 +208,26 @@ class ControlPlane:
         cache: WitnessCache | None = None,
     ) -> None:
         self.config = config or ControlPlaneConfig()
-        self.cache = cache or WitnessCache(self.config.cache_capacity)
+        self._owns_cache = cache is None
+        if cache is None:
+            if self.config.store_path is not None:
+                # lazy import: tiering pulls in sqlite3-backed storage
+                # that pure in-memory planes never need
+                from .store import WitnessStore
+                from .tiering import TieredWitnessCache
+
+                cache = TieredWitnessCache(
+                    self.config.cache_capacity,
+                    WitnessStore(
+                        self.config.store_path,
+                        max_rows=self.config.store_max_rows,
+                    ),
+                    write_behind_depth=self.config.write_behind_depth,
+                    write_behind_batch=self.config.write_behind_batch,
+                )
+            else:
+                cache = WitnessCache(self.config.cache_capacity)
+        self.cache = cache
         self._managed: dict[str, ManagedNetwork] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-cp"
@@ -205,7 +252,13 @@ class ControlPlane:
     ) -> ManagedNetwork:
         """Add a network to the fleet, either an existing instance or a
         factory build for ``(n, k)``.  The initial (fault-free) pipeline is
-        solved synchronously and seeded into the witness cache."""
+        solved synchronously and seeded into the witness cache; when a
+        persistent witness tier is attached, every stored row for the
+        network's structural fingerprint that survives live
+        ``is_pipeline`` re-validation is batch-loaded into the in-memory
+        LRU (warm start)."""
+        if self._closed:
+            raise ReproError("control plane is closed")
         if name in self._managed:
             raise ReproError(f"network {name!r} is already registered")
         if (network is None) == (n is None or k is None):
@@ -213,6 +266,9 @@ class ControlPlane:
         if network is None:
             network = build(n, k)  # type: ignore[arg-type]
         managed = ManagedNetwork(name, network, policy, self.config)
+        self.cache.warm_start(
+            network, managed.fingerprint, limit=self.config.warm_limit
+        )
         key, sigma = managed.canon.canonical(frozenset())
         self.cache.store(
             managed.fingerprint,
@@ -252,8 +308,9 @@ class ControlPlane:
         return self._submit(name, "repair", node)
 
     def _submit(self, name: str, kind: str, node: Node) -> "Future[EventRecord]":
-        if self._closed:
-            raise ReproError("control plane is closed")
+        with self._lock:
+            if self._closed:
+                raise ReproError("control plane is closed")
         m = self._managed[name]
         future: Future = Future()
         event = _PendingEvent(kind, node, future, time.perf_counter())
@@ -265,11 +322,30 @@ class ControlPlane:
                     f"({self.config.max_pending} events); event shed"
                 )
             m.pending.append(event)
+            was_intended = node in m.intended
+            if kind == "fault":
+                m.intended.add(node)
+            else:
+                m.intended.discard(node)
             schedule = not m.draining and not m.paused
             if schedule:
                 m.draining = True
         if schedule:
-            self._executor.submit(self._drain, m)
+            try:
+                self._executor.submit(self._drain, m)
+            except RuntimeError:
+                # the pool shut down between the closed check and here
+                # (close raced the submit); un-admit the event instead of
+                # leaving a future that can never resolve
+                with m.lock:
+                    if event in m.pending:
+                        m.pending.remove(event)
+                    if was_intended:
+                        m.intended.add(node)
+                    else:
+                        m.intended.discard(node)
+                    m.draining = False
+                raise ReproError("control plane is closed") from None
         return future
 
     def query_pipeline(self, name: str) -> PipelineAnswer:
@@ -287,7 +363,16 @@ class ControlPlane:
             degraded = backlog >= self.config.degraded_after
             if degraded:
                 m.counters["degraded_served"] += 1
-        pipeline, faults = m.answer_state
+            pipeline, faults = m.answer_state
+            # explicit graceful-degradation metadata: which admitted
+            # faults the served answer does not reflect yet, and which
+            # believed-healthy processors it leaves out (queued repairs)
+            outstanding = frozenset(m.intended - faults)
+            omitted = frozenset(
+                m.network.processors - m.intended - set(pipeline.nodes)
+            )
+            if outstanding or omitted:
+                m.counters["stale_served"] += 1
         self._record(
             m,
             EventRecord(
@@ -311,6 +396,8 @@ class ControlPlane:
             faults=faults,
             degraded=degraded,
             pending=backlog,
+            faults_outstanding=outstanding,
+            omitted=omitted,
         )
 
     # ------------------------------------------------------------------
@@ -352,9 +439,18 @@ class ControlPlane:
             time.sleep(0.002)
 
     def close(self, wait: bool = True) -> None:
+        """Shut the plane down: stop the worker pool, flush the witness
+        tier's write-behind queue, and close a store the plane opened
+        itself.  Idempotent — a second ``close`` is a no-op, and a closed
+        plane rejects ``register``/``submit_*`` with ``ReproError``."""
         with self._lock:
+            if self._closed:
+                return
             self._closed = True
         self._executor.shutdown(wait=wait)
+        self.cache.flush()
+        if self._owns_cache:
+            self.cache.close()
 
     def __enter__(self) -> "ControlPlane":
         return self
@@ -378,6 +474,17 @@ class ControlPlane:
             except BaseException as exc:  # noqa: BLE001 - forwarded to the future
                 with m.lock:
                     m.counters["errors"] += 1
+                    # the event did not apply (e.g. fault beyond tolerance):
+                    # rebuild the admitted-event ledger from what actually
+                    # holds plus what is still queued, so staleness
+                    # metadata does not report a phantom fault forever
+                    base = set(m.session.faults)
+                    for queued in m.pending:
+                        if queued.kind == "fault":
+                            base.add(queued.node)
+                        else:
+                            base.discard(queued.node)
+                    m.intended = base
                 event.future.set_exception(exc)
             else:
                 event.future.set_result(record)
@@ -415,7 +522,9 @@ class ControlPlane:
                 if checksum_ok or is_pipeline(m.network, nodes, target):
                     candidate = Pipeline.oriented(nodes, m.network)
                 else:
-                    self.cache.invalidate_hit()
+                    # drop the bad row from every tier (memory + disk),
+                    # not just count it — it can never become valid again
+                    self.cache.invalidate(m.fingerprint, key)
             if candidate is not None:
                 solver = "cache"
                 cache_hit = True
@@ -530,10 +639,12 @@ class ControlPlane:
         with self._lock:
             records = tuple(self._records)
             latency = self._latency
+        store_stats = getattr(self.cache, "store_stats", None)
         return MetricsSnapshot(
             networks=tuple(networks),
             cache=self.cache.stats(),
             totals=totals,
             latency=latency,
             records=records,
+            store=store_stats() if store_stats is not None else None,
         )

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
 from .cache import CacheStats
+from .store import StoreStats
 
 Node = Hashable
 
@@ -32,6 +33,7 @@ COUNTER_NAMES = (
     "cache_misses",
     "shed",
     "degraded_served",
+    "stale_served",
     "fast_path",
     "errors",
 )
@@ -107,6 +109,8 @@ class MetricsSnapshot:
     totals: Mapping[str, int]
     latency: LatencyStats
     records: tuple[EventRecord, ...] = field(default=(), repr=False)
+    #: persistent witness-tier accounting (``None`` without a store).
+    store: StoreStats | None = None
 
     @property
     def events(self) -> int:
@@ -143,6 +147,24 @@ class MetricsSnapshot:
                 "checksum_skips": self.cache.checksum_skips,
                 "hit_rate": self.cache.hit_rate,
             },
+            "store": (
+                None
+                if self.store is None
+                else {
+                    "path": self.store.path,
+                    "rows": self.store.rows,
+                    "persist_hits": self.store.persist_hits,
+                    "persist_misses": self.store.persist_misses,
+                    "warm_loaded": self.store.warm_loaded,
+                    "writes": self.store.writes,
+                    "write_errors": self.store.write_errors,
+                    "write_behind_depth": self.store.write_behind_depth,
+                    "validation_failures": self.store.validation_failures,
+                    "encode_skips": self.store.encode_skips,
+                    "invalidated": self.store.invalidated,
+                    "hit_rate": self.store.hit_rate,
+                }
+            ),
             "totals": dict(self.totals),
             "latency": {
                 "count": self.latency.count,
@@ -165,11 +187,22 @@ class MetricsSnapshot:
             f"{self.cache.evictions} evicted, {self.cache.invalid} invalidated, "
             f"{self.cache.checksum_skips} validations skipped",
             f"  degradation: {t.get('shed', 0)} shed, "
-            f"{t.get('degraded_served', 0)} degraded answers, "
+            f"{t.get('degraded_served', 0)} degraded answers "
+            f"({t.get('stale_served', 0)} with outstanding faults), "
             f"{t.get('fast_path', 0)} fast-path solves, {t.get('errors', 0)} errors",
             f"  latency: mean {self.latency.mean * 1e3:.2f} ms, "
             f"max {self.latency.max * 1e3:.2f} ms over {self.latency.count} events",
         ]
+        if self.store is not None:
+            s = self.store
+            lines.insert(
+                3,
+                f"  witness store: {s.rows} rows at {s.path}, "
+                f"{s.persist_hits} hits / {s.persist_misses} misses, "
+                f"{s.warm_loaded} warm-loaded, {s.writes} written "
+                f"(depth {s.write_behind_depth}), "
+                f"{s.validation_failures} validation failures",
+            )
         for s in self.networks:
             c = s.counters
             lines.append(

@@ -22,6 +22,34 @@ from ..service.trace import TraceEvent, TraceReport, run_trace
 from .faults import FaultEvent
 
 
+def timed_fleet_trace(
+    schedules: Mapping[str, Sequence[FaultEvent]],
+    *,
+    repair_after: float | None = None,
+    query_every: float | None = None,
+    horizon: float | None = None,
+) -> list[tuple[float, TraceEvent]]:
+    """Like :func:`fleet_trace`, but keeps each event's scheduled time.
+
+    This is what the service-plane load harness
+    (:mod:`repro.service.loadgen`) replays under open-loop arrivals: the
+    times drive the submission clock instead of being discarded.
+
+    >>> from .faults import scheduled_faults
+    >>> t = timed_fleet_trace({"a": scheduled_faults([(1.0, "p0")])},
+    ...                       repair_after=2.0)
+    >>> [(round(at, 1), e.kind) for at, e in t]
+    [(1.0, 'fault'), (3.0, 'repair')]
+    """
+    timed = _timed_events(
+        schedules,
+        repair_after=repair_after,
+        query_every=query_every,
+        horizon=horizon,
+    )
+    return [(at, ev) for at, _, ev in timed]
+
+
 def fleet_trace(
     schedules: Mapping[str, Sequence[FaultEvent]],
     *,
@@ -41,6 +69,24 @@ def fleet_trace(
     >>> [(e.kind, e.node) for e in t]
     [('fault', 'p0'), ('repair', 'p0')]
     """
+    return [
+        ev
+        for _, _, ev in _timed_events(
+            schedules,
+            repair_after=repair_after,
+            query_every=query_every,
+            horizon=horizon,
+        )
+    ]
+
+
+def _timed_events(
+    schedules: Mapping[str, Sequence[FaultEvent]],
+    *,
+    repair_after: float | None = None,
+    query_every: float | None = None,
+    horizon: float | None = None,
+) -> list[tuple[float, int, TraceEvent]]:
     timed: list[tuple[float, int, TraceEvent]] = []
     tiebreak = 0
     last = 0.0
@@ -67,7 +113,7 @@ def fleet_trace(
                 tiebreak += 1
             t += query_every
     timed.sort(key=lambda item: (item[0], item[1]))
-    return [ev for _, _, ev in timed]
+    return timed
 
 
 def run_fleet_scenario(
