@@ -10,6 +10,7 @@ Subcommands
 ``export``       emit DOT / JSON / edge-list renderings
 ``search``       re-derive a special solution by constrained search
 ``serve``        drive the fleet control plane from a fault trace
+``trace``        tail/filter/check trace files and flight-recorder dumps
 ``bench``        time the verification engines (BENCH_verify.json) or, with
                  ``--service``, load-test the control plane
                  (BENCH_service.json)
@@ -24,7 +25,10 @@ Examples::
     python -m repro export 8 2 --format dot
     python -m repro search 6 2 --max-degree 4 --trials 5000
     python -m repro serve --demo --events 200
+    python -m repro serve --demo --trace-out TRACE.json --metrics-port 9100
     python -m repro serve --network 9x2 --network 13x2 --events 150
+    python -m repro trace TRACE.json --waterfall
+    python -m repro trace TRACE.json --check
     python -m repro bench --smoke
     python -m repro bench --instance "G(7,3)" --workers 4
     python -m repro bench --service --smoke
@@ -148,6 +152,26 @@ def make_parser() -> argparse.ArgumentParser:
                    help="per-network admission bound (overflow is shed)")
     p.add_argument("--query-ratio", type=float, default=0.2,
                    help="fraction of trace events that are pipeline queries")
+    p.add_argument("--trace", action="store_true",
+                   help="enable causal tracing + the flight recorder")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write finished spans to PATH as a trace file "
+                        "(implies --trace; inspect with 'repro trace')")
+    p.add_argument("--trace-dump-dir", default=None, metavar="DIR",
+                   help="flight-recorder anomaly dumps go here "
+                        "(implies --trace)")
+    p.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                   help="serve Prometheus/JSON metrics over HTTP on port N "
+                        "for the duration of the run (demo mode)")
+
+    p = sub.add_parser(
+        "trace",
+        help="tail, filter, check and render trace files and "
+             "flight-recorder dumps",
+    )
+    from .obs.cli import add_trace_arguments
+
+    add_trace_arguments(p)
 
     p = sub.add_parser(
         "bench",
@@ -181,6 +205,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--store", default=None, metavar="PATH",
                    help="[service] witness store path (default: a temporary "
                         "file; an explicit path is truncated then kept)")
+    p.add_argument("--dump-dir", default=None, metavar="DIR",
+                   help="[service] write flight-recorder dumps here when "
+                        "the load run raises anomalies")
 
     p = sub.add_parser(
         "lint",
@@ -397,6 +424,7 @@ def _cmd_bench_service(args) -> int:
         workers=args.workers if args.workers is not None else 4,
         profile=args.profile,
         store_path=args.store,
+        dump_dir=args.dump_dir,
     )
     print(format_service_table(payload))
     out = "BENCH_service.json" if args.out == "BENCH_verify.json" else args.out
@@ -422,6 +450,12 @@ def cmd_lint(args) -> int:
     return run(args)
 
 
+def cmd_trace(args) -> int:
+    from .obs.cli import cmd_trace as run
+
+    return run(args)
+
+
 def cmd_serve(args) -> int:
     from .service import (
         ControlPlane,
@@ -439,6 +473,7 @@ def cmd_serve(args) -> int:
         raise ReproError("--cache-size must be >= 1")
     if args.max_pending < 1:
         raise ReproError("--max-pending must be >= 1")
+    tracing = args.trace or args.trace_out is not None or args.trace_dump_dir is not None
     if args.demo or not args.network:
         report, snap = run_demo(
             events=args.events,
@@ -447,6 +482,10 @@ def cmd_serve(args) -> int:
             cache_capacity=args.cache_size,
             deadline=args.deadline,
             query_ratio=args.query_ratio,
+            tracing=tracing,
+            trace_out=args.trace_out,
+            trace_dump_dir=args.trace_dump_dir,
+            metrics_port=args.metrics_port,
         )
     else:
         config = ControlPlaneConfig(
@@ -454,6 +493,8 @@ def cmd_serve(args) -> int:
             cache_capacity=args.cache_size,
             deadline=args.deadline,
             max_pending=args.max_pending,
+            tracing=tracing,
+            trace_dump_dir=args.trace_dump_dir,
         )
         with ControlPlane(config) as plane:
             for i, spec in enumerate(args.network):
@@ -473,6 +514,17 @@ def cmd_serve(args) -> int:
             )
             report = run_trace(plane, trace)
             snap = plane.snapshot()
+            if args.trace_out is not None:
+                from .obs.cli import write_trace_file
+
+                write_trace_file(
+                    args.trace_out,
+                    plane.tracer.spans(),
+                    meta={"source": "serve", "events": len(trace),
+                          "seed": args.seed},
+                )
+    if args.trace_out is not None:
+        print(f"wrote {args.trace_out}")
     print(snap.summary())
     degraded = sum(1 for a in report.answers if a.degraded)
     stale = sum(1 for a in report.answers if a.stale)
@@ -496,6 +548,7 @@ _COMMANDS = {
     "catalog": cmd_catalog,
     "report": cmd_report,
     "serve": cmd_serve,
+    "trace": cmd_trace,
     "bench": cmd_bench,
     "lint": cmd_lint,
 }

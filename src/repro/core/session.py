@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from ..errors import ReconfigurationError
+from ..obs.spans import annotate, child_span
 from .hamilton import SolvePolicy, SpanningPathInstance, Status, solve_posa
 from .model import PipelineNetwork
 from .pipeline import Pipeline, is_pipeline
@@ -193,23 +194,27 @@ class ReconfigurationSession:
         if repaired is not None and is_pipeline(
             self.network, repaired.nodes, self.faults
         ):
+            annotate(path="local_repair")
             return repaired
         inst = SpanningPathInstance(self.network.surviving(self.faults))
         if inst.trivial is not None:
             if inst.trivial.status is Status.FOUND:
+                annotate(path="trivial")
                 return Pipeline.oriented(inst.trivial.path, self.network)
             return None
         order = [
             inst.index[p] for p in self.pipeline.stages if p in inst.index
         ]
-        report = solve_posa(
-            inst,
-            restarts=8,
-            rotations=max(200, 4 * inst.h),
-            seed=self.policy.seed,
-            initial_order=order,
-        )
+        with child_span("seeded_solve"):
+            report = solve_posa(
+                inst,
+                restarts=8,
+                rotations=max(200, 4 * inst.h),
+                seed=self.policy.seed,
+                initial_order=order,
+            )
         if report.status is Status.FOUND:
+            annotate(path="seeded_solve")
             return Pipeline.oriented(report.path, self.network)
         return None
 
@@ -247,14 +252,21 @@ class ReconfigurationSession:
             self.network, pipeline.nodes, self.faults
         ):
             new = pipeline
+            annotate(path="witness_adopted")
         if new is None and self.minimize_churn:
-            new = self._stable_reembed(node)
-            if new is not None and not is_pipeline(
-                self.network, new.nodes, self.faults
-            ):
-                new = None
+            with child_span("stable_reembed", node=repr(node)) as rspan:
+                new = self._stable_reembed(node)
+                if new is not None and not is_pipeline(
+                    self.network, new.nodes, self.faults
+                ):
+                    new = None
+                rspan.set(found=new is not None)
+            if new is not None:
+                annotate(path="stable_reembed")
         if new is None:
-            new = reconfigure(self.network, self.faults, self.policy)
+            with child_span("reconfigure_full", node=repr(node)):
+                new = reconfigure(self.network, self.faults, self.policy)
+            annotate(path="reconfigure_full")
         moved, kept = pipeline_churn(old, new)
         self.pipeline = new
         record = ChurnRecord(
@@ -324,14 +336,21 @@ class ReconfigurationSession:
             self.network, pipeline.nodes, self.faults
         ):
             new = pipeline
+            annotate(path="witness_adopted")
         if new is None and self.minimize_churn:
-            new = self._splice_in(node)
-            if new is not None and not is_pipeline(
-                self.network, new.nodes, self.faults
-            ):
-                new = None
+            with child_span("splice_repair", node=repr(node)) as rspan:
+                new = self._splice_in(node)
+                if new is not None and not is_pipeline(
+                    self.network, new.nodes, self.faults
+                ):
+                    new = None
+                rspan.set(found=new is not None)
+            if new is not None:
+                annotate(path="splice_repair")
         if new is None:
-            new = reconfigure(self.network, self.faults, self.policy)
+            with child_span("reconfigure_full", node=repr(node)):
+                new = reconfigure(self.network, self.faults, self.policy)
+            annotate(path="reconfigure_full")
         moved, kept = pipeline_churn(old, new)
         self.pipeline = new
         record = ChurnRecord(

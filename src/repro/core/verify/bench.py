@@ -34,6 +34,8 @@ import time
 from typing import Callable, Hashable
 
 from ...errors import VerificationError
+from ...obs.exposition import phase_breakdown
+from ...obs.spans import Tracer
 from ..constructions import build, build_g1k, build_special
 from ..hamilton import SolvePolicy
 from ..model import PipelineNetwork
@@ -95,6 +97,7 @@ def _row(
     cert: VerificationCertificate,
     wall: float,
     cold_wall: float | None,
+    phases: dict | None = None,
 ) -> dict:
     return {
         "instance": instance,
@@ -109,6 +112,9 @@ def _row(
         "speedup_vs_cold": (
             round(cold_wall / wall, 3) if cold_wall and wall > 0 else None
         ),
+        #: per-phase latency breakdown (span name -> histogram summary);
+        #: empty for the untraced cold reference sweep
+        "phases": phases or {},
     }
 
 
@@ -133,6 +139,12 @@ def run_bench(
     if unknown:
         raise VerificationError(f"unknown bench instances: {unknown!r}")
     rows: list[dict] = []
+    # per-phase timing: the warm and parallel sweeps run under a root
+    # span, so their solver-tier child spans (warm_rotate / exact_solve /
+    # verify_chunk) fold into a phase breakdown per row.  The cold sweep
+    # stays untraced — it is the overhead-free reference the speedup and
+    # regression gates compare against.
+    tracer = Tracer(ring=1 << 16)
     for name in names:
         network = catalog[name]()
         if progress is not None:
@@ -141,11 +153,17 @@ def run_bench(
         cold = verify_exhaustive(network, policy=policy)
         cold_wall = time.perf_counter() - t0
         t0 = time.perf_counter()
-        warm = verify_exhaustive_warm(network, policy=policy)
+        with tracer.span("sweep", instance=name, mode="warm"):
+            warm = verify_exhaustive_warm(network, policy=policy)
         warm_wall = time.perf_counter() - t0
+        warm_phases = phase_breakdown(tracer.drain())
         t0 = time.perf_counter()
-        par = verify_exhaustive_parallel(network, policy=policy, workers=workers)
+        with tracer.span("sweep", instance=name, mode="parallel"):
+            par = verify_exhaustive_parallel(
+                network, policy=policy, workers=workers
+            )
         par_wall = time.perf_counter() - t0
+        par_phases = phase_breakdown(tracer.drain())
         for mode, cert in (("warm", warm), ("parallel", par)):
             if (
                 _verdict(cert) != _verdict(cold)
@@ -157,8 +175,12 @@ def run_bench(
                     f"({cert.summary()} vs {cold.summary()})"
                 )
         rows.append(_row(name, "cold", cold, cold_wall, None))
-        rows.append(_row(name, "warm", warm, warm_wall, cold_wall))
-        rows.append(_row(name, "parallel", par, par_wall, cold_wall))
+        rows.append(
+            _row(name, "warm", warm, warm_wall, cold_wall, warm_phases)
+        )
+        rows.append(
+            _row(name, "parallel", par, par_wall, cold_wall, par_phases)
+        )
     return {
         "meta": {
             "benchmark": "verify",

@@ -47,6 +47,13 @@ import time
 from typing import Callable, Hashable, Iterable
 
 from ...errors import InvalidParameterError
+from ...obs.spans import (
+    SpanContext,
+    annotate,
+    current_context,
+    current_tracer,
+    make_span_dict,
+)
 from ..hamilton import SolvePolicy, SpanningPathInstance, Status, solve
 from ..model import PipelineNetwork
 from .certificates import VerificationCertificate, VerificationMode
@@ -69,24 +76,32 @@ EWMA_ALPHA = 0.3
 _worker_network: PipelineNetwork | None = None
 _worker_policy: SolvePolicy | None = None
 _worker_sweeper: WitnessSweeper | None = None
+_worker_trace_ctx: SpanContext | None = None
 
 
 def _init_worker(
-    network: PipelineNetwork, policy: SolvePolicy, warm: bool
+    network: PipelineNetwork,
+    policy: SolvePolicy,
+    warm: bool,
+    trace_ctx: SpanContext | None = None,
 ) -> None:
-    global _worker_network, _worker_policy, _worker_sweeper
+    global _worker_network, _worker_policy, _worker_sweeper, _worker_trace_ctx
     _worker_network = network
     _worker_policy = policy
     _worker_sweeper = WitnessSweeper(network, policy) if warm else None
+    _worker_trace_ctx = trace_ctx
 
 
-def _check_chunk(chunk: list[tuple[tuple, int]]):
+def _check_chunk(chunk: list[tuple[tuple, int]], seq: int = 0):
     """Decide every ``(fault_set, multiplicity)`` item in *chunk*.
 
     Returns ``(checked, tolerated, first_counterexample, undecided,
-    solver_calls, nodes_expanded, adapted, elapsed, n_items)`` where the
-    first two are multiplicity-weighted and *elapsed*/*n_items* feed the
-    parent's per-set cost estimate.
+    solver_calls, nodes_expanded, adapted, elapsed, n_items, span)``
+    where the first two are multiplicity-weighted, *elapsed*/*n_items*
+    feed the parent's per-set cost estimate, and *span* is a finished
+    per-chunk span dict parented on the propagated trace context (or
+    ``None`` when tracing is off).  *seq* is the chunk's submission
+    sequence number — a deterministic span-id suffix, unlike a pid.
     """
     assert _worker_network is not None and _worker_policy is not None
     t0 = time.perf_counter()
@@ -119,6 +134,20 @@ def _check_chunk(chunk: list[tuple[tuple, int]]):
         adapted = sweeper.adapted - base_adapted
     else:
         adapted = 0
+    elapsed = time.perf_counter() - t0
+    span = None
+    if _worker_trace_ctx is not None:
+        span = make_span_dict(
+            _worker_trace_ctx,
+            str(seq),
+            "verify_chunk",
+            elapsed,
+            {
+                "n_items": len(chunk),
+                "solver_calls": solver_calls,
+                "adapted": adapted,
+            },
+        )
     return (
         checked,
         tolerated,
@@ -127,8 +156,9 @@ def _check_chunk(chunk: list[tuple[tuple, int]]):
         solver_calls,
         nodes_expanded,
         adapted,
-        time.perf_counter() - t0,
+        elapsed,
         len(chunk),
+        span,
     )
 
 
@@ -219,6 +249,12 @@ def verify_exhaustive_parallel(
     next_size = chunk_size if chunk_size is not None else CHUNK_MIN
     ewma: float | None = None
     outstanding = 0
+    chunk_seq = 0
+    chunks_done = 0
+    # cross-process trace propagation: workers get the active span's
+    # picklable context and parent their per-chunk spans on it
+    tracer = current_tracer()
+    trace_ctx = current_context()
 
     ctx = multiprocessing.get_context("fork") if hasattr(
         multiprocessing, "get_context"
@@ -226,20 +262,21 @@ def verify_exhaustive_parallel(
     with ctx.Pool(
         processes=workers,
         initializer=_init_worker,
-        initargs=(network, policy, warm),
+        initargs=(network, policy, warm, trace_ctx),
     ) as pool:
 
         def submit() -> bool:
-            nonlocal outstanding
+            nonlocal outstanding, chunk_seq
             chunk = list(itertools.islice(item_iter, next_size))
             if not chunk:
                 return False
             pool.apply_async(
                 _check_chunk,
-                (chunk,),
+                (chunk, chunk_seq),
                 callback=results.put,
                 error_callback=results.put,
             )
+            chunk_seq += 1
             outstanding += 1
             return True
 
@@ -255,13 +292,16 @@ def verify_exhaustive_parallel(
             outstanding -= 1
             if isinstance(res, BaseException):
                 raise res
-            c, t, cex, und, calls, nodes, adapt, elapsed, n_items = res
+            c, t, cex, und, calls, nodes, adapt, elapsed, n_items, span = res
             checked += c
             tolerated += t
             solver_calls += calls
             nodes_expanded += nodes
             adapted += adapt
             undecided.extend(und)
+            chunks_done += 1
+            if span is not None and tracer is not None:
+                tracer.record(span)
             if chunk_size is None and n_items:
                 per_set = elapsed / n_items
                 ewma = (
@@ -286,6 +326,16 @@ def verify_exhaustive_parallel(
         else "raw sharding over"
     )
     mode = "warm" if warm else "cold"
+    # dispatch accounting on the caller's active span (if any): how many
+    # chunks ran and how the adaptive sizing settled — the numbers needed
+    # to explain parallel overhead vs. the serial warm sweep
+    annotate(
+        chunks=chunks_done,
+        final_chunk_size=next_size,
+        workers=workers,
+        adapted=adapted,
+        solver_calls=solver_calls,
+    )
     return VerificationCertificate(
         mode=VerificationMode.EXHAUSTIVE,
         k=k,

@@ -37,6 +37,7 @@ from dataclasses import replace
 from typing import Callable, Hashable, Iterable
 
 from ..._util import iter_bits
+from ...obs.spans import child_span
 from ..hamilton import (
     SolvePolicy,
     SpanningPathInstance,
@@ -207,13 +208,14 @@ class WitnessSweeper:
                 # extension attempts seeded with the stale witness order
                 # resolve most splice failures for a fraction of the
                 # exact solver's cost; only FOUND answers are trusted.
-                report = solve_posa(
-                    inst,
-                    restarts=2,
-                    rotations=4 * inst.h,
-                    seed=self.policy.seed,
-                    initial_order=self.prev_bits,
-                )
+                with child_span("warm_rotate", h=inst.h):
+                    report = solve_posa(
+                        inst,
+                        restarts=2,
+                        rotations=4 * inst.h,
+                        seed=self.policy.seed,
+                        initial_order=self.prev_bits,
+                    )
                 self.nodes_expanded += report.nodes_expanded
                 if report.status is Status.FOUND:
                     self.warm_heuristic += 1
@@ -226,7 +228,8 @@ class WitnessSweeper:
             policy = replace(
                 policy, initial_order=[procs[b] for b in self.prev_bits]
             )
-        report = solve(inst, policy)
+        with child_span("exact_solve", h=inst.h):
+            report = solve(inst, policy)
         self.solver_calls += 1
         self.nodes_expanded += report.nodes_expanded
         if report.status is Status.FOUND and in_global_space:

@@ -40,10 +40,18 @@ class LockOrderMonitor:
     :class:`~repro.errors.LockOrderViolationError` *at the acquisition
     site*, before the thread can block — turning a would-be deadlock into
     a stack trace.
+
+    ``recorder`` (duck-typed to
+    :class:`repro.obs.recorder.FlightRecorder`) gets a ``lock_order``
+    anomaly — and with it a span-ring dump — for every violation, strict
+    or post-hoc, so the flight recorder captures what the fleet was doing
+    when the ordering broke.  The anomaly is reported *after* the
+    monitor's own lock is released, keeping the recorder lock a leaf.
     """
 
-    def __init__(self, *, strict: bool = False) -> None:
+    def __init__(self, *, strict: bool = False, recorder=None) -> None:
         self.strict = strict
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._edges: dict[tuple[str, str], str] = {}   # edge -> first site
         self._local = threading.local()
@@ -62,6 +70,7 @@ class LockOrderMonitor:
             (h, name) for h in held if h != name and (h, name) not in self._edges
         ]
         repeat = any(h == name for h in held)
+        message: str | None = None
         with self._lock:
             for edge in new_edges:
                 self._edges.setdefault(edge, site)
@@ -69,10 +78,13 @@ class LockOrderMonitor:
                 cycle = [name] if repeat else self._find_cycle_locked()
                 if cycle is not None:
                     order = " -> ".join([*cycle, cycle[0]])
-                    raise LockOrderViolationError(
+                    message = (
                         f"acquiring {name!r} while holding "
                         f"{held!r} closes a lock-order cycle: {order}"
                     )
+        if message is not None:
+            self._report(message)
+            raise LockOrderViolationError(message)
 
     def note_acquired(self, name: str) -> None:
         self._held().append(name)
@@ -107,9 +119,15 @@ class LockOrderMonitor:
         cycle = self.find_cycle()
         if cycle is not None:
             order = " -> ".join([*cycle, cycle[0]])
-            raise LockOrderViolationError(
-                f"observed lock-order cycle: {order}"
-            )
+            message = f"observed lock-order cycle: {order}"
+            self._report(message)
+            raise LockOrderViolationError(message)
+
+    def _report(self, message: str) -> None:
+        """Forward a violation to the flight recorder (if wired)."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.note_anomaly("lock_order", message)
 
 
 class SanitizedLock:

@@ -1,0 +1,158 @@
+"""A lightweight stdlib HTTP endpoint for metrics and traces.
+
+``python -m repro serve --metrics-port N`` mounts this next to a running
+:class:`~repro.service.control.ControlPlane`.  Pure
+:mod:`http.server` — no framework, no dependency — because the payloads
+are small and the handler does nothing but snapshot-and-render:
+
+``/metrics``        Prometheus text exposition (scrape target)
+``/metrics.json``   the same snapshot as sorted-key JSON
+``/trace``          recent finished spans (``?trace_id=``/``?network=``
+                    filters), newest last
+``/dumps``          in-memory flight-recorder dump payloads
+``/healthz``        ``ok`` + fleet size (liveness probe)
+
+The server runs on a daemon thread (``ThreadingHTTPServer``, so a slow
+scraper cannot block a second one) and binds port 0 cleanly for tests —
+``MetricsServer.port`` reports the real port after bind.  Handlers only
+ever *read* plane state through ``snapshot()``/``spans()`` copies, so no
+request can contend with the event path beyond one lock-guarded copy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .exposition import render_metrics_json, render_prometheus
+
+__all__ = ["MetricsServer"]
+
+
+class MetricsServer:
+    """Serve a control plane's metrics and traces over HTTP.
+
+    >>> from repro.service import ControlPlane
+    >>> plane = ControlPlane()
+    >>> server = MetricsServer(plane, port=0)
+    >>> server.port > 0
+    True
+    >>> server.close(); plane.close()
+    """
+
+    def __init__(
+        self,
+        plane,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        trace_limit: int = 512,
+    ) -> None:
+        self.plane = plane
+        self.trace_limit = trace_limit
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # one snapshot per request; never touches plane internals
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                parsed = urlparse(self.path)
+                route = parsed.path.rstrip("/") or "/"
+                try:
+                    if route in ("/", "/metrics"):
+                        body = render_prometheus(
+                            outer.plane.snapshot()
+                        ).encode()
+                        ctype = "text/plain; version=0.0.4; charset=utf-8"
+                    elif route == "/metrics.json":
+                        body = render_metrics_json(
+                            outer.plane.snapshot()
+                        ).encode()
+                        ctype = "application/json"
+                    elif route == "/trace":
+                        body = outer._trace_body(parse_qs(parsed.query))
+                        ctype = "application/json"
+                    elif route == "/dumps":
+                        body = outer._dumps_body()
+                        ctype = "application/json"
+                    elif route == "/healthz":
+                        body = f"ok {len(outer.plane)} networks\n".encode()
+                        ctype = "text/plain; charset=utf-8"
+                    else:
+                        self.send_error(404, "unknown route")
+                        return
+                except BrokenPipeError:  # scraper went away mid-render
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt: str, *args) -> None:
+                # metrics scrapes are not operator-relevant stdout
+                return
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _tracer(self):
+        return getattr(self.plane, "tracer", None)
+
+    def _recorder(self):
+        return getattr(self.plane, "recorder", None)
+
+    def _trace_body(self, query: dict) -> bytes:
+        tracer = self._tracer()
+        spans = tracer.spans() if tracer is not None else []
+        want_trace = query.get("trace_id", [None])[0]
+        want_network = query.get("network", [None])[0]
+        if want_trace:
+            spans = [s for s in spans if s.get("trace_id") == want_trace]
+        if want_network:
+            spans = [
+                s
+                for s in spans
+                if s.get("attrs", {}).get("network") == want_network
+            ]
+        spans = spans[-self.trace_limit:]
+        return json.dumps(
+            {"spans": spans, "count": len(spans)}, sort_keys=True
+        ).encode()
+
+    def _dumps_body(self) -> bytes:
+        recorder = self._recorder()
+        dumps = list(recorder.dumps()) if recorder is not None else []
+        return json.dumps(
+            {"dumps": dumps, "count": len(dumps)}, sort_keys=True
+        ).encode()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,172 @@
+"""Shared latency quantile math: one histogram, one exact picker.
+
+Before this module existed the repo computed percentiles twice — a
+sort-based picker private to :mod:`repro.service.loadgen` and a
+mean/max-only ``LatencyStats`` in :mod:`repro.service.metrics` that could
+not answer "what is p95?" at all.  Both now share this code:
+
+* :class:`LatencyHistogram` — a streaming, immutable, mergeable
+  log-bucketed histogram.  ``observe`` returns a new value (the
+  control-plane pattern ``stats = stats.observe(x)`` under a lock keeps
+  working), quantiles are answered from the bucket counts in O(buckets),
+  and two histograms merge bucket-wise — which is what lets per-chunk
+  worker timings fold into one fleet distribution.
+* :func:`exact_quantile` — the sort-based picker for small in-memory
+  sample populations (the load harness), kept exact because benchmark
+  gates compare its output run over run.
+
+Buckets are powers of two from 1 µs up to ~67 s plus an overflow bucket;
+a reported quantile is the *upper bound* of the bucket where the
+cumulative count crosses the rank, so histogram quantiles are
+conservative (never under-report) and at most one bucket-width (2x)
+coarse — plenty for the "is p95 milliseconds or seconds?" questions the
+metrics endpoint answers, while the bench harness keeps the exact picker
+for its regression gates.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Bucket upper bounds in seconds: 1 µs * 2**i, i = 0..26 (~67 s), plus
+#: an implicit overflow bucket.  Log-spaced so sub-millisecond query
+#: latencies and multi-second solves land in usefully distinct buckets.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(27))
+
+_NBUCKETS = len(BUCKET_BOUNDS) + 1  # + overflow
+_ZEROS = (0,) * _NBUCKETS
+
+
+def bucket_index(value: float) -> int:
+    """The histogram bucket for *value* (last bucket = overflow)."""
+    if value < 0:
+        value = 0.0
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+@dataclass(frozen=True)
+class LatencyHistogram:
+    """Streaming latency aggregate (seconds) with bucketed quantiles.
+
+    Immutable: ``observe``/``merge`` return new values, so instances can
+    be swapped atomically under a lock and snapshotted without copying.
+
+    >>> h = LatencyHistogram()
+    >>> for v in (0.001, 0.002, 0.004):
+    ...     h = h.observe(v)
+    >>> h.count, round(h.mean, 4), h.max
+    (3, 0.0023, 0.004)
+    >>> h.quantile(0.5) >= 0.002
+    True
+    """
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    buckets: tuple[int, ...] = field(default=_ZEROS, repr=False)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, latency: float) -> "LatencyHistogram":
+        """A new histogram with *latency* folded in."""
+        idx = bucket_index(latency)
+        buckets = list(self.buckets)
+        buckets[idx] += 1
+        return LatencyHistogram(
+            count=self.count + 1,
+            total=self.total + latency,
+            max=max(self.max, latency),
+            buckets=tuple(buckets),
+        )
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """The bucket-wise sum of two histograms."""
+        return LatencyHistogram(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            max=max(self.max, other.max),
+            buckets=tuple(
+                a + b for a, b in zip(self.buckets, other.buckets)
+            ),
+        )
+
+    def quantile(self, q: float) -> float:
+        """The upper bound of the bucket holding the *q*-quantile.
+
+        Conservative: the true quantile is <= the returned value.  The
+        overflow bucket reports the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, c in enumerate(self.buckets):
+            seen += c
+            if seen >= rank:
+                if i >= len(BUCKET_BOUNDS):
+                    return self.max
+                return min(BUCKET_BOUNDS[i], self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (buckets elided; see ``bucket_rows``)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def bucket_rows(self) -> list[tuple[float, int]]:
+        """``(upper_bound_seconds, cumulative_count)`` rows, Prometheus
+        style: counts are cumulative and the final row is ``(inf, count)``."""
+        rows: list[tuple[float, int]] = []
+        seen = 0
+        for bound, c in zip(BUCKET_BOUNDS, self.buckets):
+            seen += c
+            rows.append((bound, seen))
+        rows.append((math.inf, self.count))
+        return rows
+
+
+def exact_quantile(ordered: Sequence[float], q: float) -> float:
+    """The *q*-quantile of an already-sorted sample (nearest-rank).
+
+    This is the picker the load harness always used — kept exact (no
+    bucketing) because bench regression gates diff its output.
+    """
+    if not ordered:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    n = len(ordered)
+    return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+
+
+def summarize_samples(samples: Sequence[float]) -> LatencyHistogram:
+    """Fold a raw sample population into a :class:`LatencyHistogram`."""
+    hist = LatencyHistogram()
+    for s in samples:
+        hist = hist.observe(s)
+    return hist

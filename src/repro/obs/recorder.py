@@ -1,0 +1,174 @@
+"""Flight recorder: a bounded span ring that auto-dumps on anomalies.
+
+The point of a flight recorder is that the evidence is *already
+captured* when something goes wrong: a bounded, lock-safe ring holds the
+most recent finished spans, and the moment an anomaly is reported —
+a shed event, a cached witness failing ``is_pipeline`` re-validation, a
+torn persistent-store row, a :class:`~repro.errors.LockOrderViolationError`
+from the runtime sanitizer — the recorder freezes a JSON snapshot of the
+ring plus the anomaly description.  Post-mortems read the dump; nobody
+has to reproduce a load-dependent failure to learn which phases the
+doomed request went through.
+
+Dumps are bounded two ways so an anomaly storm cannot fill a disk: at
+most ``max_dumps`` files are ever written per recorder, and the
+in-memory payload list keeps only the most recent ``keep_dumps``
+(counters keep the totals).  With no ``dump_dir`` the payloads are
+in-memory only — that is what the tests and the metrics endpoint use.
+
+Lock discipline (RL1xx-clean by construction): one ``threading.Lock``
+guards the ring, the counters and the dump ledger; payload assembly
+happens under it, file I/O strictly after release.  The recorder never
+calls back into the control plane, so its lock is a leaf in the
+acquisition graph — no new lock-order edges to police.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["ANOMALY_KINDS", "FlightRecorder"]
+
+#: The anomaly taxonomy.  ``shed`` — admission control rejected an event;
+#: ``validation_failure`` — a served/cached witness failed live
+#: ``is_pipeline`` re-validation; ``torn_row`` — a persistent-store row
+#: failed to decode; ``lock_order`` — the runtime sanitizer saw an
+#: acquisition closing a lock-order cycle; ``error`` — an event
+#: processing failure surfaced to a future.
+ANOMALY_KINDS = (
+    "shed",
+    "validation_failure",
+    "torn_row",
+    "lock_order",
+    "error",
+)
+
+
+class FlightRecorder:
+    """Bounded recent-span ring with anomaly-triggered JSON snapshots.
+
+    >>> rec = FlightRecorder(capacity=4)
+    >>> rec.record({"name": "solve", "trace_id": "t1", "duration_s": 0.1})
+    >>> dump = rec.note_anomaly("shed", "queue full", network="edge-a")
+    >>> dump["kind"], len(dump["spans"])
+    ('shed', 1)
+    >>> rec.anomalies()["shed"]
+    1
+    """
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        *,
+        dump_dir: str | None = None,
+        max_dumps: int = 16,
+        keep_dumps: int = 8,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        if max_dumps < 0 or keep_dumps < 1:
+            raise ValueError("max_dumps must be >= 0 and keep_dumps >= 1")
+        self.capacity = capacity
+        self.dump_dir = dump_dir
+        self.max_dumps = max_dumps
+        self._lock = threading.Lock()
+        self._spans: deque[dict] = deque(maxlen=capacity)
+        self._anomalies: dict[str, int] = {k: 0 for k in ANOMALY_KINDS}
+        self._dumps: deque[dict] = deque(maxlen=keep_dumps)
+        self._seq = 0
+        self._files_written = 0
+        self._dump_paths: list[str] = []
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def record(self, span_dict: dict) -> None:
+        """Append one finished span dict to the ring."""
+        with self._lock:
+            self._spans.append(span_dict)
+
+    def note_anomaly(
+        self,
+        kind: str,
+        detail: str = "",
+        *,
+        network: str | None = None,
+        extra: Mapping[str, Any] | None = None,
+    ) -> dict:
+        """Count an anomaly and freeze a snapshot of the ring.
+
+        Returns the dump payload; when a ``dump_dir`` is configured and
+        the file budget is not exhausted, the payload is also written to
+        ``flight-<seq>-<kind>.json`` there (I/O failures are counted,
+        never raised — the recorder must not take down the service it
+        observes).
+        """
+        if kind not in ANOMALY_KINDS:
+            kind = "error"
+        with self._lock:
+            self._anomalies[kind] += 1
+            self._seq += 1
+            payload = {
+                "seq": self._seq,
+                "kind": kind,
+                "detail": detail,
+                "network": network,
+                "anomalies": dict(self._anomalies),
+                "extra": dict(sorted((extra or {}).items())),
+                "spans": list(self._spans),
+            }
+            self._dumps.append(payload)
+            write_path: str | None = None
+            if self.dump_dir is not None and self._files_written < self.max_dumps:
+                self._files_written += 1
+                write_path = os.path.join(
+                    self.dump_dir, f"flight-{self._seq:04d}-{kind}.json"
+                )
+        if write_path is not None:
+            try:
+                os.makedirs(self.dump_dir, exist_ok=True)
+                with open(write_path, "w") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError:
+                with self._lock:
+                    self._anomalies["error"] += 1
+            else:
+                with self._lock:
+                    self._dump_paths.append(write_path)
+        return payload
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def spans(self) -> list[dict]:
+        """The ring contents, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def anomalies(self) -> dict[str, int]:
+        """Anomaly totals by kind (all kinds present, zeros included)."""
+        with self._lock:
+            return dict(self._anomalies)
+
+    def total_anomalies(self) -> int:
+        with self._lock:
+            return sum(self._anomalies.values())
+
+    def dumps(self) -> tuple[dict, ...]:
+        """The most recent in-memory dump payloads, oldest first."""
+        with self._lock:
+            return tuple(self._dumps)
+
+    def dump_paths(self) -> tuple[str, ...]:
+        """Paths of dump files written so far."""
+        with self._lock:
+            return tuple(self._dump_paths)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

@@ -1,0 +1,459 @@
+"""Causal spans: trace/span IDs, phase timers and context propagation.
+
+A *span* is one timed phase of work (queue wait, canonicalization, a
+solver call); a *trace* is the causal chain of spans hanging off one
+root event (a fault arriving at the control plane, a query, a bench
+sweep).  Spans carry ``trace_id``/``span_id``/``parent_id`` links, so a
+post-mortem can reconstruct exactly which phases an event went through
+and how long each took — the "why was this slow?" answer the per-event
+``EventRecord`` totals cannot give.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  The default tracer everywhere is
+  :data:`NOOP_TRACER`; its ``span()`` hands back one shared no-op
+  context manager and allocates nothing.  Library code that wants to
+  self-instrument without plumbing a tracer through every signature uses
+  the module-level helpers :func:`child_span` / :func:`annotate`, which
+  consult a thread-local *active-span stack*: when no span is active
+  (tracing off) they cost one thread-local read and a truthiness check.
+* **Deterministic serialization.**  IDs come from a per-tracer counter
+  (never ``id()``/``hash()``), attribute values are JSON scalars, and
+  renderers sort keys — a span serialized under ``PYTHONHASHSEED=0``
+  and ``=1`` is byte-identical (asserted by the test suite), because
+  flight-recorder dumps get diffed.
+* **Explicit cross-thread/-process propagation.**  A
+  :class:`SpanContext` is a picklable ``(trace_id, span_id)`` pair; the
+  control plane stores one on each queued event, and the parallel
+  verifier ships one to its ``multiprocessing`` workers which hand back
+  plain span dicts (monotonic clocks do not compare across processes,
+  so worker spans carry durations and a ``clock: "worker"`` marker).
+
+Timer discipline: ``time.perf_counter`` only (monotonic), anchored to a
+per-tracer epoch so ``start_s`` values within one trace are comparable;
+wall-clock time appears solely as an informational trace-file header.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "annotate",
+    "child_span",
+    "current_context",
+    "current_span",
+    "current_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """A picklable reference to a span, for cross-thread/-process links."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed phase.  Mutable while open; serialized when finished."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_s",
+        "end_s",
+        "status",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        start_s: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.status = "ok"
+        self.attrs = attrs
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes (JSON scalars; use ``repr`` for node labels)."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> dict:
+        """The serialized form stored in rings, dumps and trace files."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+def make_span_dict(
+    context: SpanContext,
+    suffix: str,
+    name: str,
+    duration_s: float,
+    attrs: Mapping[str, Any] | None = None,
+    *,
+    status: str = "ok",
+) -> dict:
+    """A finished span dict built *without* a tracer — what worker
+    processes return to their parent.  ``suffix`` disambiguates the span
+    id under the parent (e.g. a chunk sequence number); the parent's
+    monotonic clock does not apply, so ``start_s`` is zero and the dict
+    is marked ``clock: "worker"``."""
+    merged = {"clock": "worker"}
+    merged.update(attrs or {})
+    return {
+        "trace_id": context.trace_id,
+        "span_id": f"{context.span_id}.{suffix}",
+        "parent_id": context.span_id,
+        "name": name,
+        "start_s": 0.0,
+        "duration_s": round(duration_s, 9),
+        "status": status,
+        "attrs": dict(sorted(merged.items())),
+    }
+
+
+# ----------------------------------------------------------------------
+# thread-local active-span stack (the zero-plumbing propagation channel)
+# ----------------------------------------------------------------------
+_ACTIVE = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = _ACTIVE.stack = []
+    return stack
+
+
+def current_span() -> Span | None:
+    """The innermost active span on this thread, or ``None``."""
+    stack = getattr(_ACTIVE, "stack", None)
+    if not stack:
+        return None
+    return stack[-1][1]
+
+
+def current_tracer() -> "Tracer | None":
+    """The tracer owning the innermost active span, or ``None``."""
+    stack = getattr(_ACTIVE, "stack", None)
+    if not stack:
+        return None
+    return stack[-1][0]
+
+
+def current_context() -> SpanContext | None:
+    """The innermost active span's context, or ``None``."""
+    span = current_span()
+    return span.context if span is not None else None
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the active span, if any (else: free no-op)."""
+    span = current_span()
+    if span is not None:
+        span.set(**attrs)
+
+
+def child_span(name: str, **attrs: Any):
+    """A context manager for a child of the active span.
+
+    This is how deep library code (the session, the cache tiers, the
+    sweepers) self-instruments without a tracer in its signature: under
+    an active traced request it opens a real child span; otherwise it
+    returns the shared no-op.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return _NOOP_CM
+    return tracer.span(name, **attrs)
+
+
+class _SpanCM:
+    """Context manager: start a span, keep it active, finish it."""
+
+    __slots__ = ("_tracer", "_name", "_parent", "_attrs", "_span")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: SpanContext | Span | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._parent = parent
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        span = self._tracer.start_span(
+            self._name, parent=self._parent, **self._attrs
+        )
+        self._span = span
+        _stack().append((self._tracer, span))
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = _stack()
+        if stack and self._span is not None and stack[-1][1] is self._span:
+            stack.pop()
+        if self._span is not None:
+            self._tracer.finish(
+                self._span, status="error" if exc_type is not None else "ok"
+            )
+        return False
+
+
+class Tracer:
+    """Issues spans, keeps a bounded ring of finished ones.
+
+    >>> tracer = Tracer()
+    >>> with tracer.span("event", kind="fault") as root:
+    ...     with tracer.span("solve") as child:
+    ...         _ = child.set(solver="full")
+    >>> spans = tracer.spans()
+    >>> [s["name"] for s in spans]
+    ['solve', 'event']
+    >>> spans[0]["parent_id"] == spans[1]["span_id"]
+    True
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        ring: int = 8192,
+        recorder=None,
+    ) -> None:
+        if ring < 1:
+            raise ValueError("tracer ring must be >= 1")
+        self.recorder = recorder
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._finished: list[dict] = []
+        self._ring = ring
+        self._dropped = 0
+
+    # -- id issuance ---------------------------------------------------
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    # -- span lifecycle ------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: SpanContext | Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """An open span.  With no explicit *parent* the innermost active
+        span on this thread (if any) is the parent; with neither, the
+        span roots a fresh trace."""
+        seq = self._next_seq()
+        if parent is None:
+            parent = current_span()
+        if parent is None:
+            trace_id = f"t{seq:08d}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            trace_id=trace_id,
+            span_id=f"s{seq:08d}",
+            parent_id=parent_id,
+            name=name,
+            start_s=time.perf_counter() - self.epoch,
+            attrs=dict(attrs),
+        )
+
+    def finish(self, span: Span, status: str = "ok") -> None:
+        """Close *span* and commit it to the ring (and the recorder)."""
+        if span.end_s is None:
+            span.end_s = time.perf_counter() - self.epoch
+        if status != "ok":
+            span.status = status
+        self.record(span.as_dict())
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: SpanContext | Span | None = None,
+        **attrs: Any,
+    ) -> _SpanCM:
+        """Context manager: the span is active (parents nested
+        :func:`child_span` calls on this thread) until exit."""
+        return _SpanCM(self, name, parent, dict(attrs))
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        parent: SpanContext | Span | None = None,
+        start_s: float,
+        end_s: float,
+        status: str = "ok",
+        **attrs: Any,
+    ) -> None:
+        """Commit a span measured externally (e.g. a queue wait whose
+        start predates any tracer involvement).  *start_s*/*end_s* are
+        raw ``perf_counter`` readings; the tracer re-anchors them."""
+        span = self.start_span(name, parent=parent, **attrs)
+        span.start_s = start_s - self.epoch
+        span.end_s = end_s - self.epoch
+        span.status = status
+        self.record(span.as_dict())
+
+    def record(self, span_dict: dict) -> None:
+        """Append a finished span dict (local or from a worker process)."""
+        recorder = self.recorder
+        with self._lock:
+            self._finished.append(span_dict)
+            if len(self._finished) > self._ring:
+                overflow = len(self._finished) - self._ring
+                del self._finished[:overflow]
+                self._dropped += overflow
+        if recorder is not None:
+            recorder.record(span_dict)
+
+    # -- export --------------------------------------------------------
+    def spans(self) -> list[dict]:
+        """Finished spans, oldest first (bounded by the ring)."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain(self) -> list[dict]:
+        """Finished spans, removing them from the ring."""
+        with self._lock:
+            out = self._finished
+            self._finished = []
+            return out
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+
+class _NoopSpan:
+    """The shared do-nothing span."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    status = "ok"
+    duration_s = 0.0
+
+    @property
+    def context(self) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _NoopCM:
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_CM = _NoopCM()
+
+
+class NoopTracer:
+    """The disabled tracer: every operation is a shared-object no-op."""
+
+    enabled = False
+    recorder = None
+    dropped = 0
+
+    def start_span(self, name: str, *, parent=None, **attrs: Any) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def finish(self, span, status: str = "ok") -> None:
+        return None
+
+    def span(self, name: str, *, parent=None, **attrs: Any) -> _NoopCM:
+        return _NOOP_CM
+
+    def record_span(self, name: str, **kwargs: Any) -> None:
+        return None
+
+    def record(self, span_dict: dict) -> None:
+        return None
+
+    def spans(self) -> list[dict]:
+        return []
+
+    def drain(self) -> list[dict]:
+        return []
+
+
+NOOP_TRACER = NoopTracer()
+
+
+def iter_traces(spans: list[dict]) -> Iterator[tuple[str, list[dict]]]:
+    """Group finished span dicts by trace, preserving first-seen order."""
+    by_trace: dict[str, list[dict]] = {}
+    for s in spans:
+        by_trace.setdefault(s["trace_id"], []).append(s)
+    yield from by_trace.items()

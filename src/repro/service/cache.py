@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
+from ..obs.spans import annotate
 from .canonical import FaultKey
 
 Node = Hashable
@@ -123,14 +124,21 @@ class WitnessCache:
             entry = self._rows.get(row)
             if entry is None:
                 self._misses += 1
-                return None
-            self._rows.move_to_end(row)
-            self._hits += 1
-            nodes, stored = entry
-            ok = checksum is not None and stored == checksum
-            if ok:
-                self._checksum_skips += 1
-            return nodes, ok
+                result = None
+            else:
+                self._rows.move_to_end(row)
+                self._hits += 1
+                nodes, stored = entry
+                ok = checksum is not None and stored == checksum
+                if ok:
+                    self._checksum_skips += 1
+                result = (nodes, ok)
+        # annotate outside the lock: the active-span stack is thread-local
+        if result is None:
+            annotate(tier="memory", result="miss")
+        else:
+            annotate(tier="memory", result="hit", checksum_ok=result[1])
+        return result
 
     def store(
         self,

@@ -53,6 +53,8 @@ from ..core.pipeline import Pipeline, is_pipeline
 from ..core.reconfigure import fast_solve_policy
 from ..core.session import ChurnRecord, ReconfigurationSession
 from ..errors import ReproError, ServiceOverloadError
+from ..obs.recorder import FlightRecorder
+from ..obs.spans import NOOP_TRACER, Tracer
 from .cache import WitnessCache
 from .canonical import Canonicalizer, network_fingerprint, structural_checksum
 from .metrics import (
@@ -97,6 +99,15 @@ class ControlPlaneConfig:
     warm_limit: int | None = 1024
     write_behind_depth: int = 256
     write_behind_batch: int = 64
+    #: enable causal tracing: every event/query gets a span tree and a
+    #: flight recorder captures recent spans + anomaly dumps.  Off by
+    #: default — the no-op tracer costs nothing on the event path.
+    tracing: bool = False
+    #: where the flight recorder writes anomaly dump files (``None`` =
+    #: in-memory dumps only).
+    trace_dump_dir: str | None = None
+    #: bounded ring of finished spans kept by the tracer.
+    trace_ring: int = 8192
 
 
 @dataclass(frozen=True)
@@ -135,6 +146,9 @@ class _PendingEvent:
     node: Node
     future: Future
     enqueued_at: float
+    #: the root causal span for this event (the shared no-op span when
+    #: tracing is disabled); finished by the drain worker.
+    span: object = None
 
 
 class ManagedNetwork:
@@ -206,9 +220,23 @@ class ControlPlane:
         config: ControlPlaneConfig | None = None,
         *,
         cache: WitnessCache | None = None,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ) -> None:
         self.config = config or ControlPlaneConfig()
         self._owns_cache = cache is None
+        if tracer is not None:
+            # caller-owned tracer: adopt its recorder unless one was given
+            if recorder is None:
+                recorder = tracer.recorder
+        elif self.config.tracing or self.config.trace_dump_dir:
+            if recorder is None:
+                recorder = FlightRecorder(dump_dir=self.config.trace_dump_dir)
+            tracer = Tracer(ring=self.config.trace_ring, recorder=recorder)
+        else:
+            tracer = NOOP_TRACER
+        self.tracer = tracer
+        self.recorder = recorder
         if cache is None:
             if self.config.store_path is not None:
                 # lazy import: tiering pulls in sqlite3-backed storage
@@ -228,6 +256,19 @@ class ControlPlane:
             else:
                 cache = WitnessCache(self.config.cache_capacity)
         self.cache = cache
+        if self.recorder is not None:
+            store = getattr(cache, "persistent", None)
+            if store is not None and hasattr(store, "set_torn_row_callback"):
+                recorder_ref = self.recorder
+
+                def _on_torn(fingerprint: str, encoded_key: str) -> None:
+                    recorder_ref.note_anomaly(
+                        "torn_row",
+                        f"undecodable persisted row {encoded_key!r}",
+                        extra={"fingerprint": fingerprint},
+                    )
+
+                store.set_torn_row_callback(_on_torn)
         self._managed: dict[str, ManagedNetwork] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-cp"
@@ -313,23 +354,43 @@ class ControlPlane:
                 raise ReproError("control plane is closed")
         m = self._managed[name]
         future: Future = Future()
-        event = _PendingEvent(kind, node, future, time.perf_counter())
+        # the root causal span: admission to resolved future.  Created
+        # with no parent so each event roots its own trace.
+        root = self.tracer.start_span(
+            "event", kind=kind, network=name, node=repr(node)
+        )
+        event = _PendingEvent(kind, node, future, time.perf_counter(), root)
+        shed = False
+        schedule = False
         with m.lock:
             if len(m.pending) >= self.config.max_pending:
                 m.counters["shed"] += 1
-                raise ServiceOverloadError(
-                    f"network {name!r}: pending queue full "
-                    f"({self.config.max_pending} events); event shed"
-                )
-            m.pending.append(event)
-            was_intended = node in m.intended
-            if kind == "fault":
-                m.intended.add(node)
+                shed = True
             else:
-                m.intended.discard(node)
-            schedule = not m.draining and not m.paused
-            if schedule:
-                m.draining = True
+                m.pending.append(event)
+                was_intended = node in m.intended
+                if kind == "fault":
+                    m.intended.add(node)
+                else:
+                    m.intended.discard(node)
+                schedule = not m.draining and not m.paused
+                if schedule:
+                    m.draining = True
+        if shed:
+            # anomaly + span finish strictly after m.lock is released, so
+            # the recorder/tracer locks stay leaves in the order graph
+            self.tracer.finish(root, status="shed")
+            if self.recorder is not None:
+                self.recorder.note_anomaly(
+                    "shed",
+                    f"pending queue full ({self.config.max_pending} events)",
+                    network=name,
+                    extra={"kind": kind, "node": repr(node)},
+                )
+            raise ServiceOverloadError(
+                f"network {name!r}: pending queue full "
+                f"({self.config.max_pending} events); event shed"
+            )
         if schedule:
             try:
                 self._executor.submit(self._drain, m)
@@ -345,6 +406,7 @@ class ControlPlane:
                     else:
                         m.intended.discard(node)
                     m.draining = False
+                self.tracer.finish(root, status="error")
                 raise ReproError("control plane is closed") from None
         return future
 
@@ -357,22 +419,28 @@ class ControlPlane:
         """
         t0 = time.perf_counter()
         m = self._managed[name]
-        with m.lock:
-            backlog = len(m.pending) + (1 if m.in_flight else 0)
-            m.counters["queries"] += 1
-            degraded = backlog >= self.config.degraded_after
-            if degraded:
-                m.counters["degraded_served"] += 1
-            pipeline, faults = m.answer_state
-            # explicit graceful-degradation metadata: which admitted
-            # faults the served answer does not reflect yet, and which
-            # believed-healthy processors it leaves out (queued repairs)
-            outstanding = frozenset(m.intended - faults)
-            omitted = frozenset(
-                m.network.processors - m.intended - set(pipeline.nodes)
+        with self.tracer.span("query", network=name) as qspan:
+            with m.lock:
+                backlog = len(m.pending) + (1 if m.in_flight else 0)
+                m.counters["queries"] += 1
+                degraded = backlog >= self.config.degraded_after
+                if degraded:
+                    m.counters["degraded_served"] += 1
+                pipeline, faults = m.answer_state
+                # explicit graceful-degradation metadata: which admitted
+                # faults the served answer does not reflect yet, and which
+                # believed-healthy processors it leaves out (queued repairs)
+                outstanding = frozenset(m.intended - faults)
+                omitted = frozenset(
+                    m.network.processors - m.intended - set(pipeline.nodes)
+                )
+                if outstanding or omitted:
+                    m.counters["stale_served"] += 1
+            qspan.set(
+                degraded=degraded,
+                pending=backlog,
+                stale=bool(outstanding or omitted),
             )
-            if outstanding or omitted:
-                m.counters["stale_served"] += 1
         self._record(
             m,
             EventRecord(
@@ -469,6 +537,15 @@ class ControlPlane:
                     return
                 event = m.pending.popleft()
                 m.in_flight = True
+            # queue wait: admission to dispatch, measured on raw
+            # perf_counter readings (the tracer re-anchors them)
+            self.tracer.record_span(
+                "queue_wait",
+                parent=event.span,
+                start_s=event.enqueued_at,
+                end_s=time.perf_counter(),
+                network=m.name,
+            )
             try:
                 record = self._process(m, event)
             except BaseException as exc:  # noqa: BLE001 - forwarded to the future
@@ -485,8 +562,14 @@ class ControlPlane:
                         else:
                             base.discard(queued.node)
                     m.intended = base
+                self.tracer.finish(event.span, status="error")
+                if self.recorder is not None:
+                    self.recorder.note_anomaly(
+                        "error", repr(exc), network=m.name
+                    )
                 event.future.set_exception(exc)
             else:
+                self.tracer.finish(event.span)
                 event.future.set_result(record)
             finally:
                 with m.lock:
@@ -509,26 +592,48 @@ class ControlPlane:
         if trivial:
             rec = self._apply(session, event.kind, node, None)
         else:
-            key, sigma = m.canon.canonical(target)
+            with self.tracer.span(
+                "canonicalize", parent=event.span, network=m.name
+            ):
+                key, sigma = m.canon.canonical(target)
+                live_checksum = structural_checksum(m.network)
             candidate: Pipeline | None = None
-            live_checksum = structural_checksum(m.network)
-            found = self.cache.lookup_validated(m.fingerprint, key, live_checksum)
-            if found is not None:
-                cached, checksum_ok = found
-                nodes = Canonicalizer.map_back(cached, sigma)
-                # a matching structural checksum means the stored entry's
-                # full validation still applies verbatim; only a mutated
-                # graph (or a checksum-less row) pays is_pipeline again
-                if checksum_ok or is_pipeline(m.network, nodes, target):
-                    candidate = Pipeline.oriented(nodes, m.network)
-                else:
-                    # drop the bad row from every tier (memory + disk),
-                    # not just count it — it can never become valid again
-                    self.cache.invalidate(m.fingerprint, key)
+            validation_failed = False
+            with self.tracer.span(
+                "cache_lookup", parent=event.span, network=m.name
+            ) as lspan:
+                found = self.cache.lookup_validated(
+                    m.fingerprint, key, live_checksum
+                )
+                if found is not None:
+                    cached, checksum_ok = found
+                    nodes = Canonicalizer.map_back(cached, sigma)
+                    # a matching structural checksum means the stored entry's
+                    # full validation still applies verbatim; only a mutated
+                    # graph (or a checksum-less row) pays is_pipeline again
+                    if checksum_ok or is_pipeline(m.network, nodes, target):
+                        candidate = Pipeline.oriented(nodes, m.network)
+                        lspan.set(validated=True)
+                    else:
+                        # drop the bad row from every tier (memory + disk),
+                        # not just count it — it can never become valid again
+                        self.cache.invalidate(m.fingerprint, key)
+                        lspan.set(validated=False)
+                        validation_failed = True
+            if validation_failed and self.recorder is not None:
+                self.recorder.note_anomaly(
+                    "validation_failure",
+                    "cached witness failed live is_pipeline re-validation",
+                    network=m.name,
+                    extra={"kind": event.kind, "node": repr(node)},
+                )
             if candidate is not None:
                 solver = "cache"
                 cache_hit = True
-                rec = self._apply(session, event.kind, node, candidate)
+                with self.tracer.span(
+                    "adopt", parent=event.span, network=m.name
+                ):
+                    rec = self._apply(session, event.kind, node, candidate)
             else:
                 fast = (
                     self.config.deadline is not None
@@ -538,7 +643,12 @@ class ControlPlane:
                 session.policy = m.fast_policy if fast else m.full_policy
                 solver = "fast" if fast else "full"
                 t_solve = time.perf_counter()
-                rec = self._apply(session, event.kind, node, None)
+                # the solve span is *active* while the session works, so
+                # the session's own child_span() phases nest under it
+                with self.tracer.span(
+                    "solve", parent=event.span, network=m.name, solver=solver
+                ):
+                    rec = self._apply(session, event.kind, node, None)
                 solve_cost = time.perf_counter() - t_solve
                 alpha = self.config.ewma_alpha
                 with m.lock:
@@ -547,12 +657,17 @@ class ControlPlane:
                         if m.ewma is None
                         else (1 - alpha) * m.ewma + alpha * solve_cost
                     )
-                self.cache.store(
-                    m.fingerprint,
-                    key,
-                    Canonicalizer.map_forward(session.pipeline.nodes, sigma),
-                    checksum=live_checksum,
-                )
+                with self.tracer.span(
+                    "cache_store", parent=event.span, network=m.name
+                ):
+                    self.cache.store(
+                        m.fingerprint,
+                        key,
+                        Canonicalizer.map_forward(
+                            session.pipeline.nodes, sigma
+                        ),
+                        checksum=live_checksum,
+                    )
 
         with m.lock:
             m.answer_state = (session.pipeline, frozenset(session.faults))
@@ -647,4 +762,7 @@ class ControlPlane:
             latency=latency,
             records=records,
             store=store_stats() if store_stats is not None else None,
+            anomalies=(
+                self.recorder.anomalies() if self.recorder is not None else None
+            ),
         )

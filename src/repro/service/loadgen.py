@@ -36,7 +36,6 @@ absolute noise floor — queries are sub-millisecond) behind cold.
 
 from __future__ import annotations
 
-import math
 import os
 import platform
 import tempfile
@@ -47,6 +46,8 @@ from typing import Sequence
 
 from .._util import as_rng
 from ..errors import ReproError, ServiceOverloadError
+from ..obs.exposition import phase_breakdown
+from ..obs.quantiles import exact_quantile
 from ..simulator.faults import poisson_fault_schedule
 from ..simulator.fleet import timed_fleet_trace
 from .control import ControlPlane, ControlPlaneConfig
@@ -148,22 +149,24 @@ class LatencySummary:
 
 
 def summarize_latencies(samples: Sequence[float]) -> LatencySummary:
-    """Exact (sort-based) percentile summary; zeros when empty."""
+    """Exact (sort-based) percentile summary; zeros when empty.
+
+    The nearest-rank picker itself lives in
+    :mod:`repro.obs.quantiles` (:func:`~repro.obs.quantiles.exact_quantile`)
+    — one implementation shared with the metrics histograms instead of a
+    private copy here.
+    """
     if not samples:
         return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
     ordered = sorted(samples)
     n = len(ordered)
-
-    def pick(q: float) -> float:
-        return ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
-
     return LatencySummary(
         count=n,
         mean=sum(ordered) / n,
         max=ordered[-1],
-        p50=pick(0.50),
-        p95=pick(0.95),
-        p99=pick(0.99),
+        p50=exact_quantile(ordered, 0.50),
+        p95=exact_quantile(ordered, 0.95),
+        p99=exact_quantile(ordered, 0.99),
     )
 
 
@@ -247,7 +250,9 @@ def run_load(
     )
 
 
-def _phase_row(phase: str, report: LoadReport, snapshot) -> dict:
+def _phase_row(
+    phase: str, report: LoadReport, snapshot, phases: dict | None = None
+) -> dict:
     cache = snapshot.cache
     store = snapshot.store
     attempted = report.applied + report.shed + report.errors
@@ -276,6 +281,14 @@ def _phase_row(phase: str, report: LoadReport, snapshot) -> dict:
         "persist_hits": store.persist_hits if store else 0,
         "write_behind_depth": store.write_behind_depth if store else 0,
         "validation_failures": store.validation_failures if store else 0,
+        "torn_rows": store.torn_rows if store else 0,
+        "anomalies": (
+            dict(snapshot.anomalies) if snapshot.anomalies is not None else {}
+        ),
+        # per-phase latency breakdown (span name -> histogram summary):
+        # where each event's wall time actually went — queue wait, cache
+        # lookup, solve, cache store
+        "phases": phases or {},
     }
 
 
@@ -289,6 +302,8 @@ def run_service_bench(
     query_ratio: float = 0.5,
     profile: str = "pool",
     store_path: str | None = None,
+    tracing: bool = True,
+    dump_dir: str | None = None,
 ) -> dict:
     """The ``BENCH_service.json`` payload: a cold-store phase followed by
     a warm-store phase (fresh plane, same store) over identical
@@ -312,7 +327,11 @@ def run_service_bench(
         rows = []
         for phase in ("cold", "warm"):
             config = ControlPlaneConfig(
-                workers=workers, store_path=store_path
+                workers=workers,
+                store_path=store_path,
+                tracing=tracing,
+                trace_ring=1 << 15,
+                trace_dump_dir=dump_dir,
             )
             with ControlPlane(config) as plane:
                 register_fleet(plane, smoke=smoke)
@@ -326,7 +345,10 @@ def run_service_bench(
                 )
                 report = run_load(plane, workload)
                 plane.cache.flush()
-                rows.append(_phase_row(phase, report, plane.snapshot()))
+                phases = phase_breakdown(plane.tracer.drain())
+                rows.append(
+                    _phase_row(phase, report, plane.snapshot(), phases)
+                )
         return {
             "meta": {
                 "benchmark": "service",
@@ -339,6 +361,7 @@ def run_service_bench(
                 "workers": workers,
                 "query_ratio": query_ratio,
                 "profile": profile,
+                "tracing": tracing,
             },
             "rows": rows,
         }

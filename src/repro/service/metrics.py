@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Mapping, Sequence
 
+from ..obs.quantiles import LatencyHistogram
 from .cache import CacheStats
 from .store import StoreStats
 
@@ -62,24 +63,13 @@ class EventRecord:
         return self.moved / total if total else 0.0
 
 
-@dataclass(frozen=True)
-class LatencyStats:
-    """Streaming latency aggregate (seconds)."""
-
-    count: int = 0
-    total: float = 0.0
-    max: float = 0.0
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def observe(self, latency: float) -> "LatencyStats":
-        return LatencyStats(
-            count=self.count + 1,
-            total=self.total + latency,
-            max=max(self.max, latency),
-        )
+#: Streaming latency aggregate.  Historically a mean/max-only dataclass
+#: private to this module; now the shared log-bucketed histogram from
+#: :mod:`repro.obs.quantiles`, so the same under-lock
+#: ``stats = stats.observe(x)`` pattern also answers p50/p95/p99 and
+#: feeds the Prometheus ``_bucket`` rows.  The old field names
+#: (``count``/``total``/``max``/``mean``) are unchanged.
+LatencyStats = LatencyHistogram
 
 
 @dataclass(frozen=True)
@@ -111,6 +101,8 @@ class MetricsSnapshot:
     records: tuple[EventRecord, ...] = field(default=(), repr=False)
     #: persistent witness-tier accounting (``None`` without a store).
     store: StoreStats | None = None
+    #: flight-recorder anomaly totals by kind (``None`` without a recorder).
+    anomalies: Mapping[str, int] | None = None
 
     @property
     def events(self) -> int:
@@ -131,6 +123,7 @@ class MetricsSnapshot:
                     "counters": dict(s.counters),
                     "latency_mean": s.latency.mean,
                     "latency_max": s.latency.max,
+                    "latency_p95": s.latency.p95,
                     "total_moved": s.total_moved,
                     "mean_churn": s.mean_churn,
                 }
@@ -160,17 +153,17 @@ class MetricsSnapshot:
                     "write_errors": self.store.write_errors,
                     "write_behind_depth": self.store.write_behind_depth,
                     "validation_failures": self.store.validation_failures,
+                    "torn_rows": self.store.torn_rows,
                     "encode_skips": self.store.encode_skips,
                     "invalidated": self.store.invalidated,
                     "hit_rate": self.store.hit_rate,
                 }
             ),
             "totals": dict(self.totals),
-            "latency": {
-                "count": self.latency.count,
-                "mean": self.latency.mean,
-                "max": self.latency.max,
-            },
+            "latency": self.latency.as_dict(),
+            "anomalies": (
+                None if self.anomalies is None else dict(self.anomalies)
+            ),
             "recent_records": len(self.records),
         }
 
@@ -191,8 +184,19 @@ class MetricsSnapshot:
             f"({t.get('stale_served', 0)} with outstanding faults), "
             f"{t.get('fast_path', 0)} fast-path solves, {t.get('errors', 0)} errors",
             f"  latency: mean {self.latency.mean * 1e3:.2f} ms, "
+            f"p95 {self.latency.p95 * 1e3:.2f} ms, "
             f"max {self.latency.max * 1e3:.2f} ms over {self.latency.count} events",
         ]
+        if self.anomalies is not None:
+            a = self.anomalies
+            lines.append(
+                f"  anomalies: {sum(a.values())} total "
+                f"(shed {a.get('shed', 0)}, "
+                f"validation failures {a.get('validation_failure', 0)}, "
+                f"torn rows {a.get('torn_row', 0)}, "
+                f"lock order {a.get('lock_order', 0)}, "
+                f"errors {a.get('error', 0)})"
+            )
         if self.store is not None:
             s = self.store
             lines.insert(
@@ -201,7 +205,8 @@ class MetricsSnapshot:
                 f"{s.persist_hits} hits / {s.persist_misses} misses, "
                 f"{s.warm_loaded} warm-loaded, {s.writes} written "
                 f"(depth {s.write_behind_depth}), "
-                f"{s.validation_failures} validation failures",
+                f"{s.validation_failures} validation failures, "
+                f"{s.torn_rows} torn rows",
             )
         for s in self.networks:
             c = s.counters

@@ -87,6 +87,10 @@ class StoreStats:
     invalidated: int
     #: write-behind queue depth at snapshot time (0 when no writer or idle).
     write_behind_depth: int = 0
+    #: rows whose persisted text failed to *decode* (torn/truncated write).
+    #: A subset of ``validation_failures``, split out because a torn row
+    #: means the durability story failed, not just a stale witness.
+    torn_rows: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -133,8 +137,10 @@ class WitnessStore:
         self._writes = 0
         self._write_errors = 0
         self._validation_failures = 0
+        self._torn_rows = 0
         self._encode_skips = 0
         self._invalidated = 0
+        self._on_torn_row = None
 
     # ------------------------------------------------------------------
     # reads
@@ -147,26 +153,33 @@ class WitnessStore:
         corrupt bytes are never handed to a caller.
         """
         encoded = encode_fault_key(key)
-        with self._lock:
-            self._ensure_open()
-            cur = self._conn.execute(
-                "SELECT nodes, checksum FROM witness"
-                " WHERE fingerprint = ? AND fault_key = ?",
-                (fingerprint, encoded),
-            )
-            found = cur.fetchone()
-            if found is None:
-                self._persist_misses += 1
-                return None
-            try:
-                nodes = decode_nodes(found[0])
-            except ReproError:
-                self._validation_failures += 1
-                self._persist_misses += 1
-                self._delete_locked(fingerprint, encoded)
-                return None
-            self._persist_hits += 1
-            return StoreRow(fingerprint, key, nodes, found[1])
+        torn = False
+        try:
+            with self._lock:
+                self._ensure_open()
+                cur = self._conn.execute(
+                    "SELECT nodes, checksum FROM witness"
+                    " WHERE fingerprint = ? AND fault_key = ?",
+                    (fingerprint, encoded),
+                )
+                found = cur.fetchone()
+                if found is None:
+                    self._persist_misses += 1
+                    return None
+                try:
+                    nodes = decode_nodes(found[0])
+                except ReproError:
+                    torn = True
+                    self._validation_failures += 1
+                    self._torn_rows += 1
+                    self._persist_misses += 1
+                    self._delete_locked(fingerprint, encoded)
+                    return None
+                self._persist_hits += 1
+                return StoreRow(fingerprint, key, nodes, found[1])
+        finally:
+            if torn:
+                self._report_torn(fingerprint, encoded)
 
     def iter_fingerprint(
         self, fingerprint: str, limit: int | None = None
@@ -174,6 +187,7 @@ class WitnessStore:
         """All decodable rows for *fingerprint*, most recently written
         first (for warm-starting a fresh in-memory cache).  Undecodable
         rows are counted as validation failures and deleted in place."""
+        torn_keys: list[str] = []
         with self._lock:
             self._ensure_open()
             sql = (
@@ -192,10 +206,14 @@ class WitnessStore:
                     nodes = decode_nodes(nodes_text)
                 except ReproError:
                     self._validation_failures += 1
+                    self._torn_rows += 1
+                    torn_keys.append(key_text)
                     self._delete_locked(fingerprint, key_text)
                     continue
                 rows.append(StoreRow(fingerprint, key, nodes, checksum))
-            return rows
+        for key_text in torn_keys:
+            self._report_torn(fingerprint, key_text)
+        return rows
 
     def row_count(self) -> int:
         with self._lock:
@@ -285,6 +303,19 @@ class WitnessStore:
         """Record *count* rows validated and loaded into a memory tier."""
         with self._lock:
             self._warm_loaded += count
+
+    def set_torn_row_callback(self, callback) -> None:
+        """Register ``callback(fingerprint, encoded_key)`` to run whenever
+        a persisted row fails to decode — the flight-recorder hook.  The
+        callback fires strictly outside the store lock."""
+        with self._lock:
+            self._on_torn_row = callback
+
+    def _report_torn(self, fingerprint: str, encoded_key: str) -> None:
+        # called outside self._lock: the callback may snapshot other locks
+        callback = self._on_torn_row
+        if callback is not None:
+            callback(fingerprint, encoded_key)
 
     def delete(self, fingerprint: str, key: FaultKey) -> None:
         with self._lock:
@@ -381,4 +412,5 @@ class WitnessStore:
                 encode_skips=self._encode_skips,
                 invalidated=self._invalidated,
                 write_behind_depth=write_behind_depth,
+                torn_rows=self._torn_rows,
             )

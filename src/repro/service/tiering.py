@@ -43,6 +43,7 @@ from typing import Hashable
 
 from ..core.pipeline import is_pipeline
 from ..errors import ReproError
+from ..obs.spans import annotate
 from .cache import WitnessCache
 from .canonical import (
     FaultKey,
@@ -193,12 +194,14 @@ class TieredWitnessCache(WitnessCache):
             return found
         row = self.persistent.get(fingerprint, key)
         if row is None:
+            annotate(tier="disk", result="miss")
             return None
         # seed the memory tier checksum-less: a disk row must always pay
         # full is_pipeline validation before being served, so the
         # checksum-skip fast path never applies until it is re-stored
         # after a live validation
         WitnessCache.store(self, fingerprint, key, row.nodes, checksum=None)
+        annotate(tier="disk", result="hit", checksum_ok=False)
         return row.nodes, False
 
     # ------------------------------------------------------------------

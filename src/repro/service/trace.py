@@ -202,6 +202,8 @@ def demo_plane(
     cache_capacity: int = 256,
     deadline: float | None = None,
     max_pending: int = 64,
+    tracing: bool = False,
+    trace_dump_dir: str | None = None,
 ) -> ControlPlane:
     """A five-network demo fleet: two ``G(9,2)`` replicas (structural
     witness sharing), ``G(13,2)`` and ``G(6,2)`` builds, and a circulant
@@ -212,6 +214,8 @@ def demo_plane(
             cache_capacity=cache_capacity,
             deadline=deadline,
             max_pending=max_pending,
+            tracing=tracing,
+            trace_dump_dir=trace_dump_dir,
         )
     )
     plane.register("video-a", n=9, k=2)
@@ -254,21 +258,50 @@ def run_demo(
     cache_capacity: int = 256,
     deadline: float | None = None,
     query_ratio: float = 0.2,
+    tracing: bool = False,
+    trace_out: str | None = None,
+    trace_dump_dir: str | None = None,
+    metrics_port: int | None = None,
 ) -> tuple[TraceReport, MetricsSnapshot]:
     """The ``repro serve --demo`` payload.
 
     Runs the deterministic warmup plus a randomized trace of at least
     *events* total events across the demo fleet, returning the trace
-    report and the final metrics snapshot.
+    report and the final metrics snapshot.  ``trace_out`` implies
+    ``tracing`` and dumps the finished spans to a trace file readable by
+    ``python -m repro trace``; ``metrics_port`` serves Prometheus/JSON
+    exposition over HTTP for the duration of the run.
     """
     with demo_plane(
-        workers=workers, cache_capacity=cache_capacity, deadline=deadline
+        workers=workers,
+        cache_capacity=cache_capacity,
+        deadline=deadline,
+        tracing=tracing or trace_out is not None,
+        trace_dump_dir=trace_dump_dir,
     ) as plane:
-        trace = warmup_trace(plane)
-        remaining = max(0, events - len(trace))
-        trace += random_trace(
-            plane, remaining, seed=seed, query_ratio=query_ratio
-        )
-        report = run_trace(plane, trace)
-        snapshot = plane.snapshot()
+        server = None
+        if metrics_port is not None:
+            from ..obs.http import MetricsServer
+
+            server = MetricsServer(plane, port=metrics_port)
+        try:
+            trace = warmup_trace(plane)
+            remaining = max(0, events - len(trace))
+            trace += random_trace(
+                plane, remaining, seed=seed, query_ratio=query_ratio
+            )
+            report = run_trace(plane, trace)
+            snapshot = plane.snapshot()
+            if trace_out is not None:
+                from ..obs.cli import write_trace_file
+
+                write_trace_file(
+                    trace_out,
+                    plane.tracer.spans(),
+                    meta={"source": "serve-demo", "events": len(trace),
+                          "seed": seed},
+                )
+        finally:
+            if server is not None:
+                server.close()
     return report, snapshot

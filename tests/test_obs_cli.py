@@ -1,0 +1,181 @@
+"""The ``python -m repro trace`` CLI: file round trips, well-formedness
+checking, filters and the waterfall renderer."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.cli import (
+    find_complete_chains,
+    load_trace_file,
+    malformed_spans,
+    render_waterfall,
+    write_trace_file,
+)
+
+
+def span(trace_id, span_id, parent_id, name, duration=0.001, start=0.0,
+         status="ok", **attrs):
+    return {
+        "trace_id": trace_id, "span_id": span_id, "parent_id": parent_id,
+        "name": name, "start_s": start, "duration_s": duration,
+        "status": status, "attrs": attrs,
+    }
+
+
+def chain_spans(trace="t1", kind="fault", network="edge-a"):
+    return [
+        span(trace, "s1", None, "event", 0.05, kind=kind, network=network),
+        span(trace, "s2", "s1", "queue_wait", 0.01, network=network),
+        span(trace, "s3", "s1", "solve", 0.03, start=0.01, network=network,
+             solver="full"),
+        span(trace, "s4", "s1", "cache_store", 0.001, start=0.04,
+             network=network),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_load(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_trace_file(path, chain_spans(), meta={"source": "test"})
+        payload = load_trace_file(path)
+        assert payload["meta"]["format"] == "repro-trace/1"
+        assert payload["meta"]["source"] == "test"
+        assert payload["meta"]["spans"] == 4
+        assert [s["name"] for s in payload["spans"]][0] == "event"
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"no": "spans"}')
+        with pytest.raises(ValueError):
+            load_trace_file(str(path))
+
+
+class TestWellFormedness:
+    def test_clean_spans_pass(self):
+        assert malformed_spans(chain_spans()) == []
+
+    def test_missing_keys_and_bad_values_flagged(self):
+        bad = [
+            {"trace_id": "t", "name": "x"},
+            dict(span("t", "s", None, "y"), attrs="nope"),
+            dict(span("t", "s", None, "z"), duration_s=-1.0),
+        ]
+        problems = malformed_spans(bad)
+        assert len(problems) == 3
+        assert "missing keys" in problems[0]
+
+
+class TestChains:
+    def test_complete_chain_found(self):
+        assert find_complete_chains(chain_spans()) == ["t1"]
+
+    def test_query_root_is_not_a_chain(self):
+        spans = chain_spans()
+        spans[0]["attrs"]["kind"] = "query"
+        assert find_complete_chains(spans) == []
+
+    def test_zero_duration_phase_breaks_chain(self):
+        spans = chain_spans()
+        spans[2]["duration_s"] = 0.0
+        assert find_complete_chains(spans) == []
+
+    def test_missing_phase_breaks_chain(self):
+        assert find_complete_chains(chain_spans()[:-1]) == []
+
+
+class TestWaterfall:
+    def test_renders_depth_and_bars(self):
+        out = render_waterfall(chain_spans())
+        lines = out.splitlines()
+        assert "trace t1" in lines[0]
+        assert "event [kind=fault, network=edge-a]" in lines[1]
+        assert any("solve" in ln and "#" in ln for ln in lines)
+
+    def test_worker_clock_spans_get_tilde_bars(self):
+        spans = chain_spans() + [
+            span("t1", "s3.0", "s3", "verify_chunk", 0.02, clock="worker"),
+        ]
+        out = render_waterfall(spans)
+        assert "~" in out
+
+    def test_empty(self):
+        assert render_waterfall([]) == "(empty trace)"
+
+
+class TestCommand:
+    def write(self, tmp_path, spans):
+        path = str(tmp_path / "trace.json")
+        write_trace_file(path, spans)
+        return path
+
+    def test_summary_listing(self, tmp_path, capsys):
+        path = self.write(tmp_path, chain_spans())
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s), 1 complete chain(s)" in out
+        assert "* t1" in out
+
+    def test_check_passes_on_complete_chain(self, tmp_path, capsys):
+        path = self.write(tmp_path, chain_spans())
+        assert main(["trace", path, "--check"]) == 0
+        assert "trace check ok" in capsys.readouterr().out
+
+    def test_check_fails_without_chain(self, tmp_path, capsys):
+        path = self.write(tmp_path, chain_spans()[:2])
+        assert main(["trace", path, "--check"]) == 1
+        assert "no complete" in capsys.readouterr().err
+
+    def test_check_fails_on_malformed(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"spans": [{"name": "x"}]}, fh)
+        assert main(["trace", path, "--check"]) == 1
+
+    def test_bad_file_is_exit_2(self, tmp_path):
+        assert main(["trace", str(tmp_path / "missing.json")]) == 2
+
+    def test_tail_and_filters(self, tmp_path, capsys):
+        spans = chain_spans("t1", network="edge-a") + chain_spans(
+            "t2", kind="repair", network="ct"
+        )
+        path = self.write(tmp_path, spans)
+        assert main(["trace", path, "--tail", "2"]) == 0
+        assert len(capsys.readouterr().out.splitlines()) == 2
+        assert main(["trace", path, "--network", "ct"]) == 0
+        out = capsys.readouterr().out
+        assert "t2" in out and "t1" not in out
+        assert main(["trace", path, "--kind", "fault"]) == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "t2" not in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = self.write(tmp_path, chain_spans())
+        assert main(["trace", path, "--json", "--trace-id", "t1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["spans"]) == 4
+
+    def test_waterfall_picks_slowest_complete_trace(self, tmp_path, capsys):
+        fast = chain_spans("t1")
+        slow = [dict(s, duration_s=s["duration_s"] * 10) for s in
+                chain_spans("t2")]
+        path = self.write(tmp_path, fast + slow)
+        assert main(["trace", path, "--waterfall"]) == 0
+        assert "trace t2" in capsys.readouterr().out
+        assert main(["trace", path, "--waterfall", "t1"]) == 0
+        assert "trace t1" in capsys.readouterr().out
+        assert main(["trace", path, "--waterfall", "ghost"]) == 2
+
+
+class TestServeIntegration:
+    @pytest.mark.slow
+    def test_serve_demo_trace_out_checks_clean(self, tmp_path, capsys):
+        path = str(tmp_path / "demo-trace.json")
+        assert main([
+            "serve", "--demo", "--events", "40", "--trace-out", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", path, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "trace check ok" in out

@@ -1,0 +1,125 @@
+"""Shared quantile math: histogram buckets, conservative quantiles, the
+exact picker, and the LatencyStats alias the service metrics ride on."""
+
+import math
+
+import pytest
+
+from repro.obs.quantiles import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    bucket_index,
+    exact_quantile,
+    summarize_samples,
+)
+from repro.service.metrics import LatencyStats
+
+
+class TestBuckets:
+    def test_bounds_are_log_spaced(self):
+        assert BUCKET_BOUNDS[0] == 1e-6
+        for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert hi == lo * 2
+
+    def test_bucket_index_boundaries(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0          # clamped, not an error
+        assert bucket_index(1e-6) == 0          # exact bound lands inside
+        assert bucket_index(1.1e-6) == 1
+        assert bucket_index(BUCKET_BOUNDS[-1]) == len(BUCKET_BOUNDS) - 1
+        assert bucket_index(1e9) == len(BUCKET_BOUNDS)  # overflow bucket
+
+
+class TestLatencyHistogram:
+    def test_observe_is_immutable(self):
+        h0 = LatencyHistogram()
+        h1 = h0.observe(0.001)
+        assert h0.count == 0 and h1.count == 1
+        assert h0 is not h1
+
+    def test_count_total_max_mean(self):
+        h = summarize_samples([0.001, 0.003, 0.002])
+        assert h.count == 3
+        assert h.max == 0.003
+        assert h.total == pytest.approx(0.006)
+        assert h.mean == pytest.approx(0.002)
+
+    def test_empty_histogram(self):
+        h = LatencyHistogram()
+        assert h.mean == 0.0
+        assert h.p50 == 0.0 and h.p95 == 0.0 and h.p99 == 0.0
+
+    def test_quantile_is_conservative_within_2x(self):
+        samples = [1e-5 * (i + 1) for i in range(100)]
+        h = summarize_samples(samples)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = exact_quantile(ordered, q)
+            reported = h.quantile(q)
+            assert reported >= exact          # never under-reports
+            assert reported <= 2 * exact      # at most one bucket coarse
+
+    def test_quantile_capped_at_observed_max(self):
+        h = summarize_samples([0.0015])
+        assert h.p99 == 0.0015  # bucket bound would be coarser than max
+
+    def test_overflow_bucket_reports_max(self):
+        big = BUCKET_BOUNDS[-1] * 10
+        h = summarize_samples([big])
+        assert h.p50 == big
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_merge_equals_observing_everything(self):
+        a = summarize_samples([0.001, 0.004])
+        b = summarize_samples([0.002, 8.0])
+        merged = a.merge(b)
+        whole = summarize_samples([0.001, 0.004, 0.002, 8.0])
+        assert merged.count == whole.count
+        assert merged.max == whole.max
+        assert merged.buckets == whole.buckets
+        assert merged.total == pytest.approx(whole.total)
+
+    def test_bucket_rows_cumulative_prometheus_style(self):
+        h = summarize_samples([1e-6, 1e-3, 2.0])
+        rows = h.bucket_rows()
+        assert rows[-1] == (math.inf, 3)
+        counts = [c for _, c in rows]
+        assert counts == sorted(counts)  # cumulative, monotone
+        assert len(rows) == len(BUCKET_BOUNDS) + 1
+
+    def test_as_dict_shape(self):
+        d = summarize_samples([0.01]).as_dict()
+        assert set(d) == {"count", "mean", "max", "p50", "p95", "p99"}
+
+
+class TestExactQuantile:
+    def test_nearest_rank(self):
+        ordered = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(ordered, 0.5) == 2.0
+        assert exact_quantile(ordered, 0.75) == 3.0
+        assert exact_quantile(ordered, 1.0) == 4.0
+        assert exact_quantile(ordered, 0.0) == 1.0
+
+    def test_empty_and_range(self):
+        assert exact_quantile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 2.0)
+
+
+class TestLatencyStatsAlias:
+    """service.metrics.LatencyStats is the shared histogram: the old
+    field names (count/total/max/mean) and the under-lock
+    ``stats = stats.observe(x)`` pattern must keep working."""
+
+    def test_alias_identity(self):
+        assert LatencyStats is LatencyHistogram
+
+    def test_legacy_field_surface(self):
+        s = LatencyStats().observe(0.25)
+        assert s.count == 1
+        assert s.total == 0.25
+        assert s.max == 0.25
+        assert s.mean == 0.25

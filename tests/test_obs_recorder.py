@@ -1,0 +1,94 @@
+"""Flight recorder: ring bounds, anomaly taxonomy, dump files and the
+write budgets that keep an anomaly storm from filling a disk."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import load_trace_file
+from repro.obs.recorder import ANOMALY_KINDS, FlightRecorder
+
+
+class TestRing:
+    def test_capacity_bounds_spans(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record({"name": f"s{i}"})
+        assert len(rec) == 3
+        assert [s["name"] for s in rec.spans()] == ["s2", "s3", "s4"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(keep_dumps=0)
+
+
+class TestAnomalies:
+    def test_note_anomaly_counts_and_freezes_ring(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record({"name": "solve", "trace_id": "t1"})
+        dump = rec.note_anomaly("shed", "queue full", network="edge-a",
+                                extra={"kind": "fault"})
+        assert dump["kind"] == "shed"
+        assert dump["network"] == "edge-a"
+        assert dump["extra"] == {"kind": "fault"}
+        assert [s["name"] for s in dump["spans"]] == ["solve"]
+        assert rec.anomalies()["shed"] == 1
+        assert rec.total_anomalies() == 1
+
+    def test_unknown_kind_folds_into_error(self):
+        rec = FlightRecorder()
+        rec.note_anomaly("martian")
+        assert rec.anomalies()["error"] == 1
+
+    def test_all_kinds_present_in_totals(self):
+        assert set(FlightRecorder().anomalies()) == set(ANOMALY_KINDS)
+        assert set(ANOMALY_KINDS) == {
+            "shed", "validation_failure", "torn_row", "lock_order", "error",
+        }
+
+    def test_keep_dumps_bounds_memory(self):
+        rec = FlightRecorder(keep_dumps=2)
+        for i in range(5):
+            rec.note_anomaly("error", f"e{i}")
+        dumps = rec.dumps()
+        assert len(dumps) == 2
+        assert [d["detail"] for d in dumps] == ["e3", "e4"]
+        assert rec.total_anomalies() == 5  # counters keep the full total
+
+
+class TestDumpFiles:
+    def test_dump_written_sorted_and_loadable(self, tmp_path):
+        rec = FlightRecorder(dump_dir=str(tmp_path / "dumps"))
+        rec.record({
+            "trace_id": "t1", "span_id": "s1", "parent_id": None,
+            "name": "solve", "start_s": 0.0, "duration_s": 0.1,
+            "status": "ok", "attrs": {},
+        })
+        rec.note_anomaly("torn_row", "undecodable row", network="ct")
+        (path,) = rec.dump_paths()
+        assert path.endswith("flight-0001-torn_row.json")
+        payload = json.loads(open(path).read())
+        assert payload["kind"] == "torn_row"
+        assert payload["anomalies"]["torn_row"] == 1
+        # the trace CLI reads flight dumps directly
+        normalized = load_trace_file(path)
+        assert normalized["meta"]["kind"] == "torn_row"
+        assert [s["name"] for s in normalized["spans"]] == ["solve"]
+
+    def test_max_dumps_file_budget(self, tmp_path):
+        rec = FlightRecorder(dump_dir=str(tmp_path), max_dumps=2)
+        for _ in range(4):
+            rec.note_anomaly("shed", "overflow")
+        assert len(rec.dump_paths()) == 2
+        assert rec.anomalies()["shed"] == 4  # counting never stops
+
+    def test_write_failure_counted_not_raised(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("occupied")
+        rec = FlightRecorder(dump_dir=str(blocker))
+        rec.note_anomaly("shed", "overflow")  # must not raise
+        assert rec.dump_paths() == ()
+        assert rec.anomalies()["shed"] == 1
+        assert rec.anomalies()["error"] == 1  # the failed write

@@ -1,0 +1,199 @@
+"""Causal spans: parentage, the thread-local active stack, the ring,
+cross-process span dicts and the zero-cost no-op tracer."""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import (
+    NOOP_TRACER,
+    SpanContext,
+    Tracer,
+    annotate,
+    child_span,
+    current_context,
+    current_span,
+    current_tracer,
+    iter_traces,
+    make_span_dict,
+)
+
+
+class TestParentage:
+    def test_nested_spans_share_trace_and_link(self):
+        tracer = Tracer()
+        with tracer.span("event", kind="fault") as root:
+            with tracer.span("solve") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+        spans = tracer.spans()
+        assert [s["name"] for s in spans] == ["solve", "event"]
+
+    def test_explicit_parent_context(self):
+        tracer = Tracer()
+        root = tracer.start_span("event")
+        ctx = root.context
+        with tracer.span("queue_wait", parent=ctx) as span:
+            assert span.parent_id == ctx.span_id
+            assert span.trace_id == ctx.trace_id
+        tracer.finish(root)
+
+    def test_root_span_starts_fresh_trace(self):
+        tracer = Tracer()
+        a = tracer.start_span("a")
+        b = tracer.start_span("b")
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("solve"):
+                raise RuntimeError("boom")
+        assert tracer.spans()[0]["status"] == "error"
+
+
+class TestActiveStack:
+    def test_child_span_and_annotate_under_active_span(self):
+        tracer = Tracer()
+        with tracer.span("event") as root:
+            assert current_span() is root
+            assert current_tracer() is tracer
+            with child_span("stable_reembed", node="'p1'"):
+                annotate(found=True)
+        spans = {s["name"]: s for s in tracer.spans()}
+        inner = spans["stable_reembed"]
+        assert inner["parent_id"] == root.span_id
+        assert inner["attrs"]["found"] is True
+        assert inner["attrs"]["node"] == "'p1'"
+
+    def test_helpers_are_noops_without_active_span(self):
+        assert current_span() is None
+        assert current_tracer() is None
+        assert current_context() is None
+        annotate(ignored=1)  # must not raise
+        with child_span("orphan") as span:
+            assert span.as_dict() == {}
+
+    def test_stack_is_thread_local(self):
+        tracer = Tracer()
+        seen: list = []
+        with tracer.span("event"):
+            t = threading.Thread(target=lambda: seen.append(current_span()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestRing:
+    def test_overflow_drops_oldest(self):
+        tracer = Tracer(ring=4)
+        for i in range(10):
+            tracer.record({"name": f"s{i}", "trace_id": "t"})
+        spans = tracer.spans()
+        assert len(spans) == 4
+        assert spans[0]["name"] == "s6"
+        assert tracer.dropped == 6
+
+    def test_drain_empties_ring(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.spans() == []
+
+    def test_ring_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(ring=0)
+
+    def test_recorder_receives_finished_spans(self):
+        rec = FlightRecorder(capacity=8)
+        tracer = Tracer(recorder=rec)
+        with tracer.span("solve"):
+            pass
+        assert [s["name"] for s in rec.spans()] == ["solve"]
+
+
+class TestDeterminism:
+    def test_counter_ids_not_object_identity(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        span = tracer.spans()[0]
+        assert span["trace_id"] == "t00000001"
+        assert span["span_id"] == "s00000001"
+
+    def test_serialized_span_is_json_stable(self):
+        def roundtrip():
+            tracer = Tracer()
+            with tracer.span("event", zebra=1, alpha=2, kind="fault"):
+                pass
+            span = dict(tracer.spans()[0])
+            span["start_s"] = span["duration_s"] = 0.0
+            return json.dumps(span, sort_keys=True)
+
+        assert roundtrip() == roundtrip()
+        assert '"alpha": 2' in roundtrip()
+
+
+class TestWorkerSpans:
+    def test_make_span_dict_links_and_marks_clock(self):
+        ctx = SpanContext("t00000001", "s00000002")
+        d = make_span_dict(ctx, "7", "verify_chunk", 0.25, {"n_items": 3})
+        assert d["trace_id"] == "t00000001"
+        assert d["span_id"] == "s00000002.7"
+        assert d["parent_id"] == "s00000002"
+        assert d["start_s"] == 0.0
+        assert d["duration_s"] == 0.25
+        assert d["attrs"]["clock"] == "worker"
+        assert d["attrs"]["n_items"] == 3
+
+    def test_span_context_pickles(self):
+        ctx = SpanContext("t1", "s1")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestRecordSpan:
+    def test_record_span_reanchors_raw_perf_counter(self):
+        import time
+
+        tracer = Tracer()
+        t0 = time.perf_counter()
+        t1 = t0 + 0.5
+        tracer.record_span("queue_wait", start_s=t0, end_s=t1, network="a")
+        span = tracer.spans()[0]
+        assert span["duration_s"] == pytest.approx(0.5)
+        assert span["start_s"] == pytest.approx(t0 - tracer.epoch, abs=1e-6)
+
+
+class TestNoopTracer:
+    def test_shared_objects_no_allocation(self):
+        cm1 = NOOP_TRACER.span("a", kind="fault")
+        cm2 = NOOP_TRACER.span("b")
+        assert cm1 is cm2
+        with cm1 as span:
+            assert span.set(x=1) is span
+        assert NOOP_TRACER.spans() == []
+        assert NOOP_TRACER.drain() == []
+        assert NOOP_TRACER.enabled is False
+
+    def test_record_and_finish_are_noops(self):
+        NOOP_TRACER.record({"name": "x"})
+        NOOP_TRACER.finish(NOOP_TRACER.start_span("x"))
+        NOOP_TRACER.record_span("x", start_s=0.0, end_s=1.0)
+        assert NOOP_TRACER.spans() == []
+
+
+class TestIterTraces:
+    def test_groups_by_trace_preserving_order(self):
+        spans = [
+            {"trace_id": "t2", "name": "a"},
+            {"trace_id": "t1", "name": "b"},
+            {"trace_id": "t2", "name": "c"},
+        ]
+        grouped = dict(iter_traces(spans))
+        assert list(grouped) == ["t2", "t1"]
+        assert [s["name"] for s in grouped["t2"]] == ["a", "c"]
