@@ -163,6 +163,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-port", type=int, default=None, metavar="N",
                    help="serve Prometheus/JSON metrics over HTTP on port N "
                         "for the duration of the run (demo mode)")
+    p.add_argument("--race-detect", action="store_true",
+                   help="attach the runtime sanitizers (lock-order monitor "
+                        "+ Eraser-style lockset race detector) to the plane; "
+                        "exit nonzero on any observed race or order cycle")
 
     p = sub.add_parser(
         "trace",
@@ -474,6 +478,29 @@ def cmd_serve(args) -> int:
     if args.max_pending < 1:
         raise ReproError("--max-pending must be >= 1")
     tracing = args.trace or args.trace_out is not None or args.trace_dump_dir is not None
+
+    sanitizers: dict = {}
+    instrument = None
+    if args.race_detect:
+        from .lint.sanitizer import (
+            LockOrderMonitor,
+            RaceDetector,
+            default_guard_model,
+            instrument_plane,
+            instrument_races,
+        )
+
+        guards = default_guard_model()
+
+        def instrument(plane):  # noqa: F811 - intentional rebind from None
+            monitor = LockOrderMonitor(strict=True, recorder=plane.recorder)
+            detector = RaceDetector(monitor, recorder=plane.recorder)
+            instrument_plane(plane, monitor)
+            instrument_races(plane, detector, guards)
+            sanitizers.update(
+                monitor=monitor, detector=detector, guards=guards
+            )
+
     if args.demo or not args.network:
         report, snap = run_demo(
             events=args.events,
@@ -486,6 +513,7 @@ def cmd_serve(args) -> int:
             trace_out=args.trace_out,
             trace_dump_dir=args.trace_dump_dir,
             metrics_port=args.metrics_port,
+            instrument=instrument,
         )
     else:
         config = ControlPlaneConfig(
@@ -506,6 +534,8 @@ def cmd_serve(args) -> int:
                         f"bad --network spec {spec!r}: expected NxK, e.g. 9x2"
                     ) from None
                 plane.register(f"net{i}-{n}x{k}", n=n, k=k)
+            if instrument is not None:
+                instrument(plane)
             trace = random_trace(
                 plane,
                 args.events,
@@ -535,7 +565,30 @@ def cmd_serve(args) -> int:
     )
     for err in report.errors:
         print(f"  error: {err}", file=sys.stderr)
-    return 0 if report.ok else 1
+    sanitizer_ok = True
+    if args.race_detect and sanitizers:
+        from .lint.sanitizer import crosscheck_locksets
+
+        detector = sanitizers["detector"]
+        monitor = sanitizers["monitor"]
+        races = detector.races()
+        cycle = monitor.find_cycle()
+        mismatches = crosscheck_locksets(detector, sanitizers["guards"])
+        print(
+            f"race-detect: {len(races)} race(s), "
+            f"{len(detector.locksets())} narrowed lockset(s), "
+            f"lock-order {'CYCLE' if cycle else 'acyclic'}, "
+            f"{len(mismatches)} static/dynamic mismatch(es)"
+        )
+        for race in races:
+            print(f"  race: {race.message}", file=sys.stderr)
+        if cycle is not None:
+            order = " -> ".join([*cycle, cycle[0]])
+            print(f"  lock-order cycle: {order}", file=sys.stderr)
+        for mismatch in mismatches:
+            print(f"  lockset mismatch: {mismatch}", file=sys.stderr)
+        sanitizer_ok = not races and cycle is None and not mismatches
+    return 0 if report.ok and sanitizer_ok else 1
 
 
 _COMMANDS = {

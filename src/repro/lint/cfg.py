@@ -1,0 +1,525 @@
+"""Intraprocedural control-flow graphs and dataflow lattices.
+
+The RL1xx/RL2xx passes walk lexical structure, which is enough for lock
+*discipline* but not for questions whose answer depends on which paths
+reach a program point: "is a lock held *here*?", "is this file closed on
+*every* path out?", "which assignment does this name refer to?".  This
+module gives the newer pass families (RC6xx process-boundary safety,
+RB7xx blocking discipline, RR8xx resource lifecycle) a shared CFG core:
+
+* :func:`build_cfg` — basic blocks over one function body, with edges
+  for ``if``/``while``/``for``/``try``/``with``/``match`` and the
+  jump statements.  ``with`` items become explicit ``with_enter`` /
+  ``with_exit`` instructions so lock scopes survive block splitting.
+* :func:`solve_forward` — a generic worklist solver over any join
+  semilattice expressed as plain Python values.
+* :func:`reaching_definitions` — forward may-analysis mapping each
+  instruction to the definitions of every local visible there.
+* :func:`held_locks` — forward *must*-analysis (path intersection) of
+  the lock labels held at each instruction, resolved through a caller
+  supplied ``resolve`` callback (normally ``_lockmodel.lock_acquired``).
+
+Exceptional control flow is approximated the standard way: every
+instruction inside a ``try`` body may jump to each of its handlers and
+``finally`` runs on the normal, handled, and early-exit (``return`` /
+``raise``) paths.  Nested function and
+class definitions are opaque single instructions — each ``def`` gets its
+own CFG when a pass asks for one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "Instr",
+    "Block",
+    "CFG",
+    "Def",
+    "build_cfg",
+    "instr_exprs",
+    "solve_forward",
+    "reaching_definitions",
+    "held_locks",
+]
+
+
+@dataclass
+class Instr:
+    """One atomic step: a simple statement, a branch head, or one side of
+    a ``with`` item's enter/exit pair."""
+
+    node: ast.AST
+    op: str  # "stmt" | "branch" | "with_enter" | "with_exit"
+    item: ast.withitem | None = None
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class Block:
+    id: int
+    instrs: list[Instr] = field(default_factory=list)
+    succ: list[int] = field(default_factory=list)
+    pred: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Basic blocks for one function.  ``entry`` has no predecessors;
+    ``exit`` collects every return/fall-off/raise-out path."""
+
+    func: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list[Block]
+    entry: int
+    exit: int
+
+    def points(self) -> Iterator[tuple[int, int, Instr]]:
+        """Every (block id, index, instruction) in block order."""
+        for block in self.blocks:
+            for idx, instr in enumerate(block.instrs):
+                yield block.id, idx, instr
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+        self.cur = self.entry
+        # (head block for continue, after block for break)
+        self.loops: list[tuple[int, int]] = []
+        # handler entry blocks of every enclosing try we are inside of
+        self.handlers: list[list[int]] = []
+        # pre-allocated ``finally`` blocks of enclosing try statements —
+        # return/raise must run the innermost one before leaving
+        self.finallies: list[int] = []
+
+    def _new(self) -> int:
+        block = Block(id=len(self.blocks))
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, a: int, b: int) -> None:
+        if b not in self.blocks[a].succ:
+            self.blocks[a].succ.append(b)
+            self.blocks[b].pred.append(a)
+
+    def _emit(self, instr: Instr) -> None:
+        self.blocks[self.cur].instrs.append(instr)
+
+    def _to_dead_block(self) -> None:
+        """After a jump: subsequent statements are unreachable."""
+        self.cur = self._new()
+
+    def _raise_targets(self) -> list[int]:
+        if self.handlers:
+            return self.handlers[-1]
+        if self.finallies:
+            return [self.finallies[-1]]
+        return [self.exit]
+
+    def _return_target(self) -> int:
+        return self.finallies[-1] if self.finallies else self.exit
+
+    def build(self) -> CFG:
+        self.visit_body(self.func.body)
+        self._edge(self.cur, self.exit)
+        return CFG(func=self.func, blocks=self.blocks,
+                   entry=self.entry, exit=self.exit)
+
+    def visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit(stmt)
+
+    def visit(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._visit_loop(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, ast.Match):
+            self._visit_match(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._emit(Instr(stmt, "stmt"))
+            self._edge(self.cur, self._return_target())
+            self._to_dead_block()
+        elif isinstance(stmt, ast.Raise):
+            self._emit(Instr(stmt, "stmt"))
+            for target in self._raise_targets():
+                self._edge(self.cur, target)
+            self._to_dead_block()
+        elif isinstance(stmt, ast.Break):
+            self._emit(Instr(stmt, "stmt"))
+            if self.loops:
+                self._edge(self.cur, self.loops[-1][1])
+            self._to_dead_block()
+        elif isinstance(stmt, ast.Continue):
+            self._emit(Instr(stmt, "stmt"))
+            if self.loops:
+                self._edge(self.cur, self.loops[-1][0])
+            self._to_dead_block()
+        else:
+            # simple statement (incl. nested def/class, opaque here)
+            self._emit(Instr(stmt, "stmt"))
+            if self.handlers and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                       ast.ClassDef, ast.Pass, ast.Import, ast.ImportFrom)
+            ):
+                for target in self.handlers[-1]:
+                    self._edge(self.cur, target)
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._emit(Instr(stmt, "branch"))
+        head = self.cur
+        after = self._new()
+        then = self._new()
+        self._edge(head, then)
+        self.cur = then
+        self.visit_body(stmt.body)
+        self._edge(self.cur, after)
+        if stmt.orelse:
+            other = self._new()
+            self._edge(head, other)
+            self.cur = other
+            self.visit_body(stmt.orelse)
+            self._edge(self.cur, after)
+        else:
+            self._edge(head, after)
+        self.cur = after
+
+    def _visit_loop(self, stmt: ast.While | ast.For | ast.AsyncFor) -> None:
+        head = self._new()
+        self._edge(self.cur, head)
+        self.cur = head
+        self._emit(Instr(stmt, "branch"))
+        body = self._new()
+        after = self._new()
+        self._edge(head, body)
+        self._edge(head, after)
+        self.loops.append((head, after))
+        self.cur = body
+        self.visit_body(stmt.body)
+        self._edge(self.cur, head)
+        self.loops.pop()
+        if stmt.orelse:
+            self.cur = after
+            self.visit_body(stmt.orelse)
+        else:
+            self.cur = after
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        for item in stmt.items:
+            self._emit(Instr(stmt, "with_enter", item=item))
+        self.visit_body(stmt.body)
+        for item in reversed(stmt.items):
+            self._emit(Instr(stmt, "with_exit", item=item))
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        handler_entries = [self._new() for _ in stmt.handlers]
+        final = self._new() if stmt.finalbody else None
+        first_try_block = len(self.blocks)
+        entry_block = self.cur
+        if handler_entries:
+            self.handlers.append(handler_entries)
+        if final is not None:
+            self.finallies.append(final)
+        self.visit_body(stmt.body)
+        if handler_entries:
+            self.handlers.pop()
+            # every block the try body ran through may divert to a handler
+            for bid in [entry_block, *range(first_try_block, len(self.blocks))]:
+                if bid in handler_entries:
+                    continue
+                for target in handler_entries:
+                    self._edge(bid, target)
+        self.visit_body(stmt.orelse)
+        normal_end = self.cur
+        handler_ends: list[int] = []
+        for handler, hentry in zip(stmt.handlers, handler_entries):
+            self.cur = hentry
+            self._emit(Instr(handler, "stmt"))
+            self.visit_body(handler.body)
+            handler_ends.append(self.cur)
+        if final is not None:
+            self.finallies.pop()
+        after = self._new()
+        if final is not None:
+            self._edge(normal_end, final)
+            for end in handler_ends:
+                self._edge(end, final)
+            self.cur = final
+            self.visit_body(stmt.finalbody)
+            self._edge(self.cur, after)
+            # a return/raise that diverted into the finally leaves the
+            # function after it runs
+            self._edge(self.cur, self.exit)
+        else:
+            self._edge(normal_end, after)
+            for end in handler_ends:
+                self._edge(end, after)
+        self.cur = after
+
+    def _visit_match(self, stmt: ast.Match) -> None:
+        self._emit(Instr(stmt, "branch"))
+        head = self.cur
+        after = self._new()
+        for case in stmt.cases:
+            body = self._new()
+            self._edge(head, body)
+            self.cur = body
+            self.visit_body(case.body)
+            self._edge(self.cur, after)
+        self._edge(head, after)  # no case may match
+        self.cur = after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the basic-block graph for one function body."""
+    return _Builder(func).build()
+
+
+def instr_exprs(instr: Instr) -> list[ast.AST]:
+    """The expression roots an instruction evaluates — safe to ``ast.walk``
+    without re-entering the bodies of compound statements (a ``branch``
+    instruction carries the whole ``if``/``while`` node; only its header
+    expression belongs to this program point)."""
+    node = instr.node
+    if instr.op == "with_enter":
+        return [instr.item.context_expr] if instr.item is not None else []
+    if instr.op == "with_exit":
+        return []
+    if instr.op == "branch":
+        if isinstance(node, (ast.If, ast.While)):
+            return [node.test]
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return [node.iter]
+        if isinstance(node, ast.Match):
+            return [node.subject]
+        return []
+    if isinstance(node, ast.ExceptHandler):
+        return [node.type] if node.type is not None else []
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return list(node.decorator_list)
+    return [node]
+
+
+def solve_forward(
+    cfg: CFG,
+    *,
+    init: object,
+    transfer: Callable[[object, Instr], object],
+    join: Callable[[object, object], object],
+    bottom: object = None,
+) -> dict[int, object]:
+    """Worklist fixpoint; returns the state at each block *entry*.
+
+    ``bottom`` is the not-yet-reached state (identity of ``join``);
+    unreachable blocks keep it.  States must support ``==``.
+    """
+    entry_state: dict[int, object] = {b.id: bottom for b in cfg.blocks}
+    entry_state[cfg.entry] = init
+    work = [cfg.entry]
+    while work:
+        bid = work.pop()
+        state = entry_state[bid]
+        if state is bottom and bid != cfg.entry:
+            continue
+        for instr in cfg.blocks[bid].instrs:
+            state = transfer(state, instr)
+        for nxt in cfg.blocks[bid].succ:
+            old = entry_state[nxt]
+            merged = state if old is bottom else join(old, state)
+            if merged != old or old is bottom:
+                entry_state[nxt] = merged
+                if nxt not in work:
+                    work.append(nxt)
+    return entry_state
+
+
+def instr_states(
+    cfg: CFG,
+    entry_state: dict[int, object],
+    transfer: Callable[[object, Instr], object],
+    bottom: object = None,
+) -> dict[tuple[int, int], object]:
+    """Replay ``transfer`` through each block to get the state *at* every
+    instruction (before it executes)."""
+    out: dict[tuple[int, int], object] = {}
+    for block in cfg.blocks:
+        state = entry_state.get(block.id, bottom)
+        for idx, instr in enumerate(block.instrs):
+            out[(block.id, idx)] = state
+            if state is not bottom:
+                state = transfer(state, instr)
+    return out
+
+
+# --------------------------------------------------------------------------
+# reaching definitions
+
+
+@dataclass(frozen=True)
+class Def:
+    """One definition of a local: the binding kind plus the value node
+    (``None`` when no single expression produces the value)."""
+
+    var: str
+    kind: str  # "arg" | "assign" | "aug" | "with" | "for" | "def" | "import" | "except"
+    value: ast.AST | None = None
+
+    def __hash__(self) -> int:  # AST nodes hash by identity; this hash
+        # is only ever an in-process set key, never persisted
+        return hash((self.var, self.kind, id(self.value)))  # repro: allow[RD302]
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            yield node.id
+
+
+def _instr_defs(instr: Instr) -> list[Def]:
+    node = instr.node
+    if instr.op == "with_enter":
+        item = instr.item
+        if item is not None and item.optional_vars is not None:
+            return [Def(var, "with", item.context_expr)
+                    for var in _target_names(item.optional_vars)]
+        return []
+    if instr.op == "with_exit":
+        return []
+    if instr.op == "branch" and isinstance(node, (ast.For, ast.AsyncFor)):
+        return [Def(var, "for", node.iter) for var in _target_names(node.target)]
+    if isinstance(node, ast.Assign):
+        out: list[Def] = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.append(Def(target.id, "assign", node.value))
+            else:
+                out.extend(Def(v, "assign", None) for v in _target_names(target))
+        return out
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [Def(node.target.id, "assign", node.value)]
+    if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+        return [Def(node.target.id, "aug", node.value)]
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [Def(node.name, "def", node)]
+    if isinstance(node, (ast.Import, ast.ImportFrom)):
+        out = []
+        for alias in node.names:
+            name = (alias.asname or alias.name).split(".")[0]
+            out.append(Def(name, "import", None))
+        return out
+    if isinstance(node, ast.ExceptHandler) and node.name:
+        return [Def(node.name, "except", None)]
+    defs: list[Def] = []
+    # walrus bindings anywhere in the statement
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+            defs.append(Def(sub.target.id, "assign", sub.value))
+    return defs
+
+
+#: public name — passes use this to spot rebindings of tracked names
+def instr_defs(instr: Instr) -> list[Def]:
+    return _instr_defs(instr)
+
+
+Env = dict[str, frozenset]  # var -> frozenset[Def]
+
+
+def _rd_transfer(state: object, instr: Instr) -> object:
+    assert isinstance(state, dict)
+    defs = _instr_defs(instr)
+    if not defs:
+        return state
+    out = dict(state)
+    for d in defs:
+        if d.kind == "aug":
+            out[d.var] = out.get(d.var, frozenset()) | {d}
+        else:
+            out[d.var] = frozenset({d})
+    return out
+
+
+def _rd_join(a: object, b: object) -> object:
+    assert isinstance(a, dict) and isinstance(b, dict)
+    out = dict(a)
+    for var, defs in b.items():
+        out[var] = out.get(var, frozenset()) | defs
+    return out
+
+
+def reaching_definitions(cfg: CFG) -> dict[tuple[int, int], Env]:
+    """Map each instruction point to ``{var: frozenset(Def)}`` of the
+    definitions that may reach it."""
+    args = cfg.func.args
+    init: Env = {}
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        init[arg.arg] = frozenset({Def(arg.arg, "arg", arg.annotation)})
+    for arg in (args.vararg, args.kwarg):
+        if arg is not None:
+            init[arg.arg] = frozenset({Def(arg.arg, "arg", None)})
+    entries = solve_forward(cfg, init=init, transfer=_rd_transfer, join=_rd_join)
+    states = instr_states(cfg, entries, _rd_transfer)
+    return {pt: (state if isinstance(state, dict) else {})
+            for pt, state in states.items()}
+
+
+# --------------------------------------------------------------------------
+# held locks (must-analysis: intersection over paths)
+
+
+def _lock_op(instr: Instr, resolve: Callable[[ast.AST], str | None]) -> tuple[str, str] | None:
+    """``("acquire"|"release", label)`` when the instruction changes the
+    held-lock set, else ``None``."""
+    if instr.op in {"with_enter", "with_exit"} and instr.item is not None:
+        label = resolve(instr.item.context_expr)
+        if label:
+            return ("acquire" if instr.op == "with_enter" else "release", label)
+        return None
+    for root in instr_exprs(instr):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in {"acquire", "release"}:
+                    label = resolve(node.func.value)
+                    if label:
+                        op = "acquire" if node.func.attr == "acquire" else "release"
+                        return (op, label)
+    return None
+
+
+def held_locks(
+    cfg: CFG, resolve: Callable[[ast.AST], str | None]
+) -> dict[tuple[int, int], frozenset[str]]:
+    """Lock labels held *at* each instruction (must-hold: intersection
+    over incoming paths).  ``resolve`` maps a lock expression (a ``with``
+    context or an ``.acquire()`` receiver) to a label, or ``None``."""
+
+    def transfer(state: object, instr: Instr) -> object:
+        assert isinstance(state, frozenset)
+        op = _lock_op(instr, resolve)
+        if op is None:
+            return state
+        kind, label = op
+        if kind == "acquire":
+            return state | {label}
+        return state - {label}
+
+    def join(a: object, b: object) -> object:
+        assert isinstance(a, frozenset) and isinstance(b, frozenset)
+        return a & b
+
+    entries = solve_forward(cfg, init=frozenset(), transfer=transfer, join=join)
+    states = instr_states(cfg, entries, transfer)
+    return {pt: (state if isinstance(state, frozenset) else frozenset())
+            for pt, state in states.items()}

@@ -10,12 +10,14 @@ tolerated debt.
 from __future__ import annotations
 
 import json
+import subprocess
 from pathlib import Path
 
 from ..errors import ReproError
 from . import baseline as baseline_mod
 from .engine import LintResult, run_lint
 from .passes import all_rules
+from .sarif import render_sarif
 
 BASELINE_NAME = "lint-baseline.json"
 
@@ -36,6 +38,43 @@ def default_paths() -> list[Path]:
 
 def default_baseline_path() -> Path:
     return repo_root() / BASELINE_NAME
+
+
+def changed_paths(base: str | None = None) -> list[Path]:
+    """Python files touched relative to *base* (default: the index/HEAD).
+
+    Union of ``git diff --name-only`` against *base* and untracked,
+    non-ignored files — the set a pre-commit hook cares about.  Deleted
+    files drop out naturally (they no longer exist on disk).
+    """
+    root = repo_root()
+
+    def _git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", *argv],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            raise ReproError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip() or proc.returncode}"
+            )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    names = _git("diff", "--name-only", base or "HEAD", "--")
+    names += _git("ls-files", "--others", "--exclude-standard")
+    out: list[Path] = []
+    seen: set[str] = set()
+    for name in sorted(names):
+        if name in seen or not name.endswith(".py"):
+            continue
+        seen.add(name)
+        path = root / name
+        if path.exists():
+            out.append(path)
+    return out
 
 
 def _print_text(result: LintResult, d: baseline_mod.BaselineDiff) -> None:
@@ -76,7 +115,15 @@ def cmd_lint(args) -> int:
         for rule in all_rules():
             print(f"{rule.id}  {str(rule.severity):<7}  {rule.summary}")
         return 0
-    paths = [Path(p) for p in args.paths] or default_paths()
+    if args.changed is not False:
+        if args.paths:
+            raise ReproError("--changed and explicit paths are mutually exclusive")
+        paths = changed_paths(args.changed)
+        if not paths:
+            print("lint: no changed python files")
+            return 0
+    else:
+        paths = [Path(p) for p in args.paths] or default_paths()
     for path in paths:
         if not path.exists():
             raise ReproError(f"lint path {path} does not exist")
@@ -101,6 +148,8 @@ def cmd_lint(args) -> int:
 
     if args.format == "json":
         _print_json(result, d)
+    elif args.format == "sarif":
+        print(render_sarif(result, d))
     else:
         _print_text(result, d)
     return 0 if d.ok and not result.errors else 1
@@ -110,13 +159,19 @@ def add_lint_arguments(parser) -> None:
     """Attach the ``lint`` subcommand's arguments to *parser*."""
     parser.add_argument("paths", nargs="*", default=[],
                         help="files or directories (default: the repro package)")
-    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument("--format", choices=["text", "json", "sarif"],
+                        default="text")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help=f"ratchet baseline (default: <repo>/{BASELINE_NAME})")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the baseline: report every finding")
-    parser.add_argument("--write-baseline", action="store_true",
+    parser.add_argument("--write-baseline", "--update-baseline",
+                        action="store_true", dest="write_baseline",
                         help="re-ratchet: write current findings as the baseline")
+    parser.add_argument("--changed", nargs="?", const=None, default=False,
+                        metavar="BASE",
+                        help="lint only python files changed vs BASE "
+                             "(default HEAD) plus untracked files")
     parser.add_argument("--select", default=None, metavar="RULES",
                         help="comma-separated rule ids to run (e.g. RL101,RD301)")
     parser.add_argument("--list-rules", action="store_true",

@@ -13,9 +13,14 @@ Suppressions are inline comments::
     # repro: allow[RD301, RD302]   <- on its own line: covers the next
     another_risky_line()  #    statement (and that line itself)
 
-``allow[*]`` suppresses every rule on the line.  Suppressions attach to
-the *first* line of a multi-line statement (where the AST anchors the
-finding).
+``allow[*]`` suppresses every rule on the line.  A suppression anywhere
+inside a statement covers the statement's whole line span, so a trailing
+comment on the *last* line of a multi-line call suppresses the finding
+the AST anchors to the first line, and a comment on a decorator line
+covers the decorated ``def`` itself.  For compound statements the span
+is the header only (decorators through the line before the first body
+statement) — a suppression inside a body never blankets the enclosing
+block.
 """
 
 from __future__ import annotations
@@ -60,7 +65,7 @@ class Module:
             source=source,
             tree=tree,
             lines=source.splitlines(),
-            suppressions=parse_suppressions(source),
+            suppressions=expand_suppressions(tree, parse_suppressions(source)),
             parents=parents,
         )
 
@@ -98,6 +103,60 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
                 if text and not text.startswith("#"):
                     out.setdefault(j, set()).update(rules)
                     break
+    return out
+
+
+_COMPOUND_STMTS: tuple[type, ...] = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+    ast.If, ast.While, ast.For, ast.AsyncFor, ast.With, ast.AsyncWith,
+    ast.Try,
+) + ((ast.TryStar,) if hasattr(ast, "TryStar") else ())
+
+
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(first, last) line of each statement's own text — for compound
+    statements the header only (decorators included, body excluded)."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = node.end_lineno or start
+        if isinstance(node, _COMPOUND_STMTS):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ) and node.decorator_list:
+                start = min(start, min(d.lineno for d in node.decorator_list))
+            end = node.body[0].lineno - 1 if node.body else start
+        elif isinstance(node, ast.Match):
+            end = node.cases[0].pattern.lineno - 1 if node.cases else start
+        end = max(end, node.lineno)
+        spans.append((start, end))
+    return spans
+
+
+def expand_suppressions(
+    tree: ast.Module, suppressions: dict[int, set[str]]
+) -> dict[int, set[str]]:
+    """Spread each suppression over the full span of its statement.
+
+    Findings anchor where the AST puts them (a multi-line call's first
+    line, a decorated def's ``def`` line) while the comment sits wherever
+    reads best — often the last line, or a decorator line.  Spans come
+    from the *original* map only, so a suppression never chains through
+    adjacent statements.
+    """
+    if not suppressions:
+        return suppressions
+    out = {line: set(rules) for line, rules in suppressions.items()}
+    for start, end in _statement_spans(tree):
+        rules: set[str] = set()
+        for line in range(start, end + 1):
+            rules |= suppressions.get(line, set())
+        if not rules:
+            continue
+        for line in range(start, end + 1):
+            out.setdefault(line, set()).update(rules)
     return out
 
 

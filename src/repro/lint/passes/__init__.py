@@ -42,6 +42,9 @@ from . import determinism          # noqa: E402,F401
 from . import exception_safety     # noqa: E402,F401
 from . import lock_discipline      # noqa: E402,F401
 from . import lock_order           # noqa: E402,F401
+from . import process_boundary     # noqa: E402,F401
+from . import blocking             # noqa: E402,F401
+from . import resource_lifecycle   # noqa: E402,F401
 
 __all__ = [
     "register",
@@ -52,4 +55,7 @@ __all__ = [
     "exception_safety",
     "lock_discipline",
     "lock_order",
+    "process_boundary",
+    "blocking",
+    "resource_lifecycle",
 ]

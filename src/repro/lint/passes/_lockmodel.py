@@ -337,6 +337,81 @@ def lock_acquired(
     return None
 
 
+def iter_mutations(node: ast.AST) -> Iterator[tuple[str, str | None, ast.AST]]:
+    """Yield ``(base_name, attr_or_None, loc)`` for each mutation rooted at
+    *node* itself (not its children): attr mutations give the attribute,
+    bare-name mutations give ``None``."""
+
+    def _target(t: ast.AST) -> Iterator[tuple[str, str | None, ast.AST]]:
+        if isinstance(t, (ast.Tuple, ast.List)):
+            for elt in t.elts:
+                yield from _target(elt)
+        elif isinstance(t, ast.Starred):
+            yield from _target(t.value)
+        elif isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name):
+            yield t.value.id, t.attr, t
+        elif isinstance(t, ast.Subscript):
+            if isinstance(t.value, ast.Attribute) and isinstance(
+                t.value.value, ast.Name
+            ):
+                yield t.value.value.id, t.value.attr, t
+            elif isinstance(t.value, ast.Name):
+                yield t.value.id, None, t
+        elif isinstance(t, ast.Name):
+            yield t.id, None, t
+
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            yield from _target(t)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if not (isinstance(node, ast.AnnAssign) and node.value is None):
+            yield from _target(node.target)
+    elif isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Attribute) and node.func.attr in MUTATORS:
+            base = node.func.value
+            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
+                yield base.value.id, base.attr, node
+            elif isinstance(base, ast.Name):
+                yield base.id, None, node
+
+
+def guard_label(cinfo: ClassInfo) -> str:
+    """The sanitizer-compatible label of a class's guarding lock
+    (``"ManagedNetwork.lock"``); ties broken by sorted attr name."""
+    return f"{cinfo.name}.{sorted(cinfo.lock_attrs)[0]}"
+
+
+def guarded_attributes(modules: Sequence[Module]) -> dict[str, dict[str, str]]:
+    """The RL1xx static guard model: for every lock-owning class, the
+    attributes its methods mutate outside ``__init__`` mapped to the lock
+    label that must guard them.  This is exactly the set of fields the
+    RL101 rule polices statically; the runtime race detector instruments
+    the same fields so dynamic locksets can be cross-checked against it.
+    """
+    model = collect(modules)
+    out: dict[str, dict[str, str]] = {}
+    for module in modules:
+        minfo = model.info(module)
+        for owner, func in iter_functions(minfo):
+            if owner is not None and func.name == "__init__":
+                continue  # pre-publication writes, same exemption as RL101
+            env = instance_env(func, owner, model)
+            for node in ast.walk(func):
+                for base, attr, _loc in iter_mutations(node):
+                    if attr is None:
+                        continue
+                    t = env.get(base)
+                    cinfo = model.classes.get(t) if t else None
+                    if cinfo is None or not cinfo.lock_attrs:
+                        continue
+                    if attr in cinfo.lock_attrs:
+                        continue
+                    out.setdefault(cinfo.name, {}).setdefault(
+                        attr, guard_label(cinfo)
+                    )
+    return {cname: out[cname] for cname in sorted(out)}
+
+
 def local_names(func: ast.FunctionDef) -> set[str]:
     """Names bound inside *func* (shadow detection for module globals)."""
     args = func.args

@@ -21,20 +21,19 @@ codebase's atomic-reference-swap reads are a documented pattern; where a
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..engine import LintPass, Module
 from ..findings import Finding, Rule, Severity
 from . import register
 from ._lockmodel import (
-    MUTATORS,
     ClassInfo,
     LockModel,
     ModuleInfo,
-    attr_chain,
     collect,
     instance_env,
     iter_functions,
+    iter_mutations,
     local_names,
     lock_acquired,
 )
@@ -68,42 +67,9 @@ class LockDisciplinePass(LintPass):
         return findings
 
 
-def _mutations(node: ast.AST) -> Iterator[tuple[str, str | None, ast.AST]]:
-    """Yield ``(base_name, attr_or_None, loc)`` for each mutation rooted at
-    *node* itself (not its children): attr mutations give the attribute,
-    bare-name mutations give ``None``."""
-
-    def _target(t: ast.AST) -> Iterator[tuple[str, str | None, ast.AST]]:
-        if isinstance(t, (ast.Tuple, ast.List)):
-            for elt in t.elts:
-                yield from _target(elt)
-        elif isinstance(t, ast.Starred):
-            yield from _target(t.value)
-        elif isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name):
-            yield t.value.id, t.attr, t
-        elif isinstance(t, ast.Subscript):
-            if isinstance(t.value, ast.Attribute) and isinstance(
-                t.value.value, ast.Name
-            ):
-                yield t.value.value.id, t.value.attr, t
-            elif isinstance(t.value, ast.Name):
-                yield t.value.id, None, t
-        elif isinstance(t, ast.Name):
-            yield t.id, None, t
-
-    if isinstance(node, ast.Assign):
-        for t in node.targets:
-            yield from _target(t)
-    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-        if not (isinstance(node, ast.AnnAssign) and node.value is None):
-            yield from _target(node.target)
-    elif isinstance(node, ast.Call):
-        if isinstance(node.func, ast.Attribute) and node.func.attr in MUTATORS:
-            base = node.func.value
-            if isinstance(base, ast.Attribute) and isinstance(base.value, ast.Name):
-                yield base.value.id, base.attr, node
-            elif isinstance(base, ast.Name):
-                yield base.id, None, node
+# the mutation walker moved into the shared model (the guard-model
+# extraction and the race detector need the identical notion of "write")
+_mutations = iter_mutations
 
 
 def _check_function(

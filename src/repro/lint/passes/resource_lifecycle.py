@@ -1,0 +1,217 @@
+"""RR8xx — resource lifecycle: every path out closes what it opened.
+
+A leaked file descriptor is an annoyance; a leaked sqlite connection or
+a process pool that never saw ``terminate()`` keeps child processes and
+WAL files alive long after the plane shut down.  The per-function
+analysis here tracks resources acquired into a local name
+(``fh = open(...)``, ``conn = sqlite3.connect(...)``,
+``pool = Pool(...)``) through the CFG as a forward may-analysis: a
+resource still open in the state that reaches the exit block on *some*
+path, and which never escaped the function (returned, yielded, stored
+on an object, passed to another call, captured by a closure), is
+reported at its acquisition site.
+
+* **RR801** (error) — a file or database connection may be left open.
+* **RR802** (warning) — an executor/pool may never be shut down.
+
+``with`` acquisitions are exempt by construction; escaping values are
+the caller's responsibility (that is how constructor injection and
+accessor methods are supposed to look); generator functions are skipped
+entirely because their frames outlive any path through the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from .. import cfg as cfglib
+from ..engine import LintPass, Module
+from ..findings import Finding, Rule, Severity
+from . import register
+from ._lockmodel import call_name, iter_functions, collect
+
+_FILE_FACTORIES = frozenset({"open", "connect"})
+_EXEC_FACTORIES = frozenset({"Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"})
+_CLOSERS = frozenset({"close", "shutdown", "terminate"})
+
+
+@register
+class ResourceLifecyclePass(LintPass):
+    name = "resource-lifecycle"
+    rules = (
+        Rule(
+            "RR801",
+            Severity.ERROR,
+            "file/connection may be left open on some path",
+        ),
+        Rule(
+            "RR802",
+            Severity.WARNING,
+            "executor/pool may not be shut down on some path",
+        ),
+    )
+
+    def run(self, modules: Sequence[Module]) -> list[Finding]:
+        model = collect(modules)
+        findings: list[Finding] = []
+        for module in modules:
+            minfo = model.info(module)
+            for _owner, func in iter_functions(minfo):
+                for fn in _own_and_nested(func):
+                    findings.extend(_check(fn, module))
+        return findings
+
+
+def _own_and_nested(func: ast.FunctionDef):
+    yield func
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            yield node
+
+
+def _is_generator(func: ast.FunctionDef) -> bool:
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested frames yield for themselves
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _acquisition(instr: cfglib.Instr) -> tuple[str, str, ast.AST] | None:
+    """``(var, rule, site)`` when the instruction binds a fresh resource."""
+    node = instr.node
+    if instr.op != "stmt" or not isinstance(node, ast.Assign):
+        return None
+    if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+        return None
+    name = call_name(node.value)
+    if name in _FILE_FACTORIES:
+        return node.targets[0].id, "RR801", node
+    if name in _EXEC_FACTORIES:
+        return node.targets[0].id, "RR802", node
+    return None
+
+
+def _closed_vars(instr: cfglib.Instr) -> set[str]:
+    """Names whose resource this instruction releases."""
+    out: set[str] = set()
+    if instr.op == "with_enter" and instr.item is not None:
+        # ``with pool:`` / ``with closing(conn):`` delegate cleanup
+        expr = instr.item.context_expr
+        if isinstance(expr, ast.Name):
+            out.add(expr.id)
+        elif isinstance(expr, ast.Call) and call_name(expr) == "closing":
+            for arg in expr.args:
+                if isinstance(arg, ast.Name):
+                    out.add(arg.id)
+        return out
+    for root in cfglib.instr_exprs(instr):
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _CLOSERS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                out.add(node.func.value.id)
+    return out
+
+
+def _escaped_names(func: ast.FunctionDef, module: Module) -> set[str]:
+    """Names whose value leaves the function's custody: returned, yielded,
+    stored onto something, passed as an argument, aliased, or captured by
+    a nested callable.  Receiver uses (``x.read()``), boolean tests and
+    ``with x`` blocks keep custody."""
+    escaped: set[str] = set()
+    nested: list[ast.AST] = [
+        node for node in ast.walk(func)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        and node is not func
+    ]
+    for node in ast.walk(func):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        parent = module.parents.get(node)
+        if isinstance(parent, ast.Attribute):
+            continue  # receiver use
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            continue
+        if isinstance(parent, (ast.Compare, ast.BoolOp, ast.UnaryOp)):
+            continue
+        if isinstance(parent, (ast.If, ast.While, ast.Assert)):
+            continue  # bare truthiness test
+        escaped.add(node.id)
+    for sub in nested:
+        for node in ast.walk(sub):
+            if isinstance(node, ast.Name):
+                escaped.add(node.id)
+    return escaped
+
+
+def _check(func: ast.FunctionDef, module: Module) -> list[Finding]:
+    if _is_generator(func):
+        return []
+    acq_sites: dict[int, tuple[str, str, ast.AST]] = {}
+    graph = cfglib.build_cfg(func)
+    for _bid, _idx, instr in graph.points():
+        acq = _acquisition(instr)
+        if acq is not None:
+            acq_sites[id(acq[2])] = acq
+    if not acq_sites:
+        return []
+
+    escaped = _escaped_names(func, module)
+
+    def transfer(state: object, instr: cfglib.Instr) -> object:
+        assert isinstance(state, frozenset)
+        closed = _closed_vars(instr)
+        if closed:
+            state = frozenset(p for p in state if p[0] not in closed)
+        acq = _acquisition(instr)
+        if acq is not None:
+            var = acq[0]
+            state = frozenset(p for p in state if p[0] != var)
+            state = state | {(var, id(acq[2]))}
+        else:
+            # rebinding a tracked name drops the old resource silently;
+            # treat it as out of scope rather than reporting a stale site
+            for d in cfglib.instr_defs(instr):
+                if d.kind != "aug":
+                    state = frozenset(p for p in state if p[0] != d.var)
+        return state
+
+    def join(a: object, b: object) -> object:
+        assert isinstance(a, frozenset) and isinstance(b, frozenset)
+        return a | b
+
+    entries = cfglib.solve_forward(
+        graph, init=frozenset(), transfer=transfer, join=join
+    )
+    at_exit = entries.get(graph.exit)
+    if not isinstance(at_exit, frozenset):
+        return []
+    findings: list[Finding] = []
+    for var, site_id in sorted(at_exit, key=lambda p: (p[0], p[1])):
+        if var in escaped:
+            continue
+        _var, rule, site = acq_sites[site_id]
+        kind = "file/connection" if rule == "RR801" else "executor/pool"
+        severity = Severity.ERROR if rule == "RR801" else Severity.WARNING
+        findings.append(
+            Finding(
+                path=module.rel, line=site.lineno, col=site.col_offset,
+                rule=rule, severity=severity,
+                message=(
+                    f"{kind} '{var}' opened here may never be closed "
+                    "on some path to function exit; close it in a "
+                    "'finally' or use 'with'"
+                ),
+                symbol=module.qualname(site),
+            )
+        )
+    return findings

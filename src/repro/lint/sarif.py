@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 output for ``repro lint`` — the format CI annotates PRs with.
+
+Only *new* findings (beyond the committed baseline) become SARIF results:
+the point of the artifact is review annotations, and baselined debt is
+already visible in the ratchet file.  Parse errors are surfaced as tool
+``notifications`` so a broken file fails visibly instead of vanishing
+from the annotated set.  The emitted JSON is deterministic (findings are
+pre-sorted by the engine; rule metadata sorts by id).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .baseline import BaselineDiff
+from .engine import LintResult
+from .findings import Finding, Severity
+from .passes import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": max(1, finding.col + 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            # the ratchet key: stable across line churn, so annotation
+            # dedup in code hosts survives rebases the same way the
+            # baseline does
+            "reproLintKey": finding.baseline_key,
+        },
+    }
+
+
+def to_sarif(result: LintResult, diff: BaselineDiff) -> dict:
+    """The SARIF payload for one analyzer run (new findings only)."""
+    rules = [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in all_rules()
+    ]
+    notifications = [
+        {"level": "error", "message": {"text": error}}
+        for error in result.errors
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "informationUri": "docs/static_analysis.md",
+                "rules": rules,
+            }
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": [_result(f) for f in diff.new],
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": False,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [run],
+    }
+
+
+def render_sarif(result: LintResult, diff: BaselineDiff) -> str:
+    return json.dumps(to_sarif(result, diff), indent=2, sort_keys=True)

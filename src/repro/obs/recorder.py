@@ -37,13 +37,15 @@ __all__ = ["ANOMALY_KINDS", "FlightRecorder"]
 #: ``validation_failure`` — a served/cached witness failed live
 #: ``is_pipeline`` re-validation; ``torn_row`` — a persistent-store row
 #: failed to decode; ``lock_order`` — the runtime sanitizer saw an
-#: acquisition closing a lock-order cycle; ``error`` — an event
-#: processing failure surfaced to a future.
+#: acquisition closing a lock-order cycle; ``race`` — the lockset race
+#: detector saw a guarded field's candidate lockset go empty; ``error``
+#: — an event processing failure surfaced to a future.
 ANOMALY_KINDS = (
     "shed",
     "validation_failure",
     "torn_row",
     "lock_order",
+    "race",
     "error",
 )
 

@@ -304,6 +304,7 @@ def run_service_bench(
     store_path: str | None = None,
     tracing: bool = True,
     dump_dir: str | None = None,
+    instrument=None,
 ) -> dict:
     """The ``BENCH_service.json`` payload: a cold-store phase followed by
     a warm-store phase (fresh plane, same store) over identical
@@ -311,7 +312,9 @@ def run_service_bench(
 
     *store_path* defaults to a temporary file removed afterwards; an
     explicit path is kept (and its pre-existing content removed first so
-    the cold phase really is cold).
+    the cold phase really is cold).  ``instrument``, when given, is
+    called with each phase's idle, fully-registered plane before load —
+    the sanitizer attachment point.
     """
     n_events = events if events is not None else (150 if smoke else 600)
     arrival = rate if rate is not None else (200.0 if smoke else 300.0)
@@ -335,6 +338,8 @@ def run_service_bench(
             )
             with ControlPlane(config) as plane:
                 register_fleet(plane, smoke=smoke)
+                if instrument is not None:
+                    instrument(plane)
                 workload = build_workload(
                     plane,
                     events=n_events,

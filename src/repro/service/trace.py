@@ -262,6 +262,7 @@ def run_demo(
     trace_out: str | None = None,
     trace_dump_dir: str | None = None,
     metrics_port: int | None = None,
+    instrument=None,
 ) -> tuple[TraceReport, MetricsSnapshot]:
     """The ``repro serve --demo`` payload.
 
@@ -270,7 +271,10 @@ def run_demo(
     report and the final metrics snapshot.  ``trace_out`` implies
     ``tracing`` and dumps the finished spans to a trace file readable by
     ``python -m repro trace``; ``metrics_port`` serves Prometheus/JSON
-    exposition over HTTP for the duration of the run.
+    exposition over HTTP for the duration of the run.  ``instrument``,
+    when given, is called with the idle, fully-registered plane before
+    any traffic — the hook the sanitizers (lock-order monitor, race
+    detector) attach through.
     """
     with demo_plane(
         workers=workers,
@@ -279,6 +283,8 @@ def run_demo(
         tracing=tracing or trace_out is not None,
         trace_dump_dir=trace_dump_dir,
     ) as plane:
+        if instrument is not None:
+            instrument(plane)
         server = None
         if metrics_port is not None:
             from ..obs.http import MetricsServer

@@ -1,0 +1,231 @@
+"""CFG construction and the dataflow lattices under the RC/RB/RR passes."""
+
+import ast
+
+from repro.lint.cfg import (
+    Def,
+    build_cfg,
+    held_locks,
+    instr_defs,
+    instr_exprs,
+    reaching_definitions,
+    solve_forward,
+)
+
+
+def _cfg(source: str):
+    func = ast.parse(source).body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _resolve_named(names):
+    def resolve(expr):
+        if isinstance(expr, ast.Name) and expr.id in names:
+            return expr.id
+        return None
+    return resolve
+
+
+def _point_at_line(cfg, line, op="stmt"):
+    for bid, idx, instr in cfg.points():
+        if instr.line == line and instr.op == op:
+            return (bid, idx), instr
+    raise AssertionError(f"no {op} instruction at line {line}")
+
+
+class TestBuildCfg:
+    def test_straight_line_is_one_block_chain(self):
+        cfg = _cfg("def f():\n    a = 1\n    b = 2\n    return a + b\n")
+        lines = [i.line for _, _, i in cfg.points()]
+        assert lines == [2, 3, 4]
+        # the return block feeds the exit
+        assert any(cfg.exit in b.succ for b in cfg.blocks if b.instrs)
+
+    def test_if_diamond(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        (bid, _), head = _point_at_line(cfg, 2, op="branch")
+        assert isinstance(head.node, ast.If)
+        assert len(cfg.blocks[bid].succ) == 2
+
+    def test_statements_after_return_are_unreachable(self):
+        cfg = _cfg("def f():\n    return 1\n    x = 2\n")
+        pt, _ = _point_at_line(cfg, 3)
+        rd = reaching_definitions(cfg)
+        # unreachable points get the normalized empty environment
+        assert rd[pt] == {}
+
+    def test_while_loops_back(self):
+        cfg = _cfg("def f(n):\n    while n:\n        n -= 1\n    return n\n")
+        (head_bid, _), _ = _point_at_line(cfg, 2, op="branch")
+        (body_bid, _), _ = _point_at_line(cfg, 3)
+        assert head_bid in cfg.blocks[body_bid].succ
+
+    def test_with_emits_enter_and_exit(self):
+        cfg = _cfg("def f(lk):\n    with lk:\n        x = 1\n")
+        ops = [i.op for _, _, i in cfg.points()]
+        assert ops == ["with_enter", "stmt", "with_exit"]
+
+    def test_try_body_may_reach_handler(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        x = risky()\n"
+            "    except ValueError:\n"
+            "        x = 0\n"
+            "    return x\n"
+        )
+        (try_bid, _), _ = _point_at_line(cfg, 3)
+        handler_blocks = [
+            bid for bid, _, i in cfg.points()
+            if isinstance(i.node, ast.ExceptHandler)
+        ]
+        assert handler_blocks
+        assert any(h in cfg.blocks[try_bid].succ for h in handler_blocks)
+
+
+class TestInstrHelpers:
+    def test_branch_instr_only_exposes_its_header(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    if x > 0:\n"
+            "        body_call()\n"
+        )
+        _, head = _point_at_line(cfg, 2, op="branch")
+        walked = [n for root in instr_exprs(head) for n in ast.walk(root)]
+        assert not any(
+            isinstance(n, ast.Call) for n in walked
+        ), "branch exprs must not re-enter the body"
+
+    def test_instr_defs_cover_binding_forms(self):
+        cfg = _cfg(
+            "def f(xs):\n"
+            "    a = 1\n"
+            "    a += 1\n"
+            "    for b in xs:\n"
+            "        pass\n"
+            "    with open('x') as fh:\n"
+            "        pass\n"
+        )
+        kinds = {}
+        for _, _, instr in cfg.points():
+            for d in instr_defs(instr):
+                kinds[d.var] = d.kind
+        assert kinds["b"] == "for"
+        assert kinds["fh"] == "with"
+        assert kinds["a"] in {"assign", "aug"}
+
+
+class TestReachingDefinitions:
+    def test_arguments_reach_the_entry(self):
+        cfg = _cfg("def f(x, *rest, **kw):\n    return x\n")
+        pt, _ = _point_at_line(cfg, 2)
+        env = reaching_definitions(cfg)[pt]
+        assert set(env) == {"x", "rest", "kw"}
+        (d,) = env["x"]
+        assert d.kind == "arg"
+
+    def test_branch_merges_both_definitions(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        v = 1\n"
+            "    else:\n"
+            "        v = 2\n"
+            "    return v\n"
+        )
+        pt, _ = _point_at_line(cfg, 6)
+        defs = reaching_definitions(cfg)[pt]["v"]
+        values = {d.value.value for d in defs}
+        assert values == {1, 2}
+
+    def test_rebinding_kills_the_old_definition(self):
+        cfg = _cfg("def f():\n    v = 1\n    v = 2\n    return v\n")
+        pt, _ = _point_at_line(cfg, 4)
+        (d,) = reaching_definitions(cfg)[pt]["v"]
+        assert d.value.value == 2
+
+    def test_augmented_assign_accumulates(self):
+        cfg = _cfg("def f():\n    v = 1\n    v += 2\n    return v\n")
+        pt, _ = _point_at_line(cfg, 4)
+        kinds = {d.kind for d in reaching_definitions(cfg)[pt]["v"]}
+        assert kinds == {"assign", "aug"}
+
+
+class TestHeldLocks:
+    def test_with_scope(self):
+        cfg = _cfg(
+            "def f(lk):\n"
+            "    before()\n"
+            "    with lk:\n"
+            "        inside()\n"
+            "    after()\n"
+        )
+        held = held_locks(cfg, _resolve_named({"lk"}))
+        pt_in, _ = _point_at_line(cfg, 4)
+        pt_before, _ = _point_at_line(cfg, 2)
+        pt_after, _ = _point_at_line(cfg, 5)
+        assert held[pt_in] == frozenset({"lk"})
+        assert held[pt_before] == frozenset()
+        assert held[pt_after] == frozenset()
+
+    def test_acquire_release_pair(self):
+        cfg = _cfg(
+            "def f(lk):\n"
+            "    lk.acquire()\n"
+            "    work()\n"
+            "    lk.release()\n"
+            "    done()\n"
+        )
+        held = held_locks(cfg, _resolve_named({"lk"}))
+        pt_work, _ = _point_at_line(cfg, 3)
+        pt_done, _ = _point_at_line(cfg, 5)
+        assert held[pt_work] == frozenset({"lk"})
+        assert held[pt_done] == frozenset()
+
+    def test_must_analysis_intersects_paths(self):
+        # the lock is only held on one branch into the join point
+        cfg = _cfg(
+            "def f(lk, c):\n"
+            "    if c:\n"
+            "        lk.acquire()\n"
+            "    merge()\n"
+        )
+        held = held_locks(cfg, _resolve_named({"lk"}))
+        pt, _ = _point_at_line(cfg, 4)
+        assert held[pt] == frozenset()
+
+
+class TestSolveForward:
+    def test_loop_reaches_fixpoint(self):
+        # collect every constant ever assigned: a may-analysis that needs
+        # a second pass around the loop to stabilize
+        cfg = _cfg(
+            "def f(n):\n"
+            "    v = 0\n"
+            "    while n:\n"
+            "        v = 1\n"
+            "    return v\n"
+        )
+        pt, _ = _point_at_line(cfg, 5)
+        values = {
+            d.value.value
+            for d in reaching_definitions(cfg)[pt]["v"]
+        }
+        assert values == {0, 1}
+
+    def test_unreachable_blocks_keep_bottom(self):
+        cfg = _cfg("def f():\n    return 0\n    x = 1\n")
+        entries = solve_forward(
+            cfg, init=frozenset(),
+            transfer=lambda s, i: s, join=lambda a, b: a | b,
+        )
+        (dead_bid, _), _ = _point_at_line(cfg, 3)
+        assert entries[dead_bid] is None

@@ -1,0 +1,123 @@
+"""Lint CLI satellites: SARIF output and git-diff-scoped runs."""
+
+import argparse
+import json
+import subprocess
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lint import cli as lint_cli
+from repro.lint.cli import changed_paths, cmd_lint
+from repro.lint.passes import all_rules
+
+_DIRTY = "def f(x=[]):\n    return x\n"
+
+
+def _args(tmp_path, **kw):
+    defaults = dict(
+        paths=[], format="text", baseline=str(tmp_path / "baseline.json"),
+        no_baseline=False, write_baseline=False, select=None, list_rules=False,
+        changed=False,
+    )
+    defaults.update(kw)
+    return argparse.Namespace(**defaults)
+
+
+class TestSarif:
+    def test_payload_shape(self, tmp_path, capsys):
+        dirty = tmp_path / "mod.py"
+        dirty.write_text(_DIRTY)
+        code = cmd_lint(_args(tmp_path, paths=[str(dirty)], format="sarif"))
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == {
+            r.id for r in all_rules()
+        }
+        (result,) = run["results"]
+        assert result["ruleId"] == "RA501"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("mod.py")
+        assert loc["region"]["startLine"] == 1
+        assert result["partialFingerprints"]["reproLintKey"].startswith("RA501:")
+
+    def test_clean_tree_emits_no_results(self, tmp_path, capsys):
+        clean = tmp_path / "mod.py"
+        clean.write_text("def f():\n    return 1\n")
+        code = cmd_lint(_args(tmp_path, paths=[str(clean)], format="sarif"))
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["runs"][0]["results"] == []
+
+    def test_parse_error_becomes_notification(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        code = cmd_lint(_args(tmp_path, paths=[str(bad)], format="sarif"))
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        (inv,) = payload["runs"][0]["invocations"]
+        assert inv["executionSuccessful"] is False
+        assert inv["toolExecutionNotifications"]
+
+    def test_output_is_deterministic(self, tmp_path, capsys):
+        dirty = tmp_path / "mod.py"
+        dirty.write_text(_DIRTY)
+        outs = []
+        for _ in range(2):
+            cmd_lint(_args(tmp_path, paths=[str(dirty)], format="sarif"))
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True,
+            env={"HOME": str(tmp_path), "PATH": "/usr/bin:/bin:/usr/local/bin",
+                 "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+
+    git("init", "-q")
+    (tmp_path / "clean.py").write_text("def f():\n    return 1\n")
+    (tmp_path / "notes.txt").write_text("not python\n")
+    git("add", "-A")
+    git("commit", "-qm", "seed")
+    monkeypatch.setattr(lint_cli, "repo_root", lambda: tmp_path)
+    return tmp_path
+
+
+class TestChanged:
+    def test_lists_modified_and_untracked_python_only(self, git_repo):
+        (git_repo / "clean.py").write_text("def f():\n    return 2\n")
+        (git_repo / "fresh.py").write_text(_DIRTY)
+        (git_repo / "notes.txt").write_text("still not python\n")
+        paths = changed_paths()
+        assert [p.name for p in paths] == ["clean.py", "fresh.py"]
+
+    def test_lints_only_the_changed_files(self, git_repo, capsys):
+        (git_repo / "fresh.py").write_text(_DIRTY)
+        code = cmd_lint(_args(git_repo, format="json", changed=None))
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["files"] == 1
+        assert payload["new"][0]["rule"] == "RA501"
+
+    def test_no_changes_is_a_clean_noop(self, git_repo, capsys):
+        code = cmd_lint(_args(git_repo, changed=None))
+        assert code == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_conflicts_with_paths(self, git_repo):
+        with pytest.raises(ReproError):
+            cmd_lint(_args(git_repo, paths=["clean.py"], changed=None))
+
+    def test_bad_base_ref_raises(self, git_repo):
+        with pytest.raises(ReproError):
+            changed_paths("no-such-ref")

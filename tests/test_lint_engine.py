@@ -34,8 +34,9 @@ class TestFindings:
         assert ids == {
             "RL101", "RL102", "RL201", "RL202", "RD301", "RD302",
             "RE401", "RE402", "RE403", "RE404", "RA501", "RA502", "RA503",
+            "RC601", "RC602", "RC603", "RB701", "RB702", "RR801", "RR802",
         }
-        assert len(all_passes()) == 5
+        assert len(all_passes()) == 8
 
 
 class TestSuppressions:
@@ -66,6 +67,33 @@ class TestSuppressions:
 
     def test_wrong_rule_does_not_suppress(self):
         source = "def f(x=[]):  # repro: allow[RL101]\n    return x\n"
+        assert any(f.rule == "RA501" for f in analyze_source(source))
+
+    def test_multiline_statement_trailing_comment(self):
+        # the finding anchors at the first line of the signature; the
+        # comment reads best on the closing line
+        source = (
+            "def f(\n"
+            "    x=[],\n"
+            "):  # repro: allow[RA501]\n"
+            "    return x\n"
+        )
+        assert not analyze_source(source, select=["RA501"])
+
+    def test_decorator_line_covers_decorated_def(self):
+        source = (
+            "import functools\n"
+            "@functools.lru_cache  # repro: allow[RA501]\n"
+            "def f(x=[]):\n"
+            "    return x\n"
+        )
+        assert not analyze_source(source, select=["RA501"])
+
+    def test_body_suppression_does_not_blanket_the_header(self):
+        source = (
+            "def f(x=[]):\n"
+            "    return x  # repro: allow[RA501]\n"
+        )
         assert any(f.rule == "RA501" for f in analyze_source(source))
 
 
@@ -134,6 +162,7 @@ def _args(tmp_path, **kw):
     defaults = dict(
         paths=[], format="text", baseline=str(tmp_path / "baseline.json"),
         no_baseline=False, write_baseline=False, select=None, list_rules=False,
+        changed=False,
     )
     defaults.update(kw)
     return argparse.Namespace(**defaults)

@@ -1,0 +1,98 @@
+"""The tree lints clean, and the ratchet round-trips deterministically.
+
+These are the CI invariants: ``lint-baseline.json`` stays empty (new
+debt is fixed, not baselined) and ``--update-baseline`` writes the same
+bytes regardless of hash seed, so a re-ratchet never produces diff noise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import BASELINE_NAME, repo_root
+
+REPO = repo_root()
+
+_DIRTY = (
+    "import threading, time\n"
+    "lk = threading.Lock()\n"
+    "def f(x=[]):\n"
+    "    with lk:\n"
+    "        time.sleep(1)\n"
+    "    return x\n"
+    "def g(flag):\n"
+    "    fh = open('x')\n"
+    "    if flag:\n"
+    "        return 1\n"
+    "    fh.close()\n"
+    "    return 0\n"
+)
+
+
+def _run_lint(args, cwd, hashseed):
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed),
+               PYTHONPATH=str(REPO / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_empty(self):
+        payload = json.loads((REPO / BASELINE_NAME).read_text())
+        assert payload == {"entries": {}, "version": 1}
+
+    def test_tree_lints_clean_against_it(self):
+        proc = _run_lint(["--format", "json"], cwd=REPO, hashseed=0)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is True
+        assert payload["new"] == []
+
+
+class TestUpdateBaselineDeterminism:
+    def test_round_trip_is_stable_under_hash_seeds(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(_DIRTY)
+        outputs = {}
+        for seed in (0, 1):
+            bl = tmp_path / f"baseline-{seed}.json"
+            proc = _run_lint(
+                ["dirty.py", "--update-baseline", "--baseline", str(bl)],
+                cwd=tmp_path, hashseed=seed,
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            outputs[seed] = bl.read_text()
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        # keys are sorted in the emitted bytes
+        assert list(payload["entries"]) == sorted(payload["entries"])
+        assert any(k.startswith("RB701:") for k in payload["entries"])
+        assert any(k.startswith("RR801:") for k in payload["entries"])
+
+    def test_ratcheted_run_is_then_clean(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(_DIRTY)
+        bl = tmp_path / "baseline.json"
+        assert _run_lint(
+            ["dirty.py", "--update-baseline", "--baseline", str(bl)],
+            cwd=tmp_path, hashseed=0,
+        ).returncode == 0
+        proc = _run_lint(
+            ["dirty.py", "--baseline", str(bl)], cwd=tmp_path, hashseed=1
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_update_baseline_flag_is_an_alias(self, tmp_path):
+        (tmp_path / "dirty.py").write_text(_DIRTY)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert _run_lint(
+            ["dirty.py", "--write-baseline", "--baseline", str(a)],
+            cwd=tmp_path, hashseed=0,
+        ).returncode == 0
+        assert _run_lint(
+            ["dirty.py", "--update-baseline", "--baseline", str(b)],
+            cwd=tmp_path, hashseed=0,
+        ).returncode == 0
+        assert a.read_text() == b.read_text()

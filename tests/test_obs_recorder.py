@@ -45,7 +45,8 @@ class TestAnomalies:
     def test_all_kinds_present_in_totals(self):
         assert set(FlightRecorder().anomalies()) == set(ANOMALY_KINDS)
         assert set(ANOMALY_KINDS) == {
-            "shed", "validation_failure", "torn_row", "lock_order", "error",
+            "shed", "validation_failure", "torn_row", "lock_order", "race",
+            "error",
         }
 
     def test_keep_dumps_bounds_memory(self):
