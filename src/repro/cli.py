@@ -92,9 +92,17 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="verify k-graceful-degradability")
     _add_nk(p)
-    p.add_argument("--mode", choices=["exhaustive", "sampled"], default="exhaustive")
+    p.add_argument(
+        "--mode",
+        choices=["exhaustive", "warm", "parallel", "sampled"],
+        default="exhaustive",
+        help="parallel auto-falls back to the serial warm sweep below "
+        "the dispatch threshold",
+    )
     p.add_argument("--trials", type=int, default=300, help="sampled mode trials")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel mode worker count (default: auto)")
 
     p = sub.add_parser("reconfigure", help="embed a pipeline around faults")
     _add_nk(p)
@@ -236,9 +244,15 @@ def cmd_build(args) -> int:
 
 
 def cmd_verify(args) -> int:
+    from .core.verify import verify_exhaustive_parallel, verify_exhaustive_warm
+
     net = build(args.n, args.k)
     if args.mode == "exhaustive":
         cert = verify_exhaustive(net)
+    elif args.mode == "warm":
+        cert = verify_exhaustive_warm(net)
+    elif args.mode == "parallel":
+        cert = verify_exhaustive_parallel(net, workers=args.workers)
     else:
         cert = verify_sampled(net, trials=args.trials, rng=args.seed)
     print(cert.summary())

@@ -27,6 +27,7 @@ than silently lying when it runs out.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Sequence
 
@@ -52,6 +53,33 @@ HELD_KARP_LIMIT = 16
 #: instances (warm-built over a large network's global index space) fall
 #: back to dict tables, whose memory tracks the reachable states only.
 FLAT_DP_BITS = 18
+
+#: reusable flat-DP scratch tables, keyed by bit-space width.  An
+#: exhaustive sweep calls the flat Held-Karp path thousands of times on
+#: instances of identical width; reallocating the ``O(2^B)`` ``lasts``
+#: list and ``O(B * 2^B)`` parent table per call costs more than the DP
+#: itself on small widths.  Thread-local because the fleet service
+#: solves from several threads; per-thread, per-width reuse is the
+#: common case (one sweep = one width).  Invariant: ``lasts`` is
+#: all-zero between calls — the DP zeroes each entry as it expands it,
+#: and the epilogue zeroes the final layer.  Stale ``parent`` bytes are
+#: harmless: reconstruction only follows states set during the current
+#: call.
+_FLAT_SCRATCH = threading.local()
+_FLAT_SCRATCH_WIDTHS = 4
+
+
+def _flat_scratch(B: int) -> tuple[list[int], bytearray]:
+    cache: dict[int, tuple[list[int], bytearray]]
+    cache = getattr(_FLAT_SCRATCH, "tables", None)
+    if cache is None:
+        cache = _FLAT_SCRATCH.tables = {}
+    hit = cache.get(B)
+    if hit is None:
+        if len(cache) >= _FLAT_SCRATCH_WIDTHS:
+            cache.clear()
+        hit = cache[B] = ([0] * (1 << B), bytearray(B << B))
+    return hit
 
 
 class Status(enum.Enum):
@@ -358,9 +386,10 @@ def solve_held_karp(inst: SpanningPathInstance) -> SolveReport:
     # lasts[mask] = bitmask of feasible last-nodes of partial paths
     # covering exactly `mask`.  Layers have distinct popcounts and each
     # entry is zeroed as it is expanded, so one flat table serves all
-    # layers.  parent[mask * B + j] stores previous-node + 2 (1 = root).
-    lasts = [0] * (1 << B)
-    parent = bytearray(B << B)
+    # layers — and all *calls*: the tables come from the per-thread
+    # scratch cache and the final layer is re-zeroed before returning.
+    # parent[mask * B + j] stores previous-node + 2 (1 = root).
+    lasts, parent = _flat_scratch(B)
     masks: list[int] = []
     for s in iter_bits(inst.start_mask):
         m = 1 << s
@@ -389,6 +418,8 @@ def solve_held_karp(inst: SpanningPathInstance) -> SolveReport:
         if not masks:
             return SolveReport(Status.NONE, method="held-karp", nodes_expanded=expanded)
     lasts_full = lasts[full] & inst.end_mask
+    for mask in masks:
+        lasts[mask] = 0  # restore the all-zero scratch invariant
     if not lasts_full:
         return SolveReport(Status.NONE, method="held-karp", nodes_expanded=expanded)
     j = next(iter_bits(lasts_full))

@@ -18,12 +18,24 @@ from .adversarial import (
     terminal_attack,
     uniform_faults,
 )
+from .batch import BatchSweeper, WitnessKernel, verify_exhaustive_batched
 from .certificates import VerificationCertificate, VerificationMode
-from .exhaustive import iter_fault_sets, iter_fault_sets_gray, verify_exhaustive
+from .exhaustive import (
+    gray_unrank,
+    iter_fault_sets,
+    iter_fault_sets_gray,
+    iter_gray_indices,
+    verify_exhaustive,
+)
 from .parallel import verify_exhaustive_parallel
 from .regression import replay as replay_regression_vectors
 from .sampling import verify_sampled
-from .symmetry import orbit_representatives, verify_exhaustive_symmetry_reduced
+from .shm import SharedSweepContext, ShmWorkerPool
+from .symmetry import (
+    CanonicalVerdictCache,
+    orbit_representatives,
+    verify_exhaustive_symmetry_reduced,
+)
 from .warm import (
     IncrementalInstanceBuilder,
     WitnessSweeper,
@@ -35,11 +47,19 @@ __all__ = [
     "VerificationMode",
     "iter_fault_sets",
     "iter_fault_sets_gray",
+    "gray_unrank",
+    "iter_gray_indices",
     "verify_exhaustive",
     "verify_exhaustive_warm",
+    "verify_exhaustive_batched",
     "verify_exhaustive_parallel",
     "verify_exhaustive_symmetry_reduced",
     "orbit_representatives",
+    "CanonicalVerdictCache",
+    "BatchSweeper",
+    "WitnessKernel",
+    "SharedSweepContext",
+    "ShmWorkerPool",
     "IncrementalInstanceBuilder",
     "WitnessSweeper",
     "verify_sampled",

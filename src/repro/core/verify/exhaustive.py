@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import time
 from itertools import combinations
+from math import comb
 from typing import Callable, Hashable, Iterable
 
 from ..hamilton import SolvePolicy, SpanningPathInstance, Status, solve
@@ -67,6 +68,51 @@ def _revolving_rev(n: int, j: int):
     for s in _revolving(n - 1, j - 1):
         yield s + (n - 1,)
     yield from _revolving_rev(n - 1, j)
+
+
+def gray_unrank(n: int, j: int, rank: int) -> tuple[int, ...]:
+    """The *rank*-th ``j``-subset of ``range(n)`` in revolving-door
+    order — the subset :func:`_revolving` would emit at that position,
+    computed in ``O(n)`` without enumerating the prefix.
+
+    This is what lets parallel workers receive chunks as plain
+    ``(size, start_rank, count)`` index ranges instead of pickled fault
+    sets: any point of the revolving-door sequence is addressable.
+
+    >>> [gray_unrank(4, 2, r) for r in range(comb(4, 2))] == list(_revolving(4, 2))
+    True
+    """
+    if not 0 <= rank < comb(n, j):
+        raise ValueError(f"rank {rank} out of range for C({n}, {j})")
+    out: list[int] = []
+    while j:
+        if j == n:
+            out.extend(range(n))
+            break
+        # R(n,j) = R(n-1,j) ++ [s + (n-1,) for s in reversed(R(n-1,j-1))]
+        # — a rank in the tail maps to rank C(n,j)-1-rank of R(n-1,j-1).
+        if rank >= comb(n - 1, j):
+            out.append(n - 1)
+            rank = comb(n, j) - 1 - rank
+            j -= 1
+        n -= 1
+    return tuple(sorted(out))
+
+
+def iter_gray_indices(n: int, j: int, start: int = 0, count: int | None = None):
+    """Resume the revolving-door sequence of ``j``-subsets of
+    ``range(n)`` at *start*, yielding *count* subsets (default: through
+    the end of the sequence).
+
+    Equivalent to ``islice(_revolving(n, j), start, start + count)`` but
+    without burning through the skipped prefix — the chunk protocol of
+    the parallel verifier leans on this being O(count), not O(start).
+    """
+    total = comb(n, j)
+    if count is None:
+        count = total - start
+    for rank in range(start, min(start + count, total)):
+        yield gray_unrank(n, j, rank)
 
 
 def iter_fault_sets_gray(

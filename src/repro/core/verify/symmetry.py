@@ -88,6 +88,36 @@ def orbit_representatives(
     return [(rep, counts[rep]) for rep in order]
 
 
+class CanonicalVerdictCache:
+    """Worker-side verdict memo keyed by canonical fault set.
+
+    The parallel sweep shards orbit *representatives*, but chunk
+    boundaries and crash-requeues can hand one worker fault sets from
+    orbits another chunk already decided locally.  Each worker keeps one
+    of these: verdicts are stored under the canonical image, so any
+    orbit-mate re-encountered within the worker is answered without a
+    sweeper call.  Purely an intra-worker accelerator — workers never
+    share it, and a miss just falls through to the normal decide path,
+    so verdicts are unaffected.
+    """
+
+    __slots__ = ("group", "_verdicts", "hits")
+
+    def __init__(self, group: list[dict]) -> None:
+        self.group = group
+        self._verdicts: dict[tuple, Status] = {}
+        self.hits = 0
+
+    def get(self, fault_set: tuple) -> Status | None:
+        status = self._verdicts.get(canonical_fault_set(fault_set, self.group))
+        if status is not None:
+            self.hits += 1
+        return status
+
+    def put(self, fault_set: tuple, status: Status) -> None:
+        self._verdicts[canonical_fault_set(fault_set, self.group)] = status
+
+
 def verify_exhaustive_symmetry_reduced(
     network: PipelineNetwork,
     k: int | None = None,

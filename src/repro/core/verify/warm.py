@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Callable, Hashable, Iterable
+from typing import Callable, Hashable, Iterable, Sequence
 
 from ..._util import iter_bits
 from ...obs.spans import child_span
@@ -175,12 +175,23 @@ class WitnessSweeper:
     """
 
     def __init__(
-        self, network: PipelineNetwork, policy: SolvePolicy | None = None
+        self,
+        network: PipelineNetwork,
+        policy: SolvePolicy | None = None,
+        *,
+        seed_bits: Sequence[int] | None = None,
     ) -> None:
         self.network = network
         self.policy = policy or SolvePolicy()
         self.builder = IncrementalInstanceBuilder(network)
-        self.prev_bits: list[int] | None = None
+        # seed_bits warm-starts the very first decide() from a witness
+        # found elsewhere (the parallel workers ship the parent's seed
+        # witness this way instead of each solving the fault-free
+        # instance cold).  Purely a splice hint: adapt_witness validates
+        # it in full before it can decide anything.
+        self.prev_bits: list[int] | None = (
+            list(seed_bits) if seed_bits else None
+        )
         self.adapted = 0
         self.warm_heuristic = 0
         self.solver_calls = 0

@@ -23,6 +23,14 @@ definitions, then checks every payload expression flowing into them:
 ``ThreadPoolExecutor`` receivers are exempt (no serialization), and an
 untypable receiver contributes nothing — the pass under-reports rather
 than guessing, like the rest of the lock model.
+
+The project's own shared-memory worker pool
+(:class:`repro.core.verify.shm.ShmWorkerPool`) is a process boundary
+too: its ``worker_body``/``init_args`` are pickled into forked children
+and ``.submit()`` payloads cross the same line.  ``SharedMemory``
+segments themselves do not pickle — the *name* crosses the boundary and
+the child re-attaches — and a ``.buf`` memoryview is parent-process
+memory, so both are RC601 payloads.
 """
 
 from __future__ import annotations
@@ -48,7 +56,9 @@ from ._lockmodel import (
 )
 
 #: constructors whose result is a worker *process* container
-_PROCESS_FACTORIES = frozenset({"Pool", "ProcessPoolExecutor", "Process"})
+_PROCESS_FACTORIES = frozenset(
+    {"Pool", "ProcessPoolExecutor", "Process", "ShmWorkerPool"}
+)
 _THREAD_FACTORIES = frozenset({"ThreadPoolExecutor", "Thread"})
 
 #: Pool methods whose positional arguments are pickled into workers
@@ -68,12 +78,16 @@ _PARENT_SIDE_KWARGS = frozenset({"callback", "error_callback", "chunksize"})
 _UNPICKLABLE_FACTORIES = frozenset(
     {"Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
      "Barrier", "Thread", "ThreadPoolExecutor", "ProcessPoolExecutor",
-     "Pool", "SanitizedLock", "open", "connect"}
+     "Pool", "SanitizedLock", "open", "connect", "SharedMemory",
+     "ShmWorkerPool", "memoryview"}
 )
 _FACTORY_KIND = {
     "open": "an open file", "connect": "a database connection",
     "Thread": "a thread", "Pool": "a process pool",
     "ThreadPoolExecutor": "an executor", "ProcessPoolExecutor": "an executor",
+    "SharedMemory": "a shared-memory segment (ship its .name, re-attach "
+    "in the child)",
+    "ShmWorkerPool": "a worker pool", "memoryview": "a memoryview",
 }
 
 
@@ -218,6 +232,16 @@ def _check_call(
         for kw in call.keywords:
             if kw.arg in {"target", "args", "kwargs"}:
                 payload.append((kw.value, f"Process '{kw.arg}'"))
+    elif name == "ShmWorkerPool":
+        # the project's shared-memory pool: workers fork at construction
+        # and worker_body/init_args are pickled into each child
+        fork_site = "'ShmWorkerPool(...)'"
+        payload.extend(
+            (arg, "ShmWorkerPool init payload") for arg in call.args[1:]
+        )
+        for kw in call.keywords:
+            if kw.arg in {"worker_body", "init_args", "fault_spec"}:
+                payload.append((kw.value, f"ShmWorkerPool '{kw.arg}'"))
     elif name == "fork":
         chain = attr_chain(call.func)
         if chain == ["os", "fork"]:
@@ -308,6 +332,22 @@ def _unpicklable(
     name = call_name(expr)
     if name in _UNPICKLABLE_FACTORIES:
         return _FACTORY_KIND.get(name, "a lock/synchronization primitive")
+    if isinstance(expr, ast.Attribute) and expr.attr == "buf":
+        # shm.buf is a memoryview over parent-process memory; the child
+        # must re-attach by segment name and map its own view
+        base = expr.value
+        if call_name(base) == "SharedMemory":
+            return "a shared-memory '.buf' memoryview"
+        if isinstance(base, ast.Name):
+            for d in rdefs.get(base.id, frozenset()):
+                if (
+                    d.kind in {"assign", "with"}
+                    and d.value is not None
+                    and call_name(d.value) == "SharedMemory"
+                ):
+                    return (
+                        f"the shared-memory memoryview '{base.id}.buf'"
+                    )
     if name in model.classes and model.classes[name].lock_attrs:
         return f"an instance of lock-owning class '{name}'"
     chain = attr_chain(expr)

@@ -101,6 +101,88 @@ class TestProcessBoundary:
         )
         assert _rules(src, select=["RC603"]) == []
 
+    def test_rc601_shared_memory_segment_in_payload(self):
+        src = (
+            "from multiprocessing import Pool\n"
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(pool: Pool, work):\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    pool.apply_async(work, (shm,))\n"
+        )
+        findings = analyze_source(src, select=["RC601"])
+        assert findings and "shared-memory segment" in findings[0].message
+
+    def test_rc601_shm_buf_memoryview_in_payload(self):
+        src = (
+            "from multiprocessing import Pool\n"
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(pool: Pool, work):\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    pool.apply_async(work, (shm.buf,))\n"
+        )
+        findings = analyze_source(src, select=["RC601"])
+        assert findings and "shm.buf" in findings[0].message
+
+    def test_rc601_shm_name_handoff_is_clean(self):
+        # the sanctioned protocol: ship the segment *name*, re-attach in
+        # the child -- a plain string crosses the boundary fine
+        src = (
+            "from multiprocessing import Pool\n"
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def f(pool: Pool, work):\n"
+            "    shm = SharedMemory(create=True, size=64)\n"
+            "    pool.apply_async(work, (shm.name,))\n"
+        )
+        assert _rules(src, select=["RC601", "RC602"]) == []
+
+    def test_rc601_lock_in_shm_worker_pool_init_args(self):
+        src = (
+            "import threading\n"
+            "from repro.core.verify.shm import ShmWorkerPool\n"
+            "def body(st, task):\n"
+            "    pass\n"
+            "def f():\n"
+            "    lk = threading.Lock()\n"
+            "    pool = ShmWorkerPool(2, body, (lk,))\n"
+        )
+        findings = analyze_source(src, select=["RC601"])
+        assert findings and "via 'lk'" in findings[0].message
+
+    def test_rc602_local_body_in_shm_worker_pool(self):
+        src = (
+            "from repro.core.verify.shm import ShmWorkerPool\n"
+            "def f(args):\n"
+            "    def body(st, task):\n"
+            "        pass\n"
+            "    pool = ShmWorkerPool(2, body, args)\n"
+        )
+        findings = analyze_source(src, select=["RC602"])
+        assert findings and "locally-defined function 'body'" in findings[0].message
+
+    def test_rc601_shm_worker_pool_submit_is_process_payload(self):
+        src = (
+            "import threading\n"
+            "from repro.core.verify.shm import ShmWorkerPool\n"
+            "def body(st, task):\n"
+            "    pass\n"
+            "def f(args):\n"
+            "    pool = ShmWorkerPool(2, body, args)\n"
+            "    lk = threading.Lock()\n"
+            "    pool.submit(('range', 0, lk))\n"
+        )
+        assert "RC601" in _rules(src, select=["RC601"])
+
+    def test_rc601_shm_worker_pool_plain_data_is_clean(self):
+        src = (
+            "from repro.core.verify.shm import ShmWorkerPool\n"
+            "def body(st, task):\n"
+            "    pass\n"
+            "def f(spec):\n"
+            "    pool = ShmWorkerPool(2, body, (spec, [1, 2]))\n"
+            "    pool.submit(('range', 0, 3, 100, None))\n"
+        )
+        assert _rules(src, select=["RC601", "RC602"]) == []
+
 
 class TestBlockingDiscipline:
     def test_rb701_sleep_under_lock(self):

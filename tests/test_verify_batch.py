@@ -1,0 +1,183 @@
+"""Tests for the batched bitmask verification kernel: Gray-code rank
+addressing, witness-kernel soundness, batched/warm certificate
+equivalence, numpy/pure-Python parity, and the dispatch fallback."""
+
+from itertools import islice
+from math import comb
+
+import networkx as nx
+import pytest
+
+from repro.core.constructions import build, build_special
+from repro.core.hamilton import SolvePolicy, SpanningPathInstance, solve
+from repro.core.model import PipelineNetwork
+from repro.core.verify import (
+    gray_unrank,
+    iter_gray_indices,
+    verify_exhaustive_batched,
+    verify_exhaustive_parallel,
+    verify_exhaustive_warm,
+)
+from repro.core.verify.batch import HAVE_NUMPY, WitnessKernel, gray_index_array
+from repro.core.verify.exhaustive import _revolving
+from repro.core.verify.warm import IncrementalInstanceBuilder
+
+
+def broken_network():
+    """NOT 1-gracefully-degradable: p0 is a cut vertex for the inputs."""
+    g = nx.Graph(
+        [("i0", "p0"), ("i1", "p0"), ("p0", "p1"), ("p1", "p2"),
+         ("p2", "o0"), ("p2", "o1")]
+    )
+    return PipelineNetwork(g, ["i0", "i1"], ["o0", "o1"], n=2, k=1)
+
+
+def certs_agree(a, b):
+    assert a.checked == b.checked
+    assert a.tolerated == b.tolerated
+    assert a.counterexample == b.counterexample
+    assert a.undecided == b.undecided
+    assert a.is_proof == b.is_proof
+
+
+class TestGrayRankAddressing:
+    @pytest.mark.parametrize("n,j", [(6, 2), (7, 3), (8, 4), (9, 1), (5, 5)])
+    def test_unrank_matches_enumeration(self, n, j):
+        expected = list(_revolving(n, j))
+        assert len(expected) == comb(n, j)
+        for rank, idxs in enumerate(expected):
+            assert gray_unrank(n, j, rank) == tuple(idxs)
+
+    @pytest.mark.parametrize("n,j,start,count", [
+        (7, 3, 0, None), (7, 3, 10, 11), (8, 2, 27, 1), (6, 4, 5, 100),
+    ])
+    def test_iter_gray_indices_resumes_mid_stream(self, n, j, start, count):
+        full = list(_revolving(n, j))
+        stop = len(full) if count is None else min(len(full), start + count)
+        expected = [tuple(x) for x in full[start:stop]]
+        got = list(iter_gray_indices(n, j, start, count))
+        assert got == expected
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    @pytest.mark.parametrize("n,j", [(6, 2), (9, 3), (12, 3), (5, 1)])
+    def test_gray_index_array_matches_generator(self, n, j):
+        arr = gray_index_array(n, j)
+        assert arr.shape == (comb(n, j), j)
+        for row, idxs in zip(arr, _revolving(n, j)):
+            assert list(row) == list(idxs)
+
+
+class TestWitnessKernelSoundness:
+    def _kernel_with_seed(self, net, use_numpy):
+        universe = sorted(net.graph.nodes, key=repr)
+        kern = WitnessKernel(net, universe, net.k, use_numpy=use_numpy)
+        inst = SpanningPathInstance(net.surviving())
+        report = solve(inst, SolvePolicy())
+        index = {p: i for i, p in enumerate(sorted(net.processors, key=repr))}
+        assert kern.add_witness([index[p] for p in report.path[1:-1]])
+        return kern, universe
+
+    @pytest.mark.parametrize("use_numpy", [False, True])
+    def test_every_accept_is_independently_tolerable(self, use_numpy):
+        if use_numpy and not HAVE_NUMPY:
+            pytest.skip("needs numpy")
+        net = build_special(4, 3)
+        kern, universe = self._kernel_with_seed(net, use_numpy)
+        accepted = 0
+        for j in range(net.k + 1):
+            for idxs in iter_gray_indices(len(universe), j):
+                if not kern.accept_row(list(idxs)):
+                    continue
+                accepted += 1
+                fs = frozenset(universe[i] for i in idxs)
+                inst = SpanningPathInstance(net.surviving(fs))
+                assert solve(inst, SolvePolicy()).status.name == "FOUND", fs
+        # the seed witness alone must decide the majority of the sweep
+        assert accepted > 300
+
+    def test_scalar_and_vector_tiers_agree_row_for_row(self):
+        if not HAVE_NUMPY:
+            pytest.skip("needs numpy")
+        net = build_special(4, 3)
+        kern, universe = self._kernel_with_seed(net, True)
+        fkern, _ = self._kernel_with_seed(net, False)
+        for j in range(net.k + 1):
+            rows = [list(i) for i in iter_gray_indices(len(universe), j)]
+            assert list(kern.accept_batch(rows)) == [
+                fkern.accept_row(r) for r in rows
+            ]
+
+
+class TestBatchedSweepEquivalence:
+    @pytest.mark.parametrize("builder", [
+        lambda: build(2, 2),
+        lambda: build(3, 2),
+        lambda: build_special(6, 2),
+        lambda: build_special(4, 3),
+    ])
+    def test_matches_warm_certificate(self, builder):
+        net = builder()
+        warm = verify_exhaustive_warm(net)
+        batched = verify_exhaustive_batched(net)
+        certs_agree(warm, batched)
+        assert batched.is_proof
+
+    def test_broken_network_same_counterexample(self):
+        warm = verify_exhaustive_warm(broken_network())
+        batched = verify_exhaustive_batched(broken_network())
+        certs_agree(warm, batched)
+        assert batched.counterexample is not None
+        # rank-order accounting: the sweep stops at the same set
+        assert batched.checked == warm.checked
+
+    def test_fault_universe_and_sizes_respected(self):
+        net = build_special(6, 2)
+        warm = verify_exhaustive_warm(
+            net, fault_universe=net.processors, sizes=[2]
+        )
+        batched = verify_exhaustive_batched(
+            net, fault_universe=net.processors, sizes=[2]
+        )
+        certs_agree(warm, batched)
+        assert batched.checked == comb(len(net.processors), 2)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="parity needs both engines")
+    @pytest.mark.parametrize("builder", [
+        lambda: build(3, 2),
+        lambda: build_special(4, 3),
+    ])
+    def test_numpy_and_fallback_paths_identical(self, builder):
+        net = builder()
+        vec = verify_exhaustive_batched(net, use_numpy=True)
+        scalar = verify_exhaustive_batched(net, use_numpy=False)
+        certs_agree(vec, scalar)
+        # the two tiers must leave *identical* residues: same fault sets
+        # fall through to the same scalar sweeper in the same order
+        assert vec.solver_calls == scalar.solver_calls
+        assert vec.nodes_expanded == scalar.nodes_expanded
+
+    def test_small_batch_rows_change_nothing(self):
+        net = build_special(6, 2)
+        a = verify_exhaustive_batched(net)
+        b = verify_exhaustive_batched(net, batch_rows=7)
+        certs_agree(a, b)
+        assert a.solver_calls == b.solver_calls
+
+
+class TestDispatchFallback:
+    def test_small_sweep_routes_to_serial_warm(self):
+        cert = verify_exhaustive_parallel(build(2, 2))
+        assert "[warm:" in cert.network_description
+        assert "parallel" not in cert.network_description
+
+    def test_mid_sweep_routes_to_batch_kernel(self):
+        cert = verify_exhaustive_parallel(build_special(4, 3))
+        assert "[batch/" in cert.network_description
+        assert cert.is_proof
+
+    def test_cold_mode_keeps_solver_accounting(self):
+        net = build(3, 2)
+        cert = verify_exhaustive_parallel(
+            net, warm=False, symmetry=False, workers=1
+        )
+        assert cert.solver_calls == cert.checked

@@ -1,0 +1,200 @@
+"""Tests for the shared-memory sweep context and the crash-recovering
+worker pool: pack/attach round trips, the inline fallback, duplicate
+suppression, mid-chunk worker death, and end-to-end sweep recovery."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.constructions import build, build_special
+from repro.core.verify import (
+    SharedSweepContext,
+    ShmWorkerPool,
+    verify_exhaustive_parallel,
+    verify_exhaustive_warm,
+)
+from repro.core.verify.batch import HAVE_NUMPY, gray_index_array
+from repro.core.verify.shm import (
+    HAVE_SHM,
+    AttachedSweepContext,
+    WorkerPoolError,
+)
+from repro.core.verify.warm import IncrementalInstanceBuilder
+
+FORK = hasattr(multiprocessing, "get_context") and "fork" in (
+    multiprocessing.get_all_start_methods()
+)
+
+needs_fork = pytest.mark.skipif(not FORK, reason="needs fork start method")
+
+
+class TestSharedSweepContext:
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_pack_attach_round_trip(self, use_shm):
+        if use_shm and not HAVE_SHM:
+            pytest.skip("no shared_memory on this platform")
+        net = build_special(6, 2)
+        universe = sorted(net.graph.nodes, key=repr)
+        builder = IncrementalInstanceBuilder(net)
+        ctx = SharedSweepContext.create(
+            net, universe, net.k, [1, 2], use_shm=use_shm
+        )
+        try:
+            assert (ctx.shm_name is not None) == use_shm
+            attached = AttachedSweepContext(ctx.spec())
+            assert attached.adj_rows() == builder.base_adj
+            assert attached.end_masks() == (
+                builder.base_start,
+                builder.base_end,
+            )
+            if HAVE_NUMPY:
+                for j in (1, 2):
+                    table = attached.gray(j)
+                    assert table is not None
+                    assert (table == gray_index_array(len(universe), j)).all()
+                    # the view maps straight onto the shared buffer;
+                    # drop it before closing the segment
+                    del table
+            assert attached.gray(9) is None  # never packed
+            attached.close()
+        finally:
+            ctx.unlink()
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        net = build(2, 2)
+        universe = sorted(net.graph.nodes, key=repr)
+        ctx = SharedSweepContext.create(net, universe, net.k, [1, 2])
+        try:
+            spec = pickle.loads(pickle.dumps(ctx.spec()))
+            assert AttachedSweepContext(spec).adj_rows()
+        finally:
+            ctx.unlink()
+
+    @pytest.mark.skipif(not HAVE_SHM, reason="no shared_memory")
+    def test_unlink_releases_the_segment(self):
+        from multiprocessing import shared_memory
+
+        net = build(2, 2)
+        universe = sorted(net.graph.nodes, key=repr)
+        ctx = SharedSweepContext.create(
+            net, universe, net.k, [1], use_shm=True
+        )
+        name = ctx.shm_name
+        assert name is not None
+        ctx.unlink()
+        ctx.unlink()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class _EchoWorker:
+    """Pool body for the unit tests: state is the init payload."""
+
+    @staticmethod
+    def init(wid, init_args):
+        (state,) = init_args
+        return state
+
+    @staticmethod
+    def run(state, task):
+        kind, seq, value = task
+        if kind == "boom":
+            raise ValueError(f"task {seq} exploded")
+        return (state, value * 2)
+
+    @staticmethod
+    def close(state):
+        pass
+
+
+@needs_fork
+class TestShmWorkerPool:
+    def test_round_trip_all_results(self):
+        with ShmWorkerPool(2, _EchoWorker, ("base",)) as pool:
+            for seq in range(10):
+                pool.submit(("echo", seq, seq))
+            got = dict(pool.get() for _ in range(10))
+        assert got == {seq: ("base", seq * 2) for seq in range(10)}
+
+    def test_worker_exception_propagates(self):
+        pool = ShmWorkerPool(1, _EchoWorker, (None,))
+        try:
+            pool.submit(("boom", 0, 0))
+            with pytest.raises(Exception, match="task 0 exploded"):
+                pool.get()
+        finally:
+            pool.close()
+
+    def test_dead_worker_chunks_requeue_to_survivors(self):
+        # worker 0 takes seq 0 (round-robin) and dies before answering;
+        # its in-flight chunk must be re-run by worker 1
+        fault = {"die_wid": 0, "die_seq": 0}
+        with ShmWorkerPool(2, _EchoWorker, ("b",), fault_spec=fault) as pool:
+            for seq in range(6):
+                pool.submit(("echo", seq, seq))
+            got = dict(pool.get() for _ in range(6))
+        assert got == {seq: ("b", seq * 2) for seq in range(6)}
+
+    def test_all_workers_dead_raises_instead_of_hanging(self):
+        fault = {"die_wid": 0, "die_seq": 0}
+        pool = ShmWorkerPool(1, _EchoWorker, (None,), fault_spec=fault)
+        try:
+            pool.submit(("echo", 0, 0))
+            with pytest.raises(WorkerPoolError):
+                pool.get()
+        finally:
+            pool.kill()
+
+
+@needs_fork
+class TestSweepCrashRecovery:
+    def _spy_on_context(self, monkeypatch):
+        created = []
+        real_create = SharedSweepContext.create.__func__
+
+        def spy(cls, *args, **kwargs):
+            ctx = real_create(cls, *args, **kwargs)
+            created.append((ctx, ctx.shm_name))
+            return ctx
+
+        monkeypatch.setattr(
+            SharedSweepContext, "create", classmethod(spy)
+        )
+        return created
+
+    def test_sweep_completes_when_a_worker_dies_mid_chunk(
+        self, monkeypatch
+    ):
+        created = self._spy_on_context(monkeypatch)
+        net = build_special(4, 3)
+        warm = verify_exhaustive_warm(net)
+        cert = verify_exhaustive_parallel(
+            net,
+            workers=2,
+            chunk_size=50,
+            symmetry=False,
+            _fault_spec={"die_wid": 0, "die_seq": 0},
+        )
+        assert cert.is_proof
+        assert cert.checked == warm.checked
+        assert cert.tolerated == warm.tolerated
+        # the segment must be gone even though a worker crashed
+        assert len(created) == 1
+        ctx, name = created[0]
+        assert ctx._shm is None
+        if name is not None and HAVE_SHM:
+            from multiprocessing import shared_memory
+
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_clean_sweep_unlinks_the_segment_too(self, monkeypatch):
+        created = self._spy_on_context(monkeypatch)
+        net = build_special(4, 3)
+        cert = verify_exhaustive_parallel(
+            net, workers=2, chunk_size=100, symmetry=False
+        )
+        assert cert.is_proof
+        assert created and created[0][0]._shm is None
