@@ -387,6 +387,12 @@ def guarded_attributes(modules: Sequence[Module]) -> dict[str, dict[str, str]]:
     label that must guard them.  This is exactly the set of fields the
     RL101 rule polices statically; the runtime race detector instruments
     the same fields so dynamic locksets can be cross-checked against it.
+
+    Attributes ending in ``_published`` are exempt: by convention (see
+    :mod:`repro.service.mailbox`) they hold immutable values rebound
+    atomically and read lock-free, so tracking them would turn the
+    intentional atomic-publication pattern into a false torn-read under
+    ``RaceDetector(track_reads=True)``.
     """
     model = collect(modules)
     out: dict[str, dict[str, str]] = {}
@@ -398,7 +404,7 @@ def guarded_attributes(modules: Sequence[Module]) -> dict[str, dict[str, str]]:
             env = instance_env(func, owner, model)
             for node in ast.walk(func):
                 for base, attr, _loc in iter_mutations(node):
-                    if attr is None:
+                    if attr is None or attr.endswith("_published"):
                         continue
                     t = env.get(base)
                     cinfo = model.classes.get(t) if t else None

@@ -23,9 +23,14 @@ candidate set goes empty is a data race, reported once per
 anomaly.  Two deliberate deviations from classic Eraser, both matching
 the RL1xx static contract this detector cross-checks against:
 
-* **reads do not narrow** — the control plane's atomic-reference-swap
-  reads (``snapshot()`` reading ``answer_state`` outside the lock) are a
-  documented pattern, and RL101 polices writes only;
+* **reads do not narrow by default** — RL101 polices writes only.  The
+  opt-in ``RaceDetector(track_reads=True)`` flips this: reads narrow
+  locksets too and a read of a shared-modified field with an empty
+  candidate set is reported as a *torn read*.  The control plane's
+  atomic-publication pattern stays clean under ``track_reads`` because
+  ``*_published`` attributes (immutable values rebound atomically, read
+  lock-free — see :mod:`repro.service.mailbox`) are exempted from the
+  guard model itself;
 * the tracked fields are exactly :func:`~repro.lint.passes._lockmodel.\
 guarded_attributes` — the fields RL101 would flag if mutated unlocked —
   so :func:`crosscheck_locksets` can compare each dynamic lockset
@@ -220,9 +225,10 @@ def instrument_plane(plane, monitor: LockOrderMonitor) -> list[SanitizedLock]:
     """Instrument a :class:`~repro.service.control.ControlPlane` in place.
 
     Wraps the plane's own lock, the witness cache's lock and every
-    currently-registered network's lock, using the class-granularity
-    labels the static pass emits (``ControlPlane._lock``, ...), so
-    monitor edges compare directly against
+    currently-registered network's mailbox and counter leaf locks, using
+    the class-granularity labels the static pass emits
+    (``ControlPlane._lock``, ``Mailbox._lock``, ...), so monitor edges
+    compare directly against
     :func:`repro.lint.passes.lock_order.build_lock_graph`.  Call while
     the plane is idle, after registering networks (networks registered
     later keep plain locks).
@@ -235,8 +241,14 @@ def instrument_plane(plane, monitor: LockOrderMonitor) -> list[SanitizedLock]:
     )
     wrapped.append(plane.cache._lock)
     for managed in plane:
-        managed.lock = wrap_lock(managed.lock, "ManagedNetwork.lock", monitor)
-        wrapped.append(managed.lock)
+        managed.mailbox._lock = wrap_lock(
+            managed.mailbox._lock, "Mailbox._lock", monitor
+        )
+        wrapped.append(managed.mailbox._lock)
+        managed.counters._lock = wrap_lock(
+            managed.counters._lock, "AtomicCounters._lock", monitor
+        )
+        wrapped.append(managed.counters._lock)
     return wrapped
 
 
@@ -255,9 +267,9 @@ def instrumented_locks(
 class RaceReport:
     """One detected race, reported once per ``Class.field`` label."""
 
-    label: str          # "ManagedNetwork.answer_state"
+    label: str          # "Mailbox._queue"
     guard: str          # the lock RL1xx says must be held
-    thread: int         # ident of the racing writer
+    thread: int         # ident of the racing accessor
     message: str
 
 
@@ -276,15 +288,25 @@ class RaceDetector:
 
     Fed by the instrumented subclasses :func:`instrument_races` installs.
     The monitor supplies the held-lock set (with per-instance idents, so
-    two ``ManagedNetwork`` locks never alias); candidate locksets narrow
-    on cross-thread *writes* only — see the module docstring for why
-    reads are exempt.  All detector state sits behind one leaf lock;
+    two ``Mailbox`` locks never alias); candidate locksets narrow on
+    cross-thread *writes* only by default — see the module docstring for
+    why reads are exempt.  With ``track_reads=True`` reads narrow too,
+    and a read of a shared-modified field with an empty candidate set is
+    reported as a torn read (the unlocked-snapshot bug class RL101
+    cannot see).  All detector state sits behind one leaf lock;
     flight-recorder reporting happens strictly after it is released.
     """
 
-    def __init__(self, monitor: LockOrderMonitor, *, recorder=None) -> None:
+    def __init__(
+        self,
+        monitor: LockOrderMonitor,
+        *,
+        recorder=None,
+        track_reads: bool = False,
+    ) -> None:
         self.monitor = monitor
         self.recorder = recorder
+        self.track_reads = track_reads
         self._lock = threading.Lock()
         self._fields: dict[tuple[int, str], _FieldState] = {}
         self._meta: dict[int, dict[str, tuple[str, str]]] = {}
@@ -323,7 +345,11 @@ class RaceDetector:
                 st.mode = "shared_modified" if write else "shared"
             elif st.mode == "shared" and write:
                 st.mode = "shared_modified"
-            if write and st.mode in {"shared", "shared_modified"}:
+            narrow = (write or self.track_reads) and st.mode in {
+                "shared",
+                "shared_modified",
+            }
+            if narrow:
                 idents = frozenset(ident for _name, ident in held)
                 st.lockset = (
                     idents if st.lockset is None else st.lockset & idents
@@ -336,12 +362,13 @@ class RaceDetector:
                     st.reported = True
                     if label not in self._reported_labels:
                         self._reported_labels.add(label)
+                        access = "written" if write else "torn-read"
                         report = RaceReport(
                             label=label,
                             guard=guard,
                             thread=tid,
                             message=(
-                                f"lockset for '{label}' is empty: written "
+                                f"lockset for '{label}' is empty: {access} "
                                 f"by thread {tid} with no common lock held "
                                 f"(static guard model requires '{guard}')"
                             ),
@@ -466,12 +493,13 @@ def instrument_races(
     """Instrument a live control plane for lockset race detection.
 
     Covers the plane itself, its witness cache (including the tiered
-    subclass via the MRO walk) and every currently-registered managed
-    network — the same objects :func:`instrument_plane` wraps the locks
-    of, and the two are meant to be used together: the detector reads
-    held locks from the monitor, so only ``SanitizedLock``-wrapped locks
-    contribute to locksets.  Instrument while the plane is idle; the
-    ``__class__`` swap is not safe under concurrent access.
+    subclass via the MRO walk) and every currently-registered network's
+    mailbox and counters — the same objects :func:`instrument_plane`
+    wraps the locks of, and the two are meant to be used together: the
+    detector reads held locks from the monitor, so only
+    ``SanitizedLock``-wrapped locks contribute to locksets.  Instrument
+    while the plane is idle; the ``__class__`` swap is not safe under
+    concurrent access.
 
     Returns ``{class name: tracked fields}`` for what got instrumented.
     """
@@ -479,6 +507,13 @@ def instrument_races(
         guards = default_guard_model()
     out: dict[str, frozenset] = {}
     targets = [plane, plane.cache, *list(plane)]
+    for managed in plane:
+        mailbox = getattr(managed, "mailbox", None)
+        if mailbox is not None:
+            targets.append(mailbox)
+        counters = getattr(managed, "counters", None)
+        if counters is not None and not isinstance(counters, dict):
+            targets.append(counters)
     for obj in targets:
         tracked = _instrument_object(obj, detector, guards)
         if tracked:

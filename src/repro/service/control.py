@@ -10,9 +10,14 @@ worker pool; ``query_pipeline`` answers synchronously.
 Design points:
 
 **Per-network serialization, cross-network parallelism.**  Each managed
-network owns a FIFO queue drained by at most one worker at a time (the
-actor pattern): events for one network apply strictly in submission order,
-while different networks reconfigure concurrently on the pool.
+network owns a single-consumer actor :class:`~repro.service.mailbox.Mailbox`
+drained by at most one worker at a time: events for one network apply
+strictly in submission order, while different networks reconfigure
+concurrently on the pool.  The mailbox's leaf lock is the only lock on
+the event path; everything else a network owns (session, policies, EWMA,
+latency history) belongs exclusively to the active drain worker, and
+queries read immutable atomically-published snapshots without locking
+(the ``*_published`` convention — see :mod:`repro.service.mailbox`).
 
 **Witness caching.**  Before solving, the target fault set is
 canonicalized (:mod:`repro.service.canonical`) and looked up in the
@@ -57,6 +62,7 @@ from ..obs.recorder import FlightRecorder
 from ..obs.spans import NOOP_TRACER, Tracer
 from .cache import WitnessCache
 from .canonical import Canonicalizer, network_fingerprint, structural_checksum
+from .mailbox import AtomicCounters, Mailbox
 from .metrics import (
     COUNTER_NAMES,
     EventRecord,
@@ -151,11 +157,34 @@ class _PendingEvent:
     span: object = None
 
 
-class ManagedNetwork:
-    """Registry entry: one network, its session, queue and accounting.
+@dataclass(frozen=True)
+class PublishedState:
+    """The atomically-published per-network answer snapshot.
 
-    All queue/counter state is guarded by ``lock``; the session itself is
-    only ever touched by the single drain worker active for this network.
+    Rebound as one immutable value by the drain worker after every
+    applied event, so lock-free readers (queries, :meth:`ControlPlane.
+    snapshot`) always see a mutually consistent pipeline / fault set /
+    churn-accounting tuple — never a pipeline from one event paired with
+    churn totals from the next.
+    """
+
+    pipeline: Pipeline
+    faults: frozenset
+    total_moved: int = 0
+    mean_churn: float = 0.0
+
+
+class ManagedNetwork:
+    """Registry entry: one network, its session, mailbox and accounting.
+
+    The actor model's ownership rules:
+
+    * ``mailbox`` — the only shared mutable structure (its own leaf lock);
+    * ``counters`` — leaf-locked monotonic counters, bumped from any thread;
+    * ``session`` / ``ewma`` — exclusive to the single active drain worker
+      (the mailbox claim guarantees at most one);
+    * ``answer_published`` / ``latency_published`` — immutable snapshots
+      rebound by the drain worker, read lock-free by queries and metrics.
     """
 
     def __init__(
@@ -177,24 +206,12 @@ class ManagedNetwork:
             max_nodes=config.symmetry_max_nodes,
             limit=config.symmetry_limit,
         )
-        self.lock = threading.Lock()
-        # last-known-good (pipeline, fault set) — swapped atomically by the
-        # drain worker after each applied event, so queries always see a
-        # mutually consistent pair even mid-solve.
-        self.answer_state: tuple[Pipeline, frozenset] = (
-            self.session.pipeline,
-            frozenset(),
+        self.mailbox = Mailbox(config.max_pending)
+        self.answer_published = PublishedState(
+            self.session.pipeline, frozenset()
         )
-        self.pending: deque[_PendingEvent] = deque()
-        self.draining = False
-        self.in_flight = False
-        self.paused = False
-        # admitted-event ledger: the fault set the network *will* have
-        # once every admitted (non-shed) event has applied; lets queries
-        # report explicit staleness metadata without blocking on solves
-        self.intended: set = set()
-        self.counters: dict[str, int] = {c: 0 for c in COUNTER_NAMES}
-        self.latency = LatencyStats()
+        self.counters = AtomicCounters(COUNTER_NAMES)
+        self.latency_published = LatencyStats()
         self.ewma: float | None = None
 
     @property
@@ -360,24 +377,10 @@ class ControlPlane:
             "event", kind=kind, network=name, node=repr(node)
         )
         event = _PendingEvent(kind, node, future, time.perf_counter(), root)
-        shed = False
-        schedule = False
-        with m.lock:
-            if len(m.pending) >= self.config.max_pending:
-                m.counters["shed"] += 1
-                shed = True
-            else:
-                m.pending.append(event)
-                was_intended = node in m.intended
-                if kind == "fault":
-                    m.intended.add(node)
-                else:
-                    m.intended.discard(node)
-                schedule = not m.draining and not m.paused
-                if schedule:
-                    m.draining = True
-        if shed:
-            # anomaly + span finish strictly after m.lock is released, so
+        admitted, schedule = m.mailbox.offer(event)
+        if not admitted:
+            m.counters.bump("shed")
+            # anomaly + span finish happen outside any mailbox lock, so
             # the recorder/tracer locks stay leaves in the order graph
             self.tracer.finish(root, status="shed")
             if self.recorder is not None:
@@ -397,15 +400,14 @@ class ControlPlane:
             except RuntimeError:
                 # the pool shut down between the closed check and here
                 # (close raced the submit); un-admit the event instead of
-                # leaving a future that can never resolve
-                with m.lock:
-                    if event in m.pending:
-                        m.pending.remove(event)
-                    if was_intended:
-                        m.intended.add(node)
-                    else:
-                        m.intended.discard(node)
-                    m.draining = False
+                # leaving a future that can never resolve.  The intent
+                # ledger is rebuilt from the session's actual fault set
+                # plus the queue — never restored from a pre-offer
+                # snapshot, which would clobber admissions for the same
+                # node that raced in between offer and here.  Holding
+                # ``schedule=True`` means no drain was active, so the
+                # session is quiescent and safe to read.
+                m.mailbox.cancel(event, m.session.faults)
                 self.tracer.finish(root, status="error")
                 raise ReproError("control plane is closed") from None
         return future
@@ -420,22 +422,28 @@ class ControlPlane:
         t0 = time.perf_counter()
         m = self._managed[name]
         with self.tracer.span("query", network=name) as qspan:
-            with m.lock:
-                backlog = len(m.pending) + (1 if m.in_flight else 0)
-                m.counters["queries"] += 1
-                degraded = backlog >= self.config.degraded_after
-                if degraded:
-                    m.counters["degraded_served"] += 1
-                pipeline, faults = m.answer_state
-                # explicit graceful-degradation metadata: which admitted
-                # faults the served answer does not reflect yet, and which
-                # believed-healthy processors it leaves out (queued repairs)
-                outstanding = frozenset(m.intended - faults)
-                omitted = frozenset(
-                    m.network.processors - m.intended - set(pipeline.nodes)
-                )
-                if outstanding or omitted:
-                    m.counters["stale_served"] += 1
+            backlog = m.mailbox.backlog()
+            m.counters.bump("queries")
+            degraded = backlog >= self.config.degraded_after
+            if degraded:
+                m.counters.bump("degraded_served")
+            # lock-free reads of atomically-published immutable snapshots:
+            # the pipeline/faults/churn tuple is internally consistent by
+            # construction, and the intent ledger always *leads* the
+            # answer (offers update it before the drain applies), so the
+            # staleness metadata below never under-reports
+            state = m.answer_published
+            pipeline, faults = state.pipeline, state.faults
+            intended = m.mailbox.intended_published
+            # explicit graceful-degradation metadata: which admitted
+            # faults the served answer does not reflect yet, and which
+            # believed-healthy processors it leaves out (queued repairs)
+            outstanding = frozenset(intended - faults)
+            omitted = frozenset(
+                m.network.processors - intended - set(pipeline.nodes)
+            )
+            if outstanding or omitted:
+                m.counters.bump("stale_served")
             qspan.set(
                 degraded=degraded,
                 pending=backlog,
@@ -475,31 +483,19 @@ class ControlPlane:
         """Stop draining *name* (events keep queueing up to the admission
         bound; queries serve degraded answers).  For maintenance windows
         and deterministic tests."""
-        m = self._managed[name]
-        with m.lock:
-            m.paused = True
+        self._managed[name].mailbox.pause()
 
     def resume(self, name: str) -> None:
         """Resume draining *name*."""
         m = self._managed[name]
-        with m.lock:
-            m.paused = False
-            schedule = bool(m.pending) and not m.draining
-            if schedule:
-                m.draining = True
-        if schedule:
+        if m.mailbox.resume():
             self._executor.submit(self._drain, m)
 
     def wait(self, timeout: float = 30.0) -> None:
         """Block until every queue is drained (or raise ``TimeoutError``)."""
         end = time.monotonic() + timeout
         while True:
-            busy = False
-            for m in self._managed.values():
-                with m.lock:
-                    if (m.pending or m.in_flight) and not m.paused:
-                        busy = True
-                        break
+            busy = any(m.mailbox.busy() for m in self._managed.values())
             if not busy:
                 return
             if time.monotonic() > end:
@@ -531,12 +527,10 @@ class ControlPlane:
     # ------------------------------------------------------------------
     def _drain(self, m: ManagedNetwork) -> None:
         while True:
-            with m.lock:
-                if m.paused or not m.pending:
-                    m.draining = False
-                    return
-                event = m.pending.popleft()
-                m.in_flight = True
+            event = m.mailbox.next_event()
+            if event is None:
+                # claim released (queue empty or mailbox paused)
+                return
             # queue wait: admission to dispatch, measured on raw
             # perf_counter readings (the tracer re-anchors them)
             self.tracer.record_span(
@@ -549,19 +543,12 @@ class ControlPlane:
             try:
                 record = self._process(m, event)
             except BaseException as exc:  # noqa: BLE001 - forwarded to the future
-                with m.lock:
-                    m.counters["errors"] += 1
-                    # the event did not apply (e.g. fault beyond tolerance):
-                    # rebuild the admitted-event ledger from what actually
-                    # holds plus what is still queued, so staleness
-                    # metadata does not report a phantom fault forever
-                    base = set(m.session.faults)
-                    for queued in m.pending:
-                        if queued.kind == "fault":
-                            base.add(queued.node)
-                        else:
-                            base.discard(queued.node)
-                    m.intended = base
+                m.counters.bump("errors")
+                # the event did not apply (e.g. fault beyond tolerance):
+                # rebuild the admitted-event ledger from what actually
+                # holds plus what is still queued, so staleness metadata
+                # does not report a phantom fault forever
+                m.mailbox.rebuild_intended(m.session.faults)
                 self.tracer.finish(event.span, status="error")
                 if self.recorder is not None:
                     self.recorder.note_anomaly(
@@ -572,8 +559,7 @@ class ControlPlane:
                 self.tracer.finish(event.span)
                 event.future.set_result(record)
             finally:
-                with m.lock:
-                    m.in_flight = False
+                m.mailbox.event_done()
 
     def _process(self, m: ManagedNetwork, event: _PendingEvent) -> EventRecord:
         session = m.session
@@ -651,12 +637,13 @@ class ControlPlane:
                     rec = self._apply(session, event.kind, node, None)
                 solve_cost = time.perf_counter() - t_solve
                 alpha = self.config.ewma_alpha
-                with m.lock:
-                    m.ewma = (
-                        solve_cost
-                        if m.ewma is None
-                        else (1 - alpha) * m.ewma + alpha * solve_cost
-                    )
+                # drain-worker exclusive (the mailbox claim guarantees at
+                # most one active worker per network) — no lock needed
+                m.ewma = (
+                    solve_cost
+                    if m.ewma is None
+                    else (1 - alpha) * m.ewma + alpha * solve_cost
+                )
                 with self.tracer.span(
                     "cache_store", parent=event.span, network=m.name
                 ):
@@ -669,8 +656,14 @@ class ControlPlane:
                         checksum=live_checksum,
                     )
 
-        with m.lock:
-            m.answer_state = (session.pipeline, frozenset(session.faults))
+        # one atomic publication: pipeline, fault set and churn totals are
+        # always mutually consistent for lock-free readers
+        m.answer_published = PublishedState(
+            session.pipeline,
+            frozenset(session.faults),
+            session.total_moved(),
+            session.mean_churn(),
+        )
         latency = time.perf_counter() - event.enqueued_at
         record = EventRecord(
             seq=self._next_seq(),
@@ -686,15 +679,15 @@ class ControlPlane:
             pipeline_length=session.pipeline.length,
             healthy_processors=rec.healthy_processors,
         )
-        with m.lock:
-            m.counters["faults" if event.kind == "fault" else "repairs"] += 1
-            if cache_hit:
-                m.counters["cache_hits"] += 1
-            elif not trivial:
-                m.counters["cache_misses"] += 1
-            if solver == "fast":
-                m.counters["fast_path"] += 1
-            m.latency = m.latency.observe(latency)
+        m.counters.bump("faults" if event.kind == "fault" else "repairs")
+        if cache_hit:
+            m.counters.bump("cache_hits")
+        elif not trivial:
+            m.counters.bump("cache_misses")
+        if solver == "fast":
+            m.counters.bump("fast_path")
+        # drain-worker exclusive rebind of an immutable value
+        m.latency_published = m.latency_published.observe(latency)
         self._record(m, record)
         return record
 
@@ -722,33 +715,50 @@ class ControlPlane:
             self._records.append(record)
             self._latency = self._latency.observe(record.latency)
 
+    def final_states(
+        self,
+    ) -> list[tuple[str, PipelineNetwork, Pipeline, frozenset]]:
+        """Each network's ``(name, network, pipeline, faults)`` from its
+        published snapshot — the ground truth a validator should check
+        after :meth:`wait`.  Drivers use this instead of reaching into
+        ``m.session`` so the same validation works against a
+        :class:`~repro.service.frontdoor.ShardedControlPlane`, whose
+        sessions live in other processes."""
+        out: list[tuple[str, PipelineNetwork, Pipeline, frozenset]] = []
+        for m in self._managed.values():
+            state = m.answer_published
+            out.append((m.name, m.network, state.pipeline, state.faults))
+        return out
+
     def snapshot(self) -> MetricsSnapshot:
         """The health/metrics report across the whole fleet."""
         networks = []
         totals: dict[str, int] = {c: 0 for c in COUNTER_NAMES}
         for m in self._managed.values():
-            with m.lock:
-                counters = dict(m.counters)
-                pending = len(m.pending) + (1 if m.in_flight else 0)
-                paused = m.paused
-                latency = m.latency
+            counters = m.counters.snapshot()
+            pending = m.mailbox.backlog()
+            paused = m.mailbox.paused
+            latency = m.latency_published
             for c, v in counters.items():
                 totals[c] += v
-            pipeline, faults = m.answer_state
+            # churn totals ride the same published snapshot as the
+            # pipeline/fault pair — never read off the live session the
+            # drain worker is mutating
+            state = m.answer_published
             networks.append(
                 NetworkStats(
                     name=m.name,
                     n=m.network.n,
                     k=m.network.k,
                     construction=m.construction,
-                    faults_now=len(faults),
+                    faults_now=len(state.faults),
                     pending=pending,
                     paused=paused,
-                    pipeline_length=pipeline.length,
+                    pipeline_length=state.pipeline.length,
                     counters=counters,
                     latency=latency,
-                    total_moved=m.session.total_moved(),
-                    mean_churn=m.session.mean_churn(),
+                    total_moved=state.total_moved,
+                    mean_churn=state.mean_churn,
                 )
             )
         with self._lock:

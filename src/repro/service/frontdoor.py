@@ -1,0 +1,605 @@
+"""Sharded deployment: consistent hashing + an asyncio front door.
+
+One :class:`~repro.service.control.ControlPlane` scales across cores via
+its thread pool, but CPython serializes the solver work on the GIL.  The
+:class:`ShardedControlPlane` runs N worker *processes*
+(:mod:`repro.service.shard`), each owning a private plane, and partitions
+the fleet across them by consistent-hashing network names onto a
+:class:`HashRing` — registrations, events and queries for one network
+always land on the same shard, preserving the actor model's per-network
+ordering guarantee end to end.
+
+The front door itself is a small asyncio event loop on a daemon thread:
+it owns every pipe, multiplexes replies back to per-request futures by
+sequence number, and applies **per-shard backpressure** — when a shard
+already has ``window`` events in flight, new events for it are shed
+locally with :class:`~repro.errors.ServiceOverloadError` before touching
+the pipe (queries are never shed; they degrade, exactly like the
+in-process plane).  Degraded/stale metadata produced by a worker plane
+crosses the wire unchanged inside the pickled
+:class:`~repro.service.control.PipelineAnswer`.
+
+Shards share witnesses through the persistent SQLite tier: every worker
+opens the same store path (WAL journal), so a pipeline solved on one
+shard is a ``persist_hits`` lookup away from the others.
+
+The facade duck-types the in-process plane where the drivers need it —
+``names`` / ``managed()`` / iteration / ``submit_*`` / ``query_pipeline``
+/ ``wait`` / ``snapshot`` / ``final_states`` — so
+:func:`~repro.service.trace.run_trace`,
+:func:`~repro.service.trace.random_trace` and the load harness run
+against either unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import threading
+from concurrent.futures import Future
+from dataclasses import asdict, dataclass
+from typing import Any, Hashable, Iterator
+
+from ..core.constructions import build
+from ..core.hamilton import SolvePolicy
+from ..core.model import PipelineNetwork
+from ..errors import ReproError, ServiceOverloadError
+from ..obs.recorder import FlightRecorder
+from ..obs.spans import NOOP_TRACER, Tracer
+from .control import ControlPlaneConfig, PipelineAnswer
+from .metrics import EventRecord, LatencyStats, MetricsSnapshot, ShardStats
+from .shard import ShardRequest, reply_exception, shard_worker_main
+
+Node = Hashable
+
+
+def _hash64(value: str) -> int:
+    """A stable 64-bit point for *value*.
+
+    sha256, not ``hash()`` — the builtin is salted per process
+    (PYTHONHASHSEED), and shard placement must agree across runs and
+    across the front door's own restarts against a warm store.
+    """
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing of names onto ``shards`` buckets.
+
+    Each shard contributes ``vnodes`` points on a 64-bit ring; a name
+    maps to the first point clockwise of its own hash.  Adding or
+    removing one shard therefore remaps only ~1/N of the names — the
+    property a warm witness store cares about across topology changes.
+
+    >>> ring = HashRing(3)
+    >>> ring.shard_for("video-a") == ring.shard_for("video-a")
+    True
+    >>> sorted({ring.shard_for(f"net{i}") for i in range(64)})
+    [0, 1, 2]
+    """
+
+    def __init__(self, shards: int, *, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ReproError("a hash ring needs at least one shard")
+        self.shards = shards
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(vnodes):
+                points.append((_hash64(f"shard-{shard}/vnode-{v}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, name: str) -> int:
+        idx = bisect.bisect_right(self._points, _hash64(name))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+
+@dataclass(frozen=True)
+class ShardedNetwork:
+    """Front-door registry entry: where a network lives, plus the local
+    network object the trace drivers introspect (``.processors``,
+    ``.inputs``, ``.k`` ...).  The authoritative session state lives in
+    the worker process."""
+
+    name: str
+    network: PipelineNetwork
+    shard: int
+
+
+class _PendingCall:
+    """One outstanding request: its future plus reply bookkeeping."""
+
+    __slots__ = ("future", "shard", "is_event", "span")
+
+    def __init__(self, future: Future, shard: int, is_event: bool, span) -> None:
+        self.future = future
+        self.shard = shard
+        self.is_event = is_event
+        self.span = span
+
+
+class ShardedControlPlane:
+    """N worker-process control planes behind one asyncio front door.
+
+    >>> config = ControlPlaneConfig(workers=2)
+    >>> with ShardedControlPlane(2, config) as plane:
+    ...     _ = plane.register("edge-a", n=6, k=2)
+    ...     record = plane.submit_fault("edge-a", "p1").result(timeout=60)
+    ...     answer = plane.query_pipeline("edge-a")
+    >>> record.kind, answer.degraded
+    ('fault', False)
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        config: ControlPlaneConfig | None = None,
+        *,
+        window: int | None = None,
+        vnodes: int = 64,
+        timeout: float = 60.0,
+    ) -> None:
+        if shards < 1:
+            raise ReproError("--shards must be >= 1")
+        self.config = config or ControlPlaneConfig()
+        self.ring = HashRing(shards, vnodes=vnodes)
+        self.shards = shards
+        #: per-shard in-flight event bound for front-door backpressure
+        #: (defaults to the plane's own admission bound).
+        self.window = window if window is not None else self.config.max_pending
+        self._timeout = timeout
+        if self.config.tracing or self.config.trace_dump_dir:
+            recorder = FlightRecorder(dump_dir=self.config.trace_dump_dir)
+            self.tracer: Tracer = Tracer(
+                ring=self.config.trace_ring, recorder=recorder
+            )
+            self.recorder: FlightRecorder | None = recorder
+        else:
+            self.tracer = NOOP_TRACER
+            self.recorder = None
+        # workers never trace (the parent records wire spans) and never
+        # dump: one flight recorder, owned here
+        child_kwargs = asdict(self.config)
+        child_kwargs.update(tracing=False, trace_dump_dir=None)
+
+        self._registry: dict[str, ShardedNetwork] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._pending: dict[int, _PendingCall] = {}
+        self._in_flight = [0] * shards
+        self._shed_local = [0] * shards
+        self._closed = False
+
+        # fork the workers *before* starting any thread in this process
+        # (forking a multithreaded parent inherits locked locks)
+        ctx = multiprocessing.get_context("fork")
+        self._conns = []
+        self._procs = []
+        self._send_locks = [threading.Lock() for _ in range(shards)]
+        for shard in range(shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, child_kwargs, shard),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-frontdoor", daemon=True
+        )
+        self._loop_thread.start()
+        ready: Future = Future()
+
+        def _install_readers() -> None:
+            try:
+                for shard, conn in enumerate(self._conns):
+                    self._loop.add_reader(
+                        conn.fileno(), self._on_readable, shard
+                    )
+            except BaseException as exc:  # noqa: BLE001 - to the waiter
+                ready.set_exception(exc)
+            else:
+                ready.set_result(None)
+
+        self._loop.call_soon_threadsafe(_install_readers)
+        ready.result(timeout=self._timeout)
+
+    # ------------------------------------------------------------------
+    # wire plumbing (reads and writes both happen on the loop thread,
+    # so each Connection stays single-threaded)
+    # ------------------------------------------------------------------
+    def _on_readable(self, shard: int) -> None:
+        conn = self._conns[shard]
+        try:
+            while conn.poll():
+                self._dispatch_reply(shard, conn.recv())
+        except (EOFError, OSError):
+            self._loop.remove_reader(conn.fileno())
+            self._fail_shard(shard, ReproError(f"shard {shard} disconnected"))
+
+    def _fail_shard(self, shard: int, exc: BaseException) -> None:
+        with self._lock:
+            doomed = [
+                seq
+                for seq, call in self._pending.items()
+                if call.shard == shard
+            ]
+            calls = [self._pending.pop(seq) for seq in doomed]
+        for call in calls:
+            self._settle(call, exc=exc)
+
+    def _settle(self, call: _PendingCall, *, exc=None, payload=None) -> None:
+        if call.is_event:
+            with self._lock:
+                self._in_flight[call.shard] -= 1
+        if call.span is not None:
+            self.tracer.finish(call.span, status="error" if exc else "ok")
+        if exc is not None:
+            call.future.set_exception(exc)
+        else:
+            call.future.set_result(payload)
+
+    def _dispatch_reply(self, shard: int, reply) -> None:
+        with self._lock:
+            call = self._pending.pop(reply.seq, None)
+        if call is None:  # late reply for an already-failed request
+            return
+        for span_dict in reply.spans:
+            self.tracer.record(span_dict)
+        if reply.ok:
+            self._settle(call, payload=reply.payload)
+        else:
+            self._settle(call, exc=reply_exception(reply))
+
+    def _post(
+        self,
+        shard: int,
+        op: str,
+        *,
+        network: str | None = None,
+        node: Node | None = None,
+        payload: Any = None,
+        span=None,
+        is_event: bool = False,
+        lifecycle: bool = False,
+    ) -> Future:
+        with self._lock:
+            if self._closed and not lifecycle:
+                raise ReproError("sharded control plane is closed")
+            self._seq += 1
+            seq = self._seq
+            future: Future = Future()
+            self._pending[seq] = _PendingCall(future, shard, is_event, span)
+            if is_event:
+                self._in_flight[shard] += 1
+        context = span.context if span is not None else None
+        request = ShardRequest(
+            seq=seq,
+            op=op,
+            network=network,
+            node=node,
+            payload=payload,
+            span=context,
+        )
+
+        # sent directly from the calling thread (under the per-shard send
+        # lock) rather than hopping through the loop: the duplex pipe's
+        # two directions are independent, so writers here never race the
+        # loop-thread reader, and skipping the call_soon_threadsafe
+        # self-pipe wakeup roughly halves per-event front-door overhead
+        try:
+            with self._send_locks[shard]:
+                self._conns[shard].send(request)
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                call = self._pending.pop(seq, None)
+            if call is not None:
+                self._settle(call, exc=ReproError(f"shard send failed: {exc}"))
+        return future
+
+    def _broadcast(self, op: str, payload: Any = None) -> list[Future]:
+        return [
+            self._post(shard, op, payload=payload)
+            for shard in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # registry (duck-types ControlPlane for the trace drivers)
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        network: PipelineNetwork | None = None,
+        *,
+        n: int | None = None,
+        k: int | None = None,
+        policy: SolvePolicy | None = None,
+    ) -> ShardedNetwork:
+        """Place *name* on its ring shard and register it there.
+
+        The network object is built (or taken) locally, kept in the
+        front-door registry for driver introspection, and pickled to the
+        owning worker — both sides hold structurally identical builds,
+        so witness fingerprints agree across the fleet."""
+        with self._lock:
+            if name in self._registry:
+                raise ReproError(f"network {name!r} is already registered")
+        if (network is None) == (n is None or k is None):
+            raise ReproError("pass either a network instance or both n and k")
+        if network is None:
+            network = build(n, k)  # type: ignore[arg-type]
+        shard = self.ring.shard_for(name)
+        self._post(
+            shard, "register", network=name, payload=(network, policy)
+        ).result(timeout=self._timeout)
+        entry = ShardedNetwork(name, network, shard)
+        with self._lock:
+            self._registry[name] = entry
+        return entry
+
+    def managed(self, name: str) -> ShardedNetwork:
+        return self._registry[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._registry)
+
+    def __iter__(self) -> Iterator[ShardedNetwork]:
+        return iter(self._registry.values())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def shard_of(self, name: str) -> int:
+        return self._registry[name].shard
+
+    # ------------------------------------------------------------------
+    # events and queries
+    # ------------------------------------------------------------------
+    def submit_fault(self, name: str, node: Node) -> "Future[EventRecord]":
+        return self._submit(name, "fault", node)
+
+    def submit_repair(self, name: str, node: Node) -> "Future[EventRecord]":
+        return self._submit(name, "repair", node)
+
+    def _submit(self, name: str, kind: str, node: Node) -> "Future[EventRecord]":
+        shard = self._registry[name].shard
+        with self._lock:
+            if self._closed:
+                raise ReproError("sharded control plane is closed")
+            if self._in_flight[shard] >= self.window:
+                self._shed_local[shard] += 1
+                shed = True
+            else:
+                shed = False
+        if shed:
+            if self.recorder is not None:
+                self.recorder.note_anomaly(
+                    "shed",
+                    f"shard {shard} window full ({self.window} in flight)",
+                    network=name,
+                    extra={"kind": kind, "node": repr(node), "shard": shard},
+                )
+            raise ServiceOverloadError(
+                f"shard {shard}: {self.window} events in flight; "
+                f"{kind} for {name!r} shed at the front door"
+            )
+        span = None
+        if self.tracer is not NOOP_TRACER:
+            span = self.tracer.start_span(
+                "event", kind=kind, network=name, node=repr(node), shard=shard
+            )
+        return self._post(
+            shard, kind, network=name, node=node, span=span, is_event=True
+        )
+
+    def query_pipeline(self, name: str) -> PipelineAnswer:
+        """Route the query to the owning shard and return its answer —
+        degraded/stale metadata intact, exactly as the worker plane
+        produced it."""
+        shard = self._registry[name].shard
+        with self.tracer.span("query", network=name, shard=shard):
+            return self._post(shard, "query", network=name).result(
+                timeout=self._timeout
+            )
+
+    # ------------------------------------------------------------------
+    # maintenance / lifecycle
+    # ------------------------------------------------------------------
+    def wait(self, timeout: float = 30.0) -> None:
+        """Block until every shard's queues are drained."""
+        for fut in self._broadcast("wait", payload=timeout):
+            fut.result(timeout=timeout + self._timeout)
+
+    def flush(self) -> None:
+        """Flush every shard's write-behind witness queue to the store."""
+        for fut in self._broadcast("flush"):
+            fut.result(timeout=self._timeout)
+
+    def final_states(
+        self,
+    ) -> list[tuple[str, PipelineNetwork, Any, frozenset]]:
+        """Every network's ``(name, network, pipeline, faults)`` gathered
+        across shards (same contract as the in-process plane)."""
+        out: list[tuple[str, PipelineNetwork, Any, frozenset]] = []
+        for fut in self._broadcast("final_states"):
+            out.extend(fut.result(timeout=self._timeout))
+        return out
+
+    def snapshot(self) -> MetricsSnapshot:
+        """One merged fleet snapshot: per-network rows concatenated,
+        counters and cache/store accounting summed, latency histograms
+        merged, plus a per-shard ``shards`` section."""
+        parts: list[MetricsSnapshot] = [
+            fut.result(timeout=self._timeout)
+            for fut in self._broadcast("snapshot")
+        ]
+        with self._lock:
+            shed_local = list(self._shed_local)
+            in_flight = list(self._in_flight)
+        return merge_snapshots(parts, shed_local=shed_local, in_flight=in_flight)
+
+    def close(self) -> None:
+        """Shut every worker down and stop the front-door loop."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True  # reject new traffic; lifecycle ops pass
+        futures = [
+            self._post(shard, "close", lifecycle=True)
+            for shard in range(self.shards)
+        ]
+        for fut in futures:
+            try:
+                fut.result(timeout=self._timeout)
+            except (ReproError, OSError, TimeoutError):
+                # a worker that died early can't ack its close; record it
+                # and keep tearing the rest of the fleet down
+                self._note_anomaly("shard_close_failed")
+
+        def _teardown() -> None:
+            for conn in self._conns:
+                try:
+                    self._loop.remove_reader(conn.fileno())
+                except (OSError, ValueError):
+                    self._note_anomaly("reader_remove_failed")
+            self._loop.stop()
+
+        self._loop.call_soon_threadsafe(_teardown)
+        self._loop_thread.join(timeout=self._timeout)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                self._note_anomaly("pipe_close_failed")
+        for proc in self._procs:
+            proc.join(timeout=self._timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._fail_all(ReproError("sharded control plane is closed"))
+
+    def _note_anomaly(self, kind: str) -> None:
+        """Best-effort teardown bookkeeping (no-op without a recorder)."""
+        if self.recorder is not None:
+            self.recorder.note_anomaly(kind)
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._lock:
+            calls = list(self._pending.values())
+            self._pending.clear()
+        for call in calls:
+            if not call.future.done():
+                self._settle(call, exc=exc)
+
+    def __enter__(self) -> "ShardedControlPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def merge_snapshots(
+    parts: list[MetricsSnapshot],
+    *,
+    shed_local: list[int] | None = None,
+    in_flight: list[int] | None = None,
+) -> MetricsSnapshot:
+    """Fold per-shard snapshots into one fleet-wide view.
+
+    Additive counters (totals, cache, store write/hit accounting) sum;
+    latency histograms merge bucket-wise; ``store.rows`` takes the max —
+    the shards share one physical store, so summing would multiple-count
+    the same rows.
+    """
+    if not parts:
+        raise ReproError("nothing to merge: no shard snapshots")
+    networks = tuple(s for part in parts for s in part.networks)
+    totals: dict[str, int] = {}
+    for part in parts:
+        for key, value in part.totals.items():
+            totals[key] = totals.get(key, 0) + value
+    latency = LatencyStats()
+    for part in parts:
+        latency = latency.merge(part.latency)
+    cache = parts[0].cache
+    for part in parts[1:]:
+        c = part.cache
+        cache = type(cache)(
+            size=cache.size + c.size,
+            capacity=cache.capacity + c.capacity,
+            hits=cache.hits + c.hits,
+            misses=cache.misses + c.misses,
+            stores=cache.stores + c.stores,
+            evictions=cache.evictions + c.evictions,
+            invalid=cache.invalid + c.invalid,
+            checksum_skips=cache.checksum_skips + c.checksum_skips,
+        )
+    store = None
+    with_store = [p.store for p in parts if p.store is not None]
+    if with_store:
+        store = with_store[0]
+        for s in with_store[1:]:
+            store = type(store)(
+                path=store.path,
+                rows=max(store.rows, s.rows),
+                persist_hits=store.persist_hits + s.persist_hits,
+                persist_misses=store.persist_misses + s.persist_misses,
+                warm_loaded=store.warm_loaded + s.warm_loaded,
+                writes=store.writes + s.writes,
+                write_errors=store.write_errors + s.write_errors,
+                validation_failures=(
+                    store.validation_failures + s.validation_failures
+                ),
+                encode_skips=store.encode_skips + s.encode_skips,
+                invalidated=store.invalidated + s.invalidated,
+                write_behind_depth=(
+                    store.write_behind_depth + s.write_behind_depth
+                ),
+                torn_rows=store.torn_rows + s.torn_rows,
+            )
+    anomalies: dict[str, int] | None = None
+    with_anomalies = [p.anomalies for p in parts if p.anomalies is not None]
+    if with_anomalies:
+        anomalies = {}
+        for mapping in with_anomalies:
+            for key, value in mapping.items():
+                anomalies[key] = anomalies.get(key, 0) + value
+    records = tuple(r for part in parts for r in part.records)
+    shard_rows = tuple(
+        ShardStats(
+            shard=i,
+            networks=tuple(s.name for s in part.networks),
+            events=part.events,
+            queries=part.totals.get("queries", 0),
+            pending=sum(s.pending for s in part.networks),
+            in_flight=in_flight[i] if in_flight else 0,
+            shed_local=shed_local[i] if shed_local else 0,
+            persist_hits=part.store.persist_hits if part.store else 0,
+            latency=part.latency,
+        )
+        for i, part in enumerate(parts)
+    )
+    return MetricsSnapshot(
+        networks=networks,
+        cache=cache,
+        totals=totals,
+        latency=latency,
+        records=records,
+        store=store,
+        anomalies=anomalies,
+        shards=shard_rows,
+    )

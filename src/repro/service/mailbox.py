@@ -1,0 +1,210 @@
+"""Single-consumer actor mailboxes for the control plane.
+
+The control plane's concurrency model is the actor pattern: each managed
+network owns exactly one :class:`Mailbox`, drained by at most one worker
+at a time.  The mailbox is the *only* shared mutable structure on the
+event path — everything else a network owns (its session, policies,
+EWMA, latency history) is touched exclusively by the single active drain
+worker, and everything queries need is read lock-free from
+atomically-published immutable snapshots.
+
+The mailbox folds three responsibilities that used to be separate
+lock-guarded fields into one leaf lock:
+
+* the bounded FIFO of pending events (admission control — overflow is
+  reported back to the caller, never buffered without bound),
+* the single-consumer *claim*: :meth:`offer` hands the claim to exactly
+  one submitter, which must schedule a drain; the drain loop holds the
+  claim until the queue is empty or the mailbox pauses,
+* the admitted-intent ledger: the fault set the network *will* have once
+  every admitted event has applied.  The ledger is maintained
+  incrementally on offer and rebuilt from ground truth
+  (``session.faults`` + the queue) whenever an event is cancelled or
+  fails to apply — a rebuild can never clobber admissions that raced in,
+  because it derives from the queue as it is *now*.
+
+Publication convention: attributes ending in ``_published`` are
+immutable values rebound under the mailbox lock (or by the exclusive
+drain worker) and read without any lock.  Rebinding an attribute is
+atomic under CPython, and the value itself is immutable, so readers
+always see a complete, internally-consistent snapshot.  The lint layer's
+dynamic guard model (:mod:`repro.lint.passes._lockmodel`) knows this
+convention and exempts ``*_published`` reads from lockset tracking.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Hashable, Iterable, Protocol
+
+
+class MailboxEvent(Protocol):
+    """What the mailbox needs from an event: its ledger effect."""
+
+    kind: str      # "fault" | "repair"
+    node: Hashable
+
+
+class Mailbox:
+    """A bounded MPSC queue with a single-consumer claim and intent ledger.
+
+    Producers call :meth:`offer`; the one producer handed
+    ``schedule=True`` must arrange for a consumer to run.  The consumer
+    loops on :meth:`next_event` / :meth:`event_done` until ``next_event``
+    returns ``None``, which releases the claim.
+    """
+
+    def __init__(self, max_pending: int) -> None:
+        self._lock = threading.Lock()
+        self._max_pending = max_pending
+        self._queue: deque = deque()
+        self._claimed = False
+        self._in_flight = False
+        self._paused = False
+        self._intended: set = set()
+        #: lock-free view of the admitted-intent ledger (see module
+        #: docstring for the ``_published`` convention).
+        self.intended_published: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def offer(self, event: MailboxEvent) -> tuple[bool, bool]:
+        """Admit *event*, returning ``(admitted, schedule)``.
+
+        ``admitted=False`` means the queue is full and the event was
+        shed.  ``schedule=True`` means this call took the consumer claim:
+        the caller must start a drain (or :meth:`cancel` to hand the
+        claim back).
+        """
+        with self._lock:
+            if len(self._queue) >= self._max_pending:
+                return False, False
+            self._queue.append(event)
+            if event.kind == "fault":
+                self._intended.add(event.node)
+            else:
+                self._intended.discard(event.node)
+            self.intended_published = frozenset(self._intended)
+            schedule = not self._claimed and not self._paused
+            if schedule:
+                self._claimed = True
+            return True, schedule
+
+    def cancel(self, event: MailboxEvent, base_faults: Iterable) -> None:
+        """Withdraw an offered event and release the claim it took.
+
+        Only valid for the producer that received ``schedule=True`` and
+        could not start a drain (so no consumer is active and
+        *base_faults* — the session's applied fault set — is quiescent).
+        The intent ledger is rebuilt from *base_faults* plus the queue's
+        remaining effects rather than restored from any pre-offer
+        snapshot: a snapshot would clobber admissions for the same node
+        that raced in between offer and cancel.
+        """
+        with self._lock:
+            try:
+                self._queue.remove(event)
+            except ValueError:
+                pass
+            self._intended = self._fold_queue(base_faults)
+            self.intended_published = frozenset(self._intended)
+            self._claimed = False
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def next_event(self):
+        """Pop the next event, or release the claim and return ``None``."""
+        with self._lock:
+            if self._paused or not self._queue:
+                self._claimed = False
+                return None
+            event = self._queue.popleft()
+            self._in_flight = True
+            return event
+
+    def event_done(self) -> None:
+        """Mark the in-flight event finished (applied or failed)."""
+        with self._lock:
+            self._in_flight = False
+
+    def rebuild_intended(self, base_faults: Iterable) -> None:
+        """Re-derive the intent ledger after an event failed to apply.
+
+        Called by the drain worker with the session's actual fault set;
+        the ledger becomes *base_faults* folded with every still-queued
+        effect, so a rejected event's phantom intent disappears.
+        """
+        with self._lock:
+            self._intended = self._fold_queue(base_faults)
+            self.intended_published = frozenset(self._intended)
+
+    def _fold_queue(self, base_faults: Iterable) -> set:
+        """*base_faults* with every queued effect applied, in order.
+        Pure read of the queue — callers assign the result under the
+        lock."""
+        base = set(base_faults)
+        for queued in self._queue:
+            if queued.kind == "fault":
+                base.add(queued.node)
+            else:
+                base.discard(queued.node)
+        return base
+
+    # ------------------------------------------------------------------
+    # flow control / introspection
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop consumption: the active drain stops at the next pop and
+        releases the claim; offers keep queueing (up to the bound)."""
+        with self._lock:
+            self._paused = True
+
+    def resume(self) -> bool:
+        """Allow consumption again.  Returns ``True`` when this call took
+        the claim (queued events, no active consumer) — the caller must
+        then start a drain."""
+        with self._lock:
+            self._paused = False
+            schedule = bool(self._queue) and not self._claimed
+            if schedule:
+                self._claimed = True
+            return schedule
+
+    def backlog(self) -> int:
+        """Queued plus in-flight events — the query degradation signal."""
+        with self._lock:
+            return len(self._queue) + (1 if self._in_flight else 0)
+
+    @property
+    def paused(self) -> bool:
+        with self._lock:
+            return self._paused
+
+    def busy(self) -> bool:
+        """True while unpaused work remains (queued or in flight)."""
+        with self._lock:
+            return bool(self._queue or self._in_flight) and not self._paused
+
+
+class AtomicCounters:
+    """Named monotonic counters behind one leaf lock.
+
+    Replaces the per-network counter dict that used to share the big
+    ``ManagedNetwork.lock``: producers and the drain worker bump
+    independently; :meth:`snapshot` returns a consistent copy.
+    """
+
+    def __init__(self, names: Iterable[str]) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {name: 0 for name in names}
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += delta
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

@@ -1,0 +1,289 @@
+"""Shard worker: one control plane per process, spoken to over a pipe.
+
+The sharded deployment (:mod:`repro.service.frontdoor`) partitions the
+fleet across N worker *processes* by consistent-hashing network names.
+Each worker runs an ordinary in-process
+:class:`~repro.service.control.ControlPlane` and serves a tiny
+request/reply protocol over a duplex :class:`multiprocessing.Pipe`:
+
+* **Framing.**  One pickled :class:`ShardRequest` per ``Connection.send``
+  call (the connection does length-prefixed framing for us); every
+  request carries a monotonically increasing ``seq`` the front door uses
+  to correlate the eventual :class:`ShardReply`.  Replies may arrive out
+  of submission order — fault/repair events resolve asynchronously on
+  the worker's pool while queries answer inline — which is precisely why
+  the correlation id exists.
+* **Degraded metadata crosses the wire unchanged.**  Query replies carry
+  the worker plane's :class:`~repro.service.control.PipelineAnswer`
+  verbatim — ``degraded``/``stale``/``faults_outstanding``/``omitted``
+  survive pickling because they are frozen dataclasses of scalars and
+  frozensets.  The front door adds nothing and removes nothing.
+* **Causal spans cross the process boundary.**  Event requests include
+  the parent's picklable :class:`~repro.obs.spans.SpanContext`; the
+  worker measures its own apply time and sends back finished span dicts
+  (:func:`~repro.obs.spans.make_span_dict`) for the parent tracer to
+  record under that context.  Workers never run their own tracer.
+* **Witness sharing.**  Every worker opens the *same* SQLite witness
+  store path (WAL journal, busy timeout), so a witness solved on one
+  shard is a ``persist_hits`` lookup away from every other shard.
+
+``shard_worker_main`` is a module-level function so the fork/spawn
+machinery pickles it by qualified name — never a closure or a bound
+method (the RC6xx lint pass polices exactly this).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..errors import (
+    ReconfigurationError,
+    ReproError,
+    ServiceOverloadError,
+)
+from ..obs.spans import SpanContext, make_span_dict
+from .control import ControlPlane, ControlPlaneConfig
+
+Node = Hashable
+
+#: Operations a shard worker understands.
+SHARD_OPS = (
+    "register",
+    "fault",
+    "repair",
+    "query",
+    "snapshot",
+    "final_states",
+    "flush",
+    "wait",
+    "close",
+)
+
+
+@dataclass(frozen=True)
+class ShardRequest:
+    """One front-door → worker message (pickled over the pipe)."""
+
+    seq: int
+    op: str                      # one of SHARD_OPS
+    network: str | None = None
+    node: Node | None = None
+    #: op-specific payload: ``register`` sends ``(network, policy)``,
+    #: ``wait`` sends the timeout, events send nothing.
+    payload: Any = None
+    #: the submitting side's causal span, if tracing — the worker's
+    #: reply spans are recorded under it by the parent tracer.
+    span: SpanContext | None = None
+
+
+@dataclass(frozen=True)
+class ShardReply:
+    """One worker → front-door message, correlated by ``seq``."""
+
+    seq: int
+    ok: bool
+    payload: Any = None
+    #: stringified exception when ``ok`` is False ...
+    error: str | None = None
+    #: ... and its class name, so the front door re-raises the right type.
+    error_kind: str | None = None
+    #: finished span dicts measured on the worker (``clock: "worker"``).
+    spans: tuple = ()
+
+
+#: ``error_kind`` → exception class for front-door re-raising.  Anything
+#: unknown degrades to plain :class:`ReproError` (never a silent pass).
+REPLY_ERRORS = {
+    "ServiceOverloadError": ServiceOverloadError,
+    "ReconfigurationError": ReconfigurationError,
+    "ReproError": ReproError,
+    "KeyError": KeyError,
+    "TimeoutError": TimeoutError,
+}
+
+
+def reply_exception(reply: ShardReply) -> BaseException:
+    """Rebuild the worker-side exception a failed reply describes."""
+    exc_type = REPLY_ERRORS.get(reply.error_kind or "", ReproError)
+    if exc_type is ReproError and reply.error_kind not in (None, "ReproError"):
+        return ReproError(f"{reply.error_kind}: {reply.error}")
+    return exc_type(reply.error or "shard error")
+
+
+def _error_reply(seq: int, exc: BaseException, spans: tuple = ()) -> ShardReply:
+    return ShardReply(
+        seq=seq,
+        ok=False,
+        error=str(exc),
+        error_kind=type(exc).__name__,
+        spans=spans,
+    )
+
+
+class _ShardServer:
+    """The worker-process event loop around one private control plane."""
+
+    def __init__(self, conn, config: ControlPlaneConfig, shard_id: int) -> None:
+        self.conn = conn
+        self.shard_id = shard_id
+        self.plane = ControlPlane(config)
+        # future callbacks fire on the plane's pool threads; Connection
+        # objects are not thread-safe, so every send takes this leaf lock
+        self._send_lock = threading.Lock()
+
+    def send(self, reply: ShardReply) -> None:
+        with self._send_lock:
+            self.conn.send(reply)
+
+    def _event_spans(
+        self, req: ShardRequest, duration_s: float, status: str
+    ) -> tuple:
+        if req.span is None:
+            return ()
+        return (
+            make_span_dict(
+                req.span,
+                f"s{self.shard_id}q{req.seq}",
+                "shard_apply",
+                duration_s,
+                {
+                    "shard": self.shard_id,
+                    "network": req.network,
+                    "kind": req.op,
+                },
+                status=status,
+            ),
+        )
+
+    def _submit_event(self, req: ShardRequest) -> None:
+        submit = (
+            self.plane.submit_fault
+            if req.op == "fault"
+            else self.plane.submit_repair
+        )
+        t0 = time.perf_counter()
+        try:
+            future = submit(req.network, req.node)
+        except (ReproError, KeyError) as exc:
+            # shed (admission bound) or unknown network: answered inline
+            self.send(
+                _error_reply(
+                    req.seq,
+                    exc,
+                    self._event_spans(req, time.perf_counter() - t0, "error"),
+                )
+            )
+            return
+
+        def _resolved(fut) -> None:
+            duration = time.perf_counter() - t0
+            exc = fut.exception()
+            if exc is not None:
+                self.send(
+                    _error_reply(
+                        req.seq, exc, self._event_spans(req, duration, "error")
+                    )
+                )
+            else:
+                self.send(
+                    ShardReply(
+                        seq=req.seq,
+                        ok=True,
+                        payload=fut.result(),
+                        spans=self._event_spans(req, duration, "ok"),
+                    )
+                )
+
+        future.add_done_callback(_resolved)
+
+    def _run_detached(self, req: ShardRequest, fn) -> None:
+        """Run a blocking op off the recv loop, replying when it finishes.
+
+        ``wait`` (and ``flush``) can block for as long as the queues are
+        deep; executed inline they would wedge the recv loop — one
+        client's quiesce barrier would stall every other client's
+        traffic to this shard."""
+
+        def work() -> None:
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - to the reply
+                self.send(_error_reply(req.seq, exc))
+            else:
+                self.send(ShardReply(seq=req.seq, ok=True))
+
+        threading.Thread(
+            target=work, name=f"repro-shard-{self.shard_id}-op", daemon=True
+        ).start()
+
+    def _handle(self, req: ShardRequest) -> bool:
+        """Dispatch one request; returns False when the loop should exit."""
+        if req.op in ("fault", "repair"):
+            self._submit_event(req)
+            return True
+        if req.op == "wait":
+            timeout = req.payload or 30.0
+            self._run_detached(req, lambda: self.plane.wait(timeout=timeout))
+            return True
+        if req.op == "flush":
+            self._run_detached(req, self.plane.cache.flush)
+            return True
+        try:
+            if req.op == "register":
+                network, policy = req.payload
+                self.plane.register(req.network, network, policy=policy)
+                payload: Any = None
+            elif req.op == "query":
+                payload = self.plane.query_pipeline(req.network)
+            elif req.op == "snapshot":
+                payload = self.plane.snapshot()
+            elif req.op == "final_states":
+                payload = self.plane.final_states()
+            elif req.op == "close":
+                self.plane.close()
+                self.send(ShardReply(seq=req.seq, ok=True))
+                return False
+            else:
+                raise ReproError(f"unknown shard op {req.op!r}")
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the reply
+            self.send(_error_reply(req.seq, exc))
+            return True
+        self.send(ShardReply(seq=req.seq, ok=True, payload=payload))
+        return True
+
+    def run(self) -> None:
+        try:
+            while True:
+                try:
+                    req = self.conn.recv()
+                except (EOFError, OSError):
+                    # the front door vanished: drain and exit quietly
+                    break
+                if not self._handle(req):
+                    break
+        finally:
+            try:
+                self.plane.close()
+            except Exception as exc:
+                # last-gasp teardown in a dying worker: the pipe may
+                # already be gone, so stderr is the only listener left
+                print(
+                    f"shard {self.shard_id}: close failed: {exc!r}",
+                    file=sys.stderr,
+                )
+            self.conn.close()
+
+
+def shard_worker_main(conn, config_kwargs: dict, shard_id: int) -> None:
+    """Worker-process entry point (picklable by qualified name).
+
+    Builds a private :class:`ControlPlane` from *config_kwargs* — the
+    front door has already forced tracing off; span measurement happens
+    via :func:`make_span_dict` instead — and serves the pipe until a
+    ``close`` request or EOF."""
+    config = ControlPlaneConfig(**config_kwargs)
+    _ShardServer(conn, config, shard_id).run()

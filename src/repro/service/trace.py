@@ -181,13 +181,18 @@ def run_trace(
     for fut in futures:
         try:
             records.append(fut.result(timeout=timeout))
+        except ServiceOverloadError:
+            # sharded planes shed either locally (raised at submit) or on
+            # the worker (surfacing here) — both are deliberate load
+            # shedding, not errors
+            shed += 1
         except ReproError as exc:
             errors.append(str(exc))
     plane.wait(timeout=timeout)
     if validate:
-        for m in plane:
-            if not is_pipeline(m.network, m.session.pipeline.nodes, m.session.faults):
-                errors.append(f"final pipeline for {m.name!r} failed validation")
+        for name, network, pipeline, faults in plane.final_states():
+            if not is_pipeline(network, pipeline.nodes, faults):
+                errors.append(f"final pipeline for {name!r} failed validation")
     return TraceReport(
         records=tuple(records),
         answers=tuple(answers),

@@ -29,7 +29,7 @@ from .assignment import StageAssignment, assign_stages, linear_partition
 from .engine import Simulator
 from .events import Event, EventQueue
 from .faults import FaultEvent, poisson_fault_schedule, scheduled_faults
-from .fleet import fleet_trace, run_fleet_scenario
+from .fleet import fleet_trace, run_fleet_scenario, timed_fleet_trace
 from .metrics import RunResult, ThroughputSegment
 from .runtime import GracefulPipelineRuntime, SparePoolRuntime
 from .stages import (
@@ -78,6 +78,7 @@ __all__ = [
     "scheduled_faults",
     "fleet_trace",
     "run_fleet_scenario",
+    "timed_fleet_trace",
     "GracefulPipelineRuntime",
     "SparePoolRuntime",
     "RunResult",

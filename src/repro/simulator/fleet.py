@@ -106,12 +106,19 @@ def _timed_events(
     if query_every is not None:
         if query_every <= 0:
             raise InvalidParameterError("query_every must be > 0")
-        t = query_every
-        while t <= end:
+        # ticks are multiples of the period, not a running float sum:
+        # repeated `t += query_every` accumulates representation error and
+        # silently drops boundary ticks (0.1 * 3 > 0.3 in binary floats).
+        # The epsilon keeps i * query_every == end ticks in-range even when
+        # the product lands a few ulps above the horizon.
+        eps = query_every * 1e-9
+        i = 1
+        while i * query_every <= end + eps:
+            t = i * query_every
             for name in schedules:
                 timed.append((t, tiebreak, TraceEvent(name, "query")))
                 tiebreak += 1
-            t += query_every
+            i += 1
     timed.sort(key=lambda item: (item[0], item[1]))
     return timed
 

@@ -182,6 +182,44 @@ class TestRaceDetectorStateMachine:
             "Guarded.value": frozenset({"Guarded.lock"})
         }
 
+    def test_track_reads_catches_torn_snapshot_read(self):
+        """PR 10 regression (torn snapshots): a reader that takes related
+        fields without the writer's lock can observe a half-published
+        pair.  With ``track_reads=True`` the detector narrows locksets on
+        reads too, so the unlocked cross-thread read of a
+        shared-modified field is reported as a torn read."""
+        recorder = FlightRecorder(capacity=16)
+        monitor = LockOrderMonitor(strict=False, recorder=recorder)
+        detector = RaceDetector(monitor, recorder=recorder, track_reads=True)
+        obj = Guarded(monitor)
+        _register(detector, obj)
+        _sequenced(
+            ("t1", _locked_write(detector, obj)),
+            ("t2", _locked_write(detector, obj)),  # shared-modified, guarded
+            ("t1", _bare_read(detector, obj)),     # snapshot without the lock
+        )
+        races = detector.races()
+        assert races and races[0].label == "Guarded.value"
+        assert "torn-read" in races[0].message
+
+    def test_track_reads_consistent_reader_is_clean(self):
+        monitor = LockOrderMonitor(strict=False)
+        detector = RaceDetector(monitor, track_reads=True)
+        obj = Guarded(monitor)
+        _register(detector, obj)
+
+        def locked_read():
+            with obj.lock:
+                detector.note_access(obj, "value", write=False)
+
+        _sequenced(
+            ("t1", _locked_write(detector, obj)),
+            ("t2", locked_read),
+            ("t1", _locked_write(detector, obj)),
+            ("t2", locked_read),
+        )
+        assert detector.races() == []
+
     def test_crosscheck_flags_wrong_static_guard(self):
         monitor, detector = _detector()
         obj = Guarded(monitor)
@@ -199,8 +237,18 @@ class TestGuardModel:
     def test_static_model_covers_the_plane_classes(self):
         guards = default_guard_model()
         assert "ControlPlane" in guards
-        assert "ManagedNetwork" in guards
+        assert "Mailbox" in guards
+        assert "AtomicCounters" in guards
         assert "WitnessCache" in guards
+        # the actor refactor made ManagedNetwork lockless: its state is
+        # either mailbox-owned, drain-worker exclusive, or published
+        # atomically — so the guard model must no longer list it
+        assert "ManagedNetwork" not in guards
+        # *_published attributes are the atomic-publication convention,
+        # never lock-guarded fields
+        for fields in guards.values():
+            for field in fields:
+                assert not field.endswith("_published")
         # every guard label names the owning class
         for cls, fields in guards.items():
             for field, guard in fields.items():
@@ -229,6 +277,30 @@ class TestLivePlane:
         locksets = detector.locksets()
         assert locksets, "demo traffic must narrow at least one lockset"
         assert crosscheck_locksets(detector, guards) == []
+
+    def test_demo_fleet_has_no_torn_reads(self):
+        """The atomic-publication fix end to end: under ``track_reads``
+        the live fleet's queries and snapshots (which read published
+        state lock-free) stay clean, because every lock-free read goes
+        through an immutable ``*_published`` value — the guard model
+        exempts those by convention, and every remaining guarded field
+        is only ever read under its lock."""
+        from repro.service.trace import run_demo
+
+        state = {}
+
+        def hook(plane):
+            monitor = LockOrderMonitor(strict=True, recorder=plane.recorder)
+            detector = RaceDetector(
+                monitor, recorder=plane.recorder, track_reads=True
+            )
+            instrument_plane(plane, monitor)
+            instrument_races(plane, detector)
+            state["detector"] = detector
+
+        report, _snapshot = run_demo(events=60, seed=5, instrument=hook)
+        assert report.ok
+        state["detector"].assert_race_free()
 
     def test_load_harness_smoke_is_race_free(self):
         from repro.service.loadgen import run_service_bench

@@ -143,6 +143,7 @@ class TestControlPlaneInstrumentation:
     def test_static_graph_covers_the_service_locks(self, static_graph):
         labels = static_graph.labels
         assert "ControlPlane._lock" in labels
-        assert "ManagedNetwork.lock" in labels
+        assert "Mailbox._lock" in labels
+        assert "AtomicCounters._lock" in labels
         assert "WitnessCache._lock" in labels
         assert "factory._BUILD_CACHE_LOCK" in labels

@@ -200,3 +200,73 @@ class TestSnapshot:
         plane.close()
         with pytest.raises(ReproError):
             plane.submit_fault("a", "p0")
+
+
+class TestLedgerSelfHealing:
+    """PR 10 regression tests: the admitted-intent ledger must re-derive
+    from ground truth on every failure path, never from stale snapshots.
+    """
+
+    def test_unadmit_path_preserves_racing_admission(self):
+        """A ``RuntimeError`` from the pool (close raced the submit) must
+        un-admit only the doomed event; an admission that raced in
+        between offer and un-admit survives and later drains."""
+        with ControlPlane(ControlPlaneConfig(workers=1)) as plane:
+            plane.register("net", n=6, k=2)
+            m = plane.managed("net")
+            raced: list = []
+
+            def broken_submit(fn, *args, **kwargs):
+                # a second producer races in while the first holds the
+                # mailbox claim (its offer gets schedule=False, so it
+                # never reaches the executor), then the pool "shuts down"
+                raced.append(plane.submit_fault("net", "p2"))
+                raise RuntimeError(
+                    "cannot schedule new futures after shutdown"
+                )
+
+            plane._executor.submit = broken_submit
+            try:
+                with pytest.raises(ReproError):
+                    plane.submit_fault("net", "p1")
+            finally:
+                del plane._executor.submit  # restore the real pool
+            # the raced admission survived the un-admit rebuild
+            assert m.mailbox.intended_published == frozenset({"p2"})
+            # the claim was handed back: resume drains the raced event
+            plane.resume("net")
+            record = raced[0].result(timeout=30)
+            assert record.kind == "fault" and record.node == "p2"
+            plane.wait()
+            answer = plane.query_pipeline("net")
+            assert answer.faults == frozenset({"p2"})
+            assert not answer.stale
+
+    def test_unknown_node_repair_raises_and_ledger_self_heals(self):
+        with ControlPlane() as plane:
+            plane.register("net", n=6, k=2)
+            fut = plane.submit_repair("net", "ghost")
+            with pytest.raises(ReconfigurationError):
+                fut.result(timeout=30)
+            plane.wait()
+            answer = plane.query_pipeline("net")
+            assert answer.stale is False
+            assert answer.faults_outstanding == frozenset()
+            assert answer.omitted == frozenset()
+            assert plane.snapshot().totals["errors"] == 1
+
+    def test_failed_fault_drops_phantom_intent(self):
+        """A fault whose apply fails (not a node of the network) must not
+        leave its node in the intent ledger — pre-fix, queries reported
+        it as ``faults_outstanding`` forever."""
+        with ControlPlane() as plane:
+            plane.register("net", n=6, k=2)
+            fut = plane.submit_fault("net", "not-a-node")
+            with pytest.raises(ReconfigurationError):
+                fut.result(timeout=30)
+            plane.wait()
+            m = plane.managed("net")
+            assert m.mailbox.intended_published == frozenset()
+            answer = plane.query_pipeline("net")
+            assert answer.stale is False
+            assert answer.faults_outstanding == frozenset()

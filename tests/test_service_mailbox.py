@@ -1,0 +1,133 @@
+"""Unit tests for the actor-mailbox primitives behind the control plane.
+
+The :class:`~repro.service.mailbox.Mailbox` owns the three invariants the
+plane's concurrency model rests on: bounded admission, the
+single-consumer claim, and the admitted-intent ledger (including the
+cancel/rebuild paths that must never clobber racing admissions).
+"""
+
+import threading
+from dataclasses import dataclass
+
+from repro.service.mailbox import AtomicCounters, Mailbox
+
+
+@dataclass
+class Ev:
+    kind: str
+    node: object
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds_overflow(self):
+        mb = Mailbox(2)
+        assert mb.offer(Ev("fault", "a")) == (True, True)
+        assert mb.offer(Ev("fault", "b")) == (True, False)
+        assert mb.offer(Ev("fault", "c")) == (False, False)
+        assert mb.backlog() == 2
+
+    def test_ledger_tracks_offered_effects_in_order(self):
+        mb = Mailbox(8)
+        mb.offer(Ev("fault", "a"))
+        mb.offer(Ev("fault", "b"))
+        mb.offer(Ev("repair", "a"))
+        assert mb.intended_published == frozenset({"b"})
+
+
+class TestClaim:
+    def test_only_first_offer_takes_the_claim(self):
+        mb = Mailbox(8)
+        _, schedule1 = mb.offer(Ev("fault", "a"))
+        _, schedule2 = mb.offer(Ev("fault", "b"))
+        assert schedule1 and not schedule2
+
+    def test_drain_to_empty_releases_the_claim(self):
+        mb = Mailbox(8)
+        mb.offer(Ev("fault", "a"))
+        ev = mb.next_event()
+        assert ev.node == "a"
+        mb.event_done()
+        assert mb.next_event() is None          # queue empty: claim released
+        assert mb.offer(Ev("fault", "b")) == (True, True)
+
+    def test_pause_blocks_consumption_resume_reclaims(self):
+        mb = Mailbox(8)
+        mb.pause()
+        _, schedule = mb.offer(Ev("fault", "a"))
+        assert not schedule                      # paused: nobody schedules
+        assert mb.next_event() is None
+        assert not mb.busy()
+        assert mb.resume() is True               # queued work: caller drains
+        assert mb.next_event().node == "a"
+
+    def test_busy_counts_in_flight_event(self):
+        mb = Mailbox(8)
+        mb.offer(Ev("fault", "a"))
+        mb.next_event()
+        assert mb.busy() and mb.backlog() == 1   # in flight, queue empty
+        mb.event_done()
+        assert not mb.busy()
+
+
+class TestCancelRebuild:
+    """The un-admit path: PR 10's third bugfix at the unit level.
+
+    ``cancel`` used to restore the intent ledger from a snapshot taken
+    before the offer — clobbering any admission for another node that
+    raced in between offer and cancel.  It must instead rebuild from the
+    base fault set plus the queue as it is *now*.
+    """
+
+    def test_cancel_preserves_racing_admission(self):
+        mb = Mailbox(8)
+        first = Ev("fault", "p1")
+        admitted, schedule = mb.offer(first)
+        assert admitted and schedule
+        # a second producer races in while the first holds the claim
+        raced = Ev("fault", "p2")
+        assert mb.offer(raced) == (True, False)
+        mb.cancel(first, base_faults=frozenset())
+        # the raced admission survives; only the cancelled intent is gone
+        assert mb.intended_published == frozenset({"p2"})
+        # and the claim is back: the next producer can schedule a drain
+        assert mb.offer(Ev("fault", "p3"))[1] is True
+
+    def test_cancel_folds_base_faults_with_queued_effects(self):
+        mb = Mailbox(8)
+        doomed = Ev("fault", "x")
+        mb.offer(doomed)
+        mb.offer(Ev("repair", "p0"))
+        mb.cancel(doomed, base_faults={"p0", "p9"})
+        assert mb.intended_published == frozenset({"p9"})
+
+    def test_rebuild_after_failed_apply_drops_phantom_intent(self):
+        mb = Mailbox(8)
+        mb.offer(Ev("fault", "ghost"))
+        ev = mb.next_event()
+        assert ev.node == "ghost"
+        # the apply failed: the drain worker rebuilds from ground truth
+        mb.rebuild_intended(base_faults=frozenset())
+        mb.event_done()
+        assert mb.intended_published == frozenset()
+
+
+class TestAtomicCounters:
+    def test_bump_and_snapshot(self):
+        c = AtomicCounters(["a", "b"])
+        c.bump("a")
+        c.bump("b", 3)
+        assert c.snapshot() == {"a": 1, "b": 3}
+
+    def test_concurrent_bumps_never_lose_updates(self):
+        c = AtomicCounters(["n"])
+        threads = [
+            threading.Thread(
+                target=lambda: [c.bump("n") for _ in range(500)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.snapshot()["n"] == 2000

@@ -1,0 +1,331 @@
+"""The sharded deployment: consistent hashing, the pipe wire protocol,
+the multi-process front door, witness sharing through the store, and the
+sharded CI gate.
+
+The process-spawning tests keep fleets small (6x2 networks, a handful of
+events) so each worker forks, answers and exits in well under a second.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import is_pipeline
+from repro.errors import (
+    ReconfigurationError,
+    ReproError,
+    ServiceOverloadError,
+)
+from repro.obs.spans import SpanContext
+from repro.service import (
+    ControlPlaneConfig,
+    HashRing,
+    ShardedControlPlane,
+    ShardReply,
+    ShardRequest,
+)
+from repro.service.control import PipelineAnswer
+from repro.service.frontdoor import merge_snapshots
+from repro.service.loadgen import (
+    build_workload,
+    run_load_sharded,
+    shard_fleet_names,
+    shard_smoke_regressions,
+)
+from repro.service.shard import reply_exception
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        names = [f"replica-{i}" for i in range(40)]
+        a = HashRing(4)
+        b = HashRing(4)
+        assert [a.shard_for(n) for n in names] == [
+            b.shard_for(n) for n in names
+        ]
+
+    def test_assignments_in_range_and_spread(self):
+        ring = HashRing(4)
+        shards = {ring.shard_for(f"net-{i}") for i in range(200)}
+        assert shards == {0, 1, 2, 3}  # every shard owns something
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(f"n{i}") for i in range(20)} == {0}
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ReproError):
+            HashRing(0)
+
+    def test_shard_fleet_names_balanced(self):
+        ring = HashRing(3)
+        names = shard_fleet_names(ring, per_shard=2)
+        assert len(names) == 6
+        counts = [0, 0, 0]
+        for name in names:
+            counts[ring.shard_for(name)] += 1
+        assert counts == [2, 2, 2]
+
+
+class TestWireProtocol:
+    def test_messages_pickle_with_span_context(self):
+        ctx = SpanContext(trace_id="t1", span_id="s1")
+        req = ShardRequest(seq=7, op="fault", network="a", node="p1", span=ctx)
+        back = pickle.loads(pickle.dumps(req))
+        assert back == req and back.span.trace_id == "t1"
+        reply = ShardReply(seq=7, ok=True, payload={"x": 1}, spans=({"n": 1},))
+        assert pickle.loads(pickle.dumps(reply)) == reply
+
+    def test_degraded_metadata_survives_the_wire_unchanged(self):
+        # the query path ships PipelineAnswer verbatim: degraded/stale
+        # metadata must round-trip through pickle with nothing added or
+        # dropped
+        answer = PipelineAnswer(
+            network="a",
+            pipeline=None,  # the pipeline field itself pickles separately
+            faults=frozenset({"p1"}),
+            degraded=True,
+            pending=3,
+            faults_outstanding=frozenset({"p2"}),
+            omitted=frozenset({"p3"}),
+        )
+        back = pickle.loads(pickle.dumps(answer))
+        assert back.degraded and back.stale
+        assert back.faults_outstanding == frozenset({"p2"})
+        assert back.omitted == frozenset({"p3"})
+
+    def test_reply_exception_maps_error_kinds(self):
+        cases = {
+            "ServiceOverloadError": ServiceOverloadError,
+            "ReconfigurationError": ReconfigurationError,
+            "ReproError": ReproError,
+            "KeyError": KeyError,
+            "TimeoutError": TimeoutError,
+        }
+        for kind, exc_type in cases.items():
+            reply = ShardReply(seq=1, ok=False, error="boom", error_kind=kind)
+            assert isinstance(reply_exception(reply), exc_type)
+
+    def test_unknown_error_kind_degrades_to_repro_error_with_context(self):
+        reply = ShardReply(
+            seq=1, ok=False, error="weird", error_kind="ValueError"
+        )
+        exc = reply_exception(reply)
+        assert isinstance(exc, ReproError)
+        assert "ValueError" in str(exc) and "weird" in str(exc)
+
+
+class TestShardedPlane:
+    def test_end_to_end_two_shards(self):
+        config = ControlPlaneConfig(workers=2)
+        with ShardedControlPlane(2, config) as plane:
+            names = shard_fleet_names(HashRing(2), per_shard=2)
+            for name in names:
+                plane.register(name, n=6, k=2)
+            assert len(plane) == 4
+            assert {plane.shard_of(n) for n in names} == {0, 1}
+
+            records = [
+                plane.submit_fault(name, "p1").result(timeout=60)
+                for name in names
+            ]
+            assert all(r.kind == "fault" for r in records)
+            plane.submit_repair(names[0], "p1").result(timeout=60)
+            plane.wait()
+
+            answer = plane.query_pipeline(names[1])
+            assert answer.faults == frozenset({"p1"})
+            for name, network, pipeline, faults in plane.final_states():
+                assert is_pipeline(network, pipeline.nodes, faults)
+
+            snapshot = plane.snapshot()
+            assert snapshot.totals["faults"] == 4
+            assert snapshot.totals["repairs"] == 1
+            assert len(snapshot.networks) == 4
+            shards = snapshot.shards
+            assert shards is not None and len(shards) == 2
+            assert sorted(n for s in shards for n in s.networks) == sorted(
+                names
+            )
+            assert sum(s.events for s in shards) == 5
+        # context-manager exit closed everything; a second close is a no-op
+        plane.close()
+
+    def test_errors_cross_the_wire_with_their_types(self):
+        with ShardedControlPlane(2, ControlPlaneConfig(workers=1)) as plane:
+            plane.register("net", n=6, k=2)
+            with pytest.raises(ReproError):
+                plane.register("net", n=6, k=2)   # duplicate, front-door side
+            with pytest.raises(KeyError):
+                plane.query_pipeline("nope")      # unknown name, front door
+            fut = plane.submit_fault("net", "not-a-node")
+            with pytest.raises(ReconfigurationError):
+                fut.result(timeout=60)            # worker-side, re-raised here
+            plane.wait()
+            answer = plane.query_pipeline("net")
+            assert not answer.stale               # ledger healed in the worker
+
+    def test_closed_plane_rejects_traffic(self):
+        plane = ShardedControlPlane(1, ControlPlaneConfig(workers=1))
+        plane.register("net", n=6, k=2)
+        plane.close()
+        with pytest.raises(ReproError):
+            plane.submit_fault("net", "p1")
+
+    def test_front_door_backpressure_sheds_locally(self):
+        config = ControlPlaneConfig(workers=1)
+        with ShardedControlPlane(1, config, window=1) as plane:
+            plane.register("net", n=9, k=2)
+            futures, shed = [], 0
+            for i in range(30):
+                node = f"p{i % 4 + 1}"
+                kind = plane.submit_fault if i % 2 == 0 else plane.submit_repair
+                try:
+                    futures.append(kind("net", node))
+                except ServiceOverloadError:
+                    shed += 1
+            assert shed > 0, "a window of 1 must shed some of 30 b2b events"
+            for fut in futures:
+                try:
+                    fut.result(timeout=60)
+                except (ReconfigurationError, ServiceOverloadError):
+                    pass  # repairs of healthy nodes / worker-side sheds
+            plane.wait()
+            snapshot = plane.snapshot()
+            assert snapshot.shards[0].shed_local == shed
+
+    def test_witnesses_shared_across_shards_via_store(self, tmp_path):
+        store = str(tmp_path / "witness.db")
+        config = ControlPlaneConfig(workers=1, store_path=store)
+        with ShardedControlPlane(2, config) as plane:
+            a, b = shard_fleet_names(HashRing(2), per_shard=1)
+            plane.register(a, n=6, k=2)
+            plane.register(b, n=6, k=2)
+            assert plane.shard_of(a) != plane.shard_of(b)
+            # shard A solves the witness and persists it ...
+            plane.submit_fault(a, "p1").result(timeout=60)
+            plane.flush()
+            # ... and shard B adopts it from the shared store
+            record = plane.submit_fault(b, "p1").result(timeout=60)
+            assert record.cache_hit
+            plane.wait()
+            snapshot = plane.snapshot()
+            by_shard = {s.shard: s.persist_hits for s in snapshot.shards}
+            assert by_shard[plane.shard_of(b)] >= 1
+            assert sum(by_shard.values()) >= 1
+
+    def test_causal_spans_cross_the_process_boundary(self):
+        config = ControlPlaneConfig(workers=1, tracing=True)
+        with ShardedControlPlane(1, config) as plane:
+            plane.register("net", n=6, k=2)
+            plane.submit_fault("net", "p1").result(timeout=60)
+            plane.wait()
+            spans = plane.tracer.drain()
+        events = [s for s in spans if s["name"] == "event"]
+        applies = [s for s in spans if s["name"] == "shard_apply"]
+        assert events and applies
+        event_ids = {s["span_id"] for s in events}
+        for span in applies:
+            assert span["parent_id"] in event_ids       # same causal tree
+            assert span["attrs"]["clock"] == "worker"   # measured remotely
+            assert span["attrs"]["shard"] == 0
+
+
+class TestShardLoadHarness:
+    def test_run_load_sharded_partitions_and_merges(self):
+        config = ControlPlaneConfig(workers=2)
+        with ShardedControlPlane(2, config) as plane:
+            for name in shard_fleet_names(HashRing(2), per_shard=1):
+                plane.register(name, n=6, k=2)
+            workload = build_workload(
+                plane, events=30, rate=400.0, seed=11, query_ratio=0.5
+            )
+            report = run_load_sharded(plane, workload, speed=1e6)
+        assert report.submitted == len(workload)
+        assert (
+            report.applied + report.queries + report.shed + report.errors
+            == report.submitted
+        )
+        assert report.wall_time_s > 0
+
+
+class TestShardSmokeGate:
+    @staticmethod
+    def _row(phase, shards, p95, thr, shared=2, cpus=4):
+        return {
+            "phase": phase,
+            "shards": shards,
+            "query_latency_s": {"p95": p95},
+            "throughput_eps": thr,
+            "shared_witnesses": shared,
+            "cpus": cpus,
+            "validation_failures": 0,
+        }
+
+    def test_clean_payload_passes(self):
+        payload = {"rows": [
+            self._row("shard-1", 1, 0.001, 1000.0),
+            self._row("shard-2", 2, 0.0011, 1900.0),
+        ]}
+        assert shard_smoke_regressions(payload) == []
+
+    def test_no_shard_rows_is_silent(self):
+        assert shard_smoke_regressions({"rows": [{"phase": "cold"}]}) == []
+
+    def test_missing_witness_share_flags(self):
+        payload = {"rows": [
+            self._row("shard-1", 1, 0.001, 1000.0),
+            self._row("shard-2", 2, 0.001, 1900.0, shared=0),
+        ]}
+        bad = shard_smoke_regressions(payload)
+        assert bad and "witness sharing" in bad[0]
+
+    def test_p95_regression_flags_past_noise_floor(self):
+        payload = {"rows": [
+            self._row("shard-1", 1, 0.010, 1000.0),
+            self._row("shard-2", 2, 0.015, 1900.0),
+        ]}
+        bad = shard_smoke_regressions(payload)
+        assert bad and "p95" in bad[0]
+        # the same relative regression inside the wire noise floor passes
+        payload["rows"][0]["query_latency_s"]["p95"] = 0.0010
+        payload["rows"][1]["query_latency_s"]["p95"] = 0.0015
+        assert shard_smoke_regressions(payload) == []
+
+    def test_throughput_gate_only_enforced_with_two_cpus(self):
+        rows = [
+            self._row("shard-1", 1, 0.001, 1000.0, cpus=1),
+            self._row("shard-2", 2, 0.001, 900.0, cpus=1),
+        ]
+        # one CPU: processes timeshare a core; the gate records, not flags
+        assert shard_smoke_regressions({"rows": rows}) == []
+        rows[0]["cpus"] = rows[1]["cpus"] = 4
+        bad = shard_smoke_regressions({"rows": rows})
+        assert bad and "throughput" in bad[0]
+
+
+class TestMergeSnapshots:
+    def test_merge_sums_and_concatenates(self):
+        config = ControlPlaneConfig(workers=1)
+        from repro.service import ControlPlane
+
+        parts = []
+        for name in ("a", "b"):
+            with ControlPlane(config) as plane:
+                plane.register(name, n=6, k=2)
+                plane.submit_fault(name, "p1").result(timeout=30)
+                plane.wait()
+                parts.append(plane.snapshot())
+        merged = merge_snapshots(parts, shed_local=[0, 3], in_flight=[0, 0])
+        assert {n.name for n in merged.networks} == {"a", "b"}
+        assert merged.totals["faults"] == 2
+        assert merged.latency.count == (
+            parts[0].latency.count + parts[1].latency.count
+        )
+        assert merged.cache.stores == (
+            parts[0].cache.stores + parts[1].cache.stores
+        )
+        shards = merged.shards
+        assert [s.shard for s in shards] == [0, 1]
+        assert shards[1].shed_local == 3
+        assert shards[0].networks == ("a",)

@@ -121,6 +121,30 @@ class TestFleetBridge:
         with pytest.raises(InvalidParameterError):
             fleet_trace(sched, query_every=-1.0)
 
+    def test_query_ticks_survive_float_drift(self):
+        """PR 10 regression: the query tick loop used a running float sum
+        (``t += query_every``), so representation error accumulated and
+        boundary ticks silently dropped — ``0.1 * 3 > 0.3`` in binary
+        floats lost the horizon tick.  Ticks are now exact multiples of
+        the period with an epsilon at the boundary."""
+        sched = {"a": scheduled_faults([(0.05, "p0")])}
+        trace = fleet_trace(sched, query_every=0.1, horizon=0.3)
+        queries = [e for e in trace if e.kind == "query"]
+        assert len(queries) == 3  # t = 0.1, 0.2 and the 0.3 boundary tick
+
+        # the same drift at larger scale: 0.7 is inexact, and 100 * 0.07
+        # lands a few ulps above 7.0 — the final tick must still be there
+        trace = fleet_trace(sched, query_every=0.07, horizon=7.0)
+        assert sum(e.kind == "query" for e in trace) == 100
+
+    def test_timed_query_ticks_are_exact_multiples(self):
+        from repro.simulator import timed_fleet_trace
+
+        sched = {"a": scheduled_faults([(0.05, "p0")])}
+        timed = timed_fleet_trace(sched, query_every=0.1, horizon=0.3)
+        tick_times = [at for at, e in timed if e.kind == "query"]
+        assert tick_times == [1 * 0.1, 2 * 0.1, 3 * 0.1]
+
     def test_run_fleet_scenario_end_to_end(self):
         with ControlPlane() as plane:
             plane.register("a", n=9, k=2)
